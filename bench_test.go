@@ -1,0 +1,246 @@
+package gobolt_test
+
+// One benchmark per table and figure of the paper's evaluation (§5),
+// plus per-packet fast-path benchmarks and ablations of the design
+// choices DESIGN.md calls out. `go test -bench=. -benchmem` regenerates
+// everything at QuickScale; `go run ./cmd/boltbench` prints the full
+// tables at DefaultScale.
+
+import (
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/experiments"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+	"gobolt/internal/traffic"
+)
+
+// --- Table 1 / §2.1: contract generation for the running example. ---
+
+func BenchmarkTable1Quickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+		if _, err := (&core.Generator{}).Generate(ex.Prog, ex.Models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 1 + Table 3: the 14 NF/packet-class scenarios (both come
+// from the same runs; the cycles columns are Table 3). ---
+
+func BenchmarkFigure1AndTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 14 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- §5.1 microbenchmarks: P1–P3 hardware-model validation. ---
+
+func BenchmarkMicrobenchP1P2P3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Microbench(4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4 + Figure 2: bridge contract and rehash-threshold analysis. ---
+
+func BenchmarkTable4BridgeContract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table4(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Distiller(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 5 + Figure 3: chain composition. ---
+
+func BenchmarkTable5ChainContracts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := experiments.ChainContracts(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3Chain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 6 + Tables 7/8 + Figure 4: the VigNAT study. ---
+
+func BenchmarkTable6VigNATContract(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4VigNAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure4(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 5–7: the allocator study. ---
+
+func BenchmarkFigure5Allocators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AllocatorStudy(experiments.QuickScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Per-packet fast paths: what the simulated DUT sustains. ---
+
+func BenchmarkNATPacketEstablished(b *testing.B) {
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: 4096,
+		TimeoutNS: 3_600_000_000_000, GranularityNS: 1_000_000,
+	})
+	warm := traffic.UDPFlows(traffic.UDPFlowConfig{
+		Packets: 256, Flows: 256, RoundRobin: true, StartNS: 1_000, GapNS: 1_000,
+		InPort: nf.NATPortInternal,
+	})
+	runner := &distill.Runner{}
+	if _, err := runner.Run(nat.Instance, warm); err != nil {
+		b.Fatal(err)
+	}
+	replay := traffic.UDPFlows(traffic.UDPFlowConfig{
+		Packets: 1024, Flows: 256, RoundRobin: true,
+		StartNS: 1_000_000, GapNS: 1_000, InPort: nf.NATPortInternal,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := replay[i%len(replay)]
+		nat.Env.ResetPacket(p.Data, p.InPort, p.Time)
+		if _, err := nat.Env.Run(nat.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBridgePacket(b *testing.B) {
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: 4096,
+		TimeoutNS: 3_600_000_000_000, GranularityNS: 1_000_000,
+	})
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 1024, MACs: 512, Ports: 4, StartNS: 1_000, GapNS: 1_000, Seed: 2,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		br.Env.ResetPacket(p.Data, p.InPort, p.Time)
+		if _, err := br.Env.Run(br.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPMLookupPacket(b *testing.B) {
+	r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
+	if err := r.Table.AddRoute(0x0A000000, 8, 1); err != nil {
+		b.Fatal(err)
+	}
+	pkts := traffic.LPMPackets(traffic.LPMConfig{
+		Packets: 256, Dsts: []uint32{0x0A010203}, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		r.Env.ResetPacket(p.Data, p.InPort, p.Time)
+		if _, err := r.Env.Run(r.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5). ---
+
+// Ablation 3: the witness-replay validation step's cost in contract
+// generation (Algorithm 2 line 7 vs skipping it).
+func BenchmarkAblationGenerateWithReplay(b *testing.B) {
+	nat := nf.NewNAT(nf.NATConfig{ExternalIP: 1, Capacity: 1024, TimeoutNS: 1})
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewGenerator().Generate(nat.Prog, nat.Models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGenerateSkipReplay(b *testing.B) {
+	nat := nf.NewNAT(nf.NATConfig{ExternalIP: 1, Capacity: 1024, TimeoutNS: 1})
+	g := core.NewGenerator()
+	g.SkipReplay = true
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate(nat.Prog, nat.Models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 2: conservative vs detailed hardware model on an identical
+// trace (this *is* the mechanism behind Table 3's ratios).
+func BenchmarkAblationConservativeModel(b *testing.B) {
+	m := hwmodel.NewConservative()
+	for i := 0; i < b.N; i++ {
+		m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: uint64(i%4096) * 64, Size: 8})
+	}
+}
+
+func BenchmarkAblationDetailedModel(b *testing.B) {
+	m := hwmodel.NewDetailed()
+	for i := 0; i < b.N; i++ {
+		m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: uint64(i%4096) * 64, Size: 8})
+	}
+}
+
+// Solver throughput on path-constraint shapes (the feasibility checks
+// symbolic execution issues per branch).
+func BenchmarkSolverPathFeasibility(b *testing.B) {
+	cs := []symb.Expr{
+		symb.B(symb.Eq, symb.S("pkt_12_2"), symb.C(0x0800)),
+		symb.B(symb.Ne, symb.S("pkt_23_1"), symb.C(6)),
+		symb.B(symb.Eq, symb.S("pkt_23_1"), symb.C(17)),
+		symb.B(symb.Ult, symb.S("in_port"), symb.C(2)),
+	}
+	dom := map[string]symb.Domain{
+		"pkt_12_2": symb.Word, "pkt_23_1": symb.Byte, "in_port": symb.Byte,
+	}
+	s := &symb.Solver{MaxNodes: 4000, Samples: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Feasible(cs, dom) {
+			b.Fatal("should be feasible")
+		}
+	}
+}

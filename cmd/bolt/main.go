@@ -1,0 +1,133 @@
+// Command bolt generates and prints the performance contract of one of
+// the built-in NFs — the tool-shaped form of the paper's headline
+// workflow: NF code in, human-legible contract out, no execution of the
+// NF required.
+//
+// Usage:
+//
+//	bolt -nf nat|bridge|lb|lpm|example-lpm|firewall|static-router
+//	     [-metric instructions|memaccesses|cycles]
+//	     [-level nf|full]
+//	     [-paths] [-capacity N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/core"
+	"gobolt/internal/dpdk"
+	"gobolt/internal/nf"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+func main() {
+	var (
+		nfName   = flag.String("nf", "nat", "NF to analyse: nat, bridge, lb, lpm, example-lpm, firewall, static-router")
+		metric   = flag.String("metric", "instructions", "metric: instructions, memaccesses, cycles")
+		level    = flag.String("level", "nf", "analysis level: nf (NF-only) or full (full stack)")
+		paths    = flag.Bool("paths", false, "print every path instead of coalesced classes")
+		asJSON   = flag.Bool("json", false, "emit the contract as JSON for downstream tooling")
+		capacity = flag.Int("capacity", 4096, "table capacity for stateful NFs")
+	)
+	flag.Parse()
+
+	inst, err := buildNF(*nfName, *capacity)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parseMetric(*metric)
+	if err != nil {
+		fatal(err)
+	}
+	g := core.NewGenerator()
+	if *level == "full" {
+		g.Level = dpdk.FullStack
+	}
+	ct, err := g.Generate(inst.Prog, inst.Models)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ct); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *paths {
+		fmt.Printf("Performance contract: %s (%s, metric %s)\n", ct.NF, ct.Level, m)
+		for _, p := range ct.Paths {
+			fmt.Printf("path %3d  %-60s %s\n", p.ID, p.Class(), p.Cost[m])
+			fmt.Printf("          constraints: %s\n", symb.ConjString(p.Constraints))
+		}
+		return
+	}
+	fmt.Print(ct.Render(m))
+}
+
+func buildNF(name string, capacity int) (*nf.Instance, error) {
+	const hour = uint64(3_600_000_000_000)
+	switch name {
+	case "nat":
+		return nf.NewNAT(nf.NATConfig{
+			ExternalIP: 0xC0A80001, Capacity: capacity,
+			TimeoutNS: hour, GranularityNS: 1_000_000,
+		}).Instance, nil
+	case "bridge":
+		return nf.NewBridge(nf.BridgeConfig{
+			Ports: 4, Capacity: capacity,
+			TimeoutNS: hour, GranularityNS: 1_000_000, RehashThreshold: 6,
+		}).Instance, nil
+	case "lb":
+		lb, err := nf.NewLB(nf.LBConfig{
+			Backends: 16, RingSize: 4099, BackendIPBase: 0xAC100000,
+			FlowCapacity: capacity, TimeoutNS: hour, GranularityNS: 1_000_000,
+			HeartbeatTimeoutNS: hour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return lb.Instance, nil
+	case "lpm":
+		r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
+		if err := r.Table.AddRoute(0x0A000000, 8, 1); err != nil {
+			return nil, err
+		}
+		if err := r.Table.AddRoute(0xC0A80180, 25, 2); err != nil {
+			return nil, err
+		}
+		return r.Instance, nil
+	case "example-lpm":
+		return nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4}).Instance, nil
+	case "firewall":
+		return nf.NewFirewall(nf.FirewallConfig{}).Instance, nil
+	case "static-router":
+		return nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4}).Instance, nil
+	default:
+		return nil, fmt.Errorf("unknown NF %q", name)
+	}
+}
+
+func parseMetric(s string) (perf.Metric, error) {
+	switch s {
+	case "instructions", "ic":
+		return perf.Instructions, nil
+	case "memaccesses", "ma":
+		return perf.MemAccesses, nil
+	case "cycles":
+		return perf.Cycles, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bolt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestBuildNFAllVariants(t *testing.T) {
+	for _, name := range []string{"nat", "bridge", "lb", "lpm", "example-lpm", "firewall", "static-router"} {
+		inst, err := buildNF(name, 128)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if inst.Prog == nil || len(inst.Models) == 0 && name != "example-lpm" {
+			if len(inst.Models) == 0 {
+				t.Errorf("%s: no models", name)
+			}
+		}
+	}
+	if _, err := buildNF("bogus", 1); err == nil {
+		t.Error("unknown NF must fail")
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for _, s := range []string{"instructions", "ic", "memaccesses", "ma", "cycles"} {
+		if _, err := parseMetric(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := parseMetric("watts"); err == nil {
+		t.Error("unknown metric must fail")
+	}
+}

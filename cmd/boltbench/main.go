@@ -1,0 +1,170 @@
+// Command boltbench regenerates every table and figure of the paper's
+// evaluation (§5) and prints them as text tables.
+//
+// Usage:
+//
+//	boltbench [-exp all|figure1|table3|microbench|table4|figure2|
+//	                table5|figure3|table6|table7|figure4|figure5]
+//	          [-scale default|quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gobolt/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census)")
+		scale = flag.String("scale", "default", "experiment scale: default or quick")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *scale == "quick" {
+		sc = experiments.QuickScale()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+
+	// Figure 1 and Table 3 come from the same 14 scenario runs.
+	if want("figure1") || want("table3") {
+		rows, err := experiments.Figure1(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if want("figure1") {
+			section("Figure 1 — predicted vs measured IC and MA, 14 NF/packet classes")
+			fmt.Print(experiments.RenderFigure1(rows))
+		}
+		if want("table3") {
+			section("Table 3 — execution-cycle bounds (conservative model vs detailed model)")
+			fmt.Print(experiments.RenderTable3(rows))
+		}
+	}
+
+	if want("microbench") {
+		rows, err := experiments.Microbench(20000)
+		if err != nil {
+			fatal(err)
+		}
+		section("§5.1 microbenchmarks — hardware-model validation (P1–P3)")
+		fmt.Print(experiments.RenderMicrobench(rows))
+	}
+
+	if want("table4") {
+		rows, _, err := experiments.Table4(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Table 4 — bridge performance contract (with rehash defence)")
+		fmt.Print(experiments.RenderTable4(rows))
+	}
+
+	if want("figure2") {
+		pts, err := experiments.Figure2(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Figure 2 — bucket-traversal CCDF and per-traversal prediction")
+		fmt.Print(experiments.RenderFigure2(pts))
+	}
+
+	if want("table5") || want("figure3") {
+		if want("table5") {
+			t5, _, _, _, err := experiments.ChainContracts()
+			if err != nil {
+				fatal(err)
+			}
+			section("Table 5 — firewall, static router, and chain contracts")
+			fmt.Print(experiments.RenderTable5(t5))
+		}
+		if want("figure3") {
+			rows, err := experiments.Figure3(sc)
+			if err != nil {
+				fatal(err)
+			}
+			section("Figure 3 — naive addition vs BOLT's composite contract")
+			fmt.Print(experiments.RenderFigure3(rows))
+		}
+	}
+
+	if want("table6") {
+		rows, err := experiments.Table6(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Table 6 — VigNAT performance contract")
+		fmt.Print(experiments.RenderTable6(rows))
+	}
+
+	if want("table7") || want("figure4") {
+		second, milli, err := experiments.Figure4(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if want("table7") {
+			section("Tables 7 & 8 — Distiller expired-flow reports")
+			fmt.Print(experiments.RenderExpiryHistogram("Coarse timestamp granularity (the VigNAT bug):", second.ExpiryHistogram))
+			fmt.Println()
+			fmt.Print(experiments.RenderExpiryHistogram("Fine timestamp granularity (the fix):", milli.ExpiryHistogram))
+		}
+		if want("figure4") {
+			section("Figure 4 — latency tail before and after the granularity fix")
+			fmt.Print(experiments.RenderFigure4(second, milli))
+		}
+	}
+
+	if want("census") {
+		rows, err := experiments.Census(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("§5.1 path census — paths and classes per contract")
+		fmt.Print(experiments.RenderCensus(rows))
+	}
+
+	if want("ablation") {
+		rows, err := experiments.AblationCoalescing(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("§6 ablation — the two over-estimation sources, removed one at a time")
+		fmt.Print(experiments.RenderAblation(rows))
+	}
+
+	if want("fullstack") {
+		rows, err := experiments.FullStack(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("§3.5 analysis levels — NF-only vs full software stack")
+		fmt.Print(experiments.RenderFullStack(rows))
+	}
+
+	if want("figure5") {
+		scenarios, err := experiments.AllocatorStudy(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Figures 5–7 — port-allocator choice (A vs B, low vs high churn)")
+		fmt.Print(experiments.RenderFigure5(scenarios))
+	}
+
+	fmt.Printf("\n(total %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boltbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command distiller is the BOLT Distiller (§4): it feeds a packet trace
+// through an NF's production build and reports the PCV values each
+// packet induced — the tool operators use to bind the PCVs in a
+// contract to what their traffic actually does.
+//
+// Usage:
+//
+//	distiller -nf nat|bridge|lb|lpm [-pcap trace.pcap | -gen uniform]
+//	          [-packets N] [-capacity N] [-inport P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/distill"
+	"gobolt/internal/dpdk"
+	"gobolt/internal/nf"
+	"gobolt/internal/pcap"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+func main() {
+	var (
+		nfName   = flag.String("nf", "nat", "NF to drive: nat, bridge, lb, lpm")
+		pcapPath = flag.String("pcap", "", "replay this pcap file (default: generate traffic)")
+		packets  = flag.Int("packets", 5000, "packets to generate when no pcap is given")
+		capacity = flag.Int("capacity", 4096, "table capacity")
+		inPort   = flag.Uint64("inport", 0, "arrival port for pcap packets")
+		sens     = flag.String("sensitivity", "", "group packets by this PCV and report max/mean IC per value (§4 sensitivity analysis)")
+	)
+	flag.Parse()
+
+	inst, err := buildNF(*nfName, *capacity)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkts []traffic.Packet
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recs, err := pcap.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		pkts = traffic.FromPCAP(recs, *inPort)
+	} else {
+		switch *nfName {
+		case "bridge":
+			pkts = traffic.BridgeFrames(traffic.BridgeConfig{
+				Packets: *packets, MACs: *capacity / 4, Ports: 4,
+				StartNS: 1_000, GapNS: 10_000, Seed: 1,
+			})
+		default:
+			pkts = traffic.UDPFlows(traffic.UDPFlowConfig{
+				Packets: *packets, Flows: *capacity / 4, NewFlowEvery: 16,
+				StartNS: 1_000, GapNS: 10_000, Seed: 1, InPort: *inPort,
+			})
+		}
+	}
+
+	rep, err := distill.Distill(inst, pkts, dpdk.NFOnly)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Distiller report: %s over %d packets\n\n", *nfName, len(rep.Records))
+	fmt.Printf("Distilled PCV maxima: %v\n\n", rep.MaxPCVs())
+	for _, pcv := range []struct{ name, desc string }{
+		{"e", "expired entries per packet"},
+		{"c", "hash collisions (worst op per packet)"},
+		{"t", "bucket traversals (worst op per packet)"},
+		{"l", "matched prefix length"},
+		{"n", "IP options processed"},
+		{"s", "allocator scan length"},
+		{"b", "backend fallback probes"},
+		{"o", "occupancy at rehash"},
+	} {
+		bins := rep.PCVHistogram(pcv.name)
+		if len(bins) == 1 && bins[0].Value == 0 {
+			continue // PCV never induced
+		}
+		fmt.Printf("PCV %q — %s:\n", pcv.name, pcv.desc)
+		fmt.Printf("  %-12s %s\n", "value", "probability density (%)")
+		for _, b := range bins {
+			fmt.Printf("  %-12d %8.3f\n", b.Value, b.Percent)
+		}
+		fmt.Println()
+	}
+
+	ic := rep.Series(perf.Instructions)
+	fmt.Printf("Per-packet IC: mean %.1f, p50 %d, p99 %d, max %d\n",
+		distill.Mean(ic), distill.Quantile(ic, 0.5), distill.Quantile(ic, 0.99), distill.Max(ic))
+
+	if *sens != "" {
+		fmt.Printf("\nSensitivity to PCV %q:\n", *sens)
+		fmt.Printf("  %-10s %8s %10s %10s\n", "value", "packets", "max IC", "mean IC")
+		for _, row := range rep.Sensitivity(*sens) {
+			fmt.Printf("  %-10d %8d %10d %10.1f\n", row.PCVValue, row.Count, row.MaxIC, row.MeanIC)
+		}
+	}
+}
+
+func buildNF(name string, capacity int) (*nf.Instance, error) {
+	const hour = uint64(3_600_000_000_000)
+	switch name {
+	case "nat":
+		return nf.NewNAT(nf.NATConfig{
+			ExternalIP: 0xC0A80001, Capacity: capacity,
+			TimeoutNS: 60_000_000_000, GranularityNS: 1_000_000,
+		}).Instance, nil
+	case "bridge":
+		return nf.NewBridge(nf.BridgeConfig{
+			Ports: 4, Capacity: capacity,
+			TimeoutNS: 60_000_000_000, GranularityNS: 1_000_000,
+		}).Instance, nil
+	case "lb":
+		lb, err := nf.NewLB(nf.LBConfig{
+			Backends: 16, RingSize: 4099, BackendIPBase: 0xAC100000,
+			FlowCapacity: capacity, TimeoutNS: hour, GranularityNS: 1_000_000,
+			HeartbeatTimeoutNS: hour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return lb.Instance, nil
+	case "lpm":
+		r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
+		if err := r.Table.AddRoute(0xC0A80000, 16, 1); err != nil {
+			return nil, err
+		}
+		return r.Instance, nil
+	default:
+		return nil, fmt.Errorf("unknown NF %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distiller:", err)
+	os.Exit(1)
+}

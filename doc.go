@@ -1,0 +1,15 @@
+// Package gobolt is a from-scratch Go reproduction of "Performance
+// Contracts for Software Network Functions" (Iyer et al., NSDI 2019) —
+// the BOLT system.
+//
+// The library lives under internal/: the contract construct and the
+// BOLT generator in internal/core, the symbolic-execution substrate in
+// internal/symb and internal/nfir, the pre-analysed stateful
+// data-structure library in internal/dslib, the hardware models in
+// internal/hwmodel, the evaluated NFs in internal/nf, and the paper's
+// full evaluation in internal/experiments. See README.md for the map
+// and EXPERIMENTS.md for reproduced-vs-published results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; `go run ./cmd/boltbench` prints them.
+package gobolt

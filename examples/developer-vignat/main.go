@@ -1,0 +1,52 @@
+// Developer use-case (paper §5.3): finding VigNAT's expiry-batching bug
+// with a performance contract and the Distiller.
+//
+// VigNAT occasionally spent >3µs on ~1.5% of packets. The contract
+// (Table 6) says the expired-flow PCV "e" dominates — an order of
+// magnitude above every other coefficient — so the tail must come from
+// many flows expiring at once. The Distiller confirms it: with
+// coarse-granularity timestamps, flows stamped within the same quantum
+// expire in one batch. Raising the granularity fixes the tail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gobolt/internal/experiments"
+)
+
+func main() {
+	sc := experiments.Scale{TableCapacity: 2048, Packets: 1500}
+
+	// 1. The contract points at the culprit.
+	rows, err := experiments.Table6(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("VigNAT contract (paper Table 6):")
+	fmt.Print(experiments.RenderTable6(rows))
+	fmt.Println("\nThe 359·e term dominates every class: whatever makes many")
+	fmt.Println("flows expire at once will dominate the latency tail.")
+
+	// 2. The Distiller confirms batching, and the fix removes it.
+	second, milli, err := experiments.Figure4(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderExpiryHistogram(
+		"Distiller, coarse timestamps (paper Table 7 — note the batch spike):",
+		second.ExpiryHistogram))
+	fmt.Println()
+	fmt.Print(experiments.RenderExpiryHistogram(
+		"Distiller, fine timestamps (paper Table 8 — expiry spread out):",
+		milli.ExpiryHistogram))
+
+	// 3. The latency CCDF before and after (paper Figure 4).
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure4(second, milli))
+	fmt.Printf("\nTail shrink: p99.9 %d → %d cycles (median %d → %d — the paper's\n",
+		second.Tail, milli.Tail, second.Median, milli.Median)
+	fmt.Println("observation that the median rises slightly while the tail disappears).")
+}

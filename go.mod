@@ -1,0 +1,3 @@
+module gobolt
+
+go 1.22

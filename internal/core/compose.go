@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+// Compose builds the performance contract of the chain a→b (§3.4): every
+// packet is processed by a; packets a forwards continue into b. Path
+// pairs are joined by substituting a's output-packet expressions into
+// b's input-packet symbols, conjoining the constraint sets, and keeping
+// only pairs the solver cannot rule out. a's drop paths appear unchanged
+// (the packet never reaches b). b's symbols and PCVs are namespaced with
+// "b." so the two NFs' variables stay distinguishable, as in the
+// composite contracts of Table 5c.
+//
+// The composition needs b's symbolic paths (not just its contract), so
+// it takes the second NF's program and models and re-explores it.
+func Compose(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, error) {
+	ct, _, err := ComposeWithPaths(g, aCt, aPaths, bProg, bModels)
+	return ct, err
+}
+
+// joinPair attempts to join a forwarding path of a with a path of b.
+func joinPair(pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, feas *symb.Solver) (*PathContract, bool) {
+	// Build b's symbol substitution: packet fields written by a map to
+	// a's output expressions; unwritten fields stay shared with a's
+	// input; everything else is namespaced.
+	subst := make(map[string]symb.Expr)
+	rename := func(s string) string { return "b." + s }
+	bSyms := make(map[string]bool)
+	for _, s := range symb.Symbols(pb.Constraints...) {
+		bSyms[s] = true
+	}
+	for s := range pb.Domains {
+		bSyms[s] = true
+	}
+	for s := range bSyms {
+		if off, size, isField := nfir.ParseFieldSym(s); isField {
+			if w, written := rawA.PktWrites[off]; written {
+				if w.Size == size {
+					subst[s] = w.Val
+				} else {
+					// Overlapping mixed-size rewrite: sound fallback is
+					// an unconstrained fresh symbol.
+					subst[s] = symb.S(rename(s))
+				}
+			}
+			// Unwritten field: shared input symbol, no substitution.
+			continue
+		}
+		if s == nfir.SymNow || s == nfir.SymPktLen {
+			continue // same packet, same instant: shared
+		}
+		subst[s] = symb.S(rename(s))
+	}
+
+	constraints := append([]symb.Expr(nil), pa.Constraints...)
+	for _, c := range pb.Constraints {
+		constraints = append(constraints, symb.Substitute(c, subst))
+	}
+	domains := make(map[string]symb.Domain, len(pa.Domains)+len(pb.Domains))
+	for s, d := range pa.Domains {
+		domains[s] = d
+	}
+	for s, d := range pb.Domains {
+		if r, ok := subst[s]; ok {
+			if sym, isSym := r.(symb.Sym); isSym {
+				domains[sym.Name] = d
+			}
+			// Substituted to a non-symbol expression: the domain is
+			// implied by a's constraints.
+			continue
+		}
+		if old, ok := domains[s]; ok {
+			// Shared symbol: intersect conservatively.
+			if d.Lo > old.Lo {
+				old.Lo = d.Lo
+			}
+			if d.Hi < old.Hi {
+				old.Hi = d.Hi
+			}
+			domains[s] = old
+		} else {
+			domains[s] = d
+		}
+	}
+
+	if !feas.Feasible(constraints, domains) {
+		return nil, false
+	}
+
+	cost := make(map[perf.Metric]expr.Poly, perf.NumMetrics)
+	ranges := make(map[string]expr.Range, len(pa.PCVRanges)+len(pb.PCVRanges))
+	for v, r := range pa.PCVRanges {
+		ranges[v] = r
+	}
+	for v, r := range pb.PCVRanges {
+		ranges["b."+v] = r
+	}
+	for _, m := range perf.Metrics {
+		cost[m] = pa.Cost[m].Add(pb.Cost[m].RenameVars(func(v string) string { return "b." + v }))
+	}
+
+	return &PathContract{
+		Action:      pb.Action,
+		Constraints: constraints,
+		Domains:     domains,
+		Events:      joinEvents(pa.Events, pb.Events),
+		Cost:        cost,
+		PCVRanges:   ranges,
+	}, true
+}
+
+func prefixEvents(prefix, events string) string {
+	if events == "" {
+		return ""
+	}
+	return prefix + events
+}
+
+// joinEvents always carries the " | " stage separator so joined pairs
+// are distinguishable from a-only paths even when a stage made no
+// stateful calls.
+func joinEvents(a, b string) string {
+	return "a." + a + " | b." + b
+}
+
+// ComposeWithPaths is Compose plus synthetic composite paths aligned
+// with the returned contract, so the result can itself be composed with
+// a further NF — the §3.4 extension to longer chains, which "pieces
+// together compatible paths one at a time in sequence".
+func ComposeWithPaths(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
+	g.defaults()
+	bEngine := &nfir.Engine{Models: bModels, MaxPaths: g.MaxPaths}
+	bPaths, err := bEngine.Explore(bProg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: exploring %s for composition: %w", bProg.Name, err)
+	}
+	bCt, err := g.Generate(bProg, bModels)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(aCt.Paths) != len(aPaths) {
+		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", aCt.NF)
+	}
+
+	out := &Contract{NF: aCt.NF + "+" + bProg.Name, Level: aCt.Level}
+	var outPaths []*nfir.Path
+	feas := &symb.Solver{MaxNodes: 20000, Samples: 24}
+
+	for i, pa := range aCt.Paths {
+		rawA := aPaths[i]
+		if pa.Action != nfir.ActionForward {
+			cp := *pa
+			cp.ID = len(out.Paths)
+			cp.Events = prefixEvents("a.", pa.Events)
+			out.Paths = append(out.Paths, &cp)
+			outPaths = append(outPaths, rawA)
+			continue
+		}
+		for j, pb := range bCt.Paths {
+			joined, ok := joinPair(pa, rawA, pb, bPaths[j], feas)
+			if !ok {
+				continue
+			}
+			joined.ID = len(out.Paths)
+			out.Paths = append(out.Paths, joined)
+			outPaths = append(outPaths, joinRawPaths(rawA, bPaths[j], joined))
+		}
+	}
+	return out, outPaths, nil
+}
+
+// joinRawPaths synthesises the composite symbolic path: the chain's
+// output packet is b's writes (already in a-namespace terms after
+// substitution) over a's writes over the original input.
+func joinRawPaths(rawA, rawB *nfir.Path, joined *PathContract) *nfir.Path {
+	writes := make(map[uint64]nfir.PktWrite, len(rawA.PktWrites)+len(rawB.PktWrites))
+	for off, w := range rawA.PktWrites {
+		writes[off] = w
+	}
+	// b's write values may reference b's namespaced symbols; renaming
+	// was applied to constraints during joinPair. For the write
+	// expressions we conservatively rename b-local symbols the same way.
+	for off, w := range rawB.PktWrites {
+		writes[off] = nfir.PktWrite{
+			Size: w.Size,
+			Val:  symb.RenameSymbols(w.Val, func(s string) string { return renameChained(s) }),
+		}
+	}
+	return &nfir.Path{
+		ID:          joined.ID,
+		Constraints: joined.Constraints,
+		Domains:     joined.Domains,
+		Action:      joined.Action,
+		PktWrites:   writes,
+	}
+}
+
+// renameChained namespaces b-local symbols while leaving shared input
+// symbols (packet fields, now, pkt_len, in_port is b-local) untouched.
+func renameChained(s string) string {
+	if _, _, ok := nfir.ParseFieldSym(s); ok {
+		return s
+	}
+	if s == nfir.SymNow || s == nfir.SymPktLen {
+		return s
+	}
+	return "b." + s
+}
+
+// ComposeMany folds a chain of NFs left to right: nfs[0] → nfs[1] → …
+// Every stage's drop paths terminate the chain there; forwarded packets
+// continue. The PCVs and model symbols of stage k are namespaced by the
+// fold ("b." per level, so stage 2's PCVs appear as "b.b.x" — legible
+// enough for the short chains DAG topologies use in practice).
+type ChainStage struct {
+	Prog   *nfir.Program
+	Models map[string]nfir.Model
+}
+
+// ComposeMany composes two or more stages into one contract.
+func ComposeMany(g *Generator, stages []ChainStage) (*Contract, error) {
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("core: a chain needs at least two stages")
+	}
+	g.defaults()
+	ct, paths, err := g.GenerateWithPaths(stages[0].Prog, stages[0].Models)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stages[1:] {
+		ct, paths, err = ComposeWithPaths(g, ct, paths, st.Prog, st.Models)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ct, nil
+}
+
+// NaiveAdd is the baseline composition Figure 3 compares against:
+// simply adding the two NFs' independent worst-case bounds, ignoring
+// inter-NF dependencies.
+func NaiveAdd(a, b *Contract, metric perf.Metric, pcvs map[string]uint64) uint64 {
+	av, _ := a.Bound(metric, nil, pcvs)
+	bv, _ := b.Bound(metric, nil, pcvs)
+	return av + bv
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/nfir"
+	"gobolt/internal/symb"
+)
+
+// ComposeDAG composes an NF with per-output-port successors — the §3.4
+// generalisation beyond linear chains: "this process further generalises
+// to more complex networks, so long as the topology forms a directed
+// acyclic graph". A forwarding path of the root NF whose output port can
+// equal p continues into successors[p] (with the constraint Port == p
+// added to the pair); ports without a successor are egress links and the
+// path appears unchanged. Symbolic output ports fan out to every
+// feasible successor, each pairing carrying its own port constraint.
+func ComposeDAG(g *Generator, root ChainStage, successors map[uint64]ChainStage) (*Contract, error) {
+	g.defaults()
+	rootCt, rootPaths, err := g.GenerateWithPaths(root.Prog, root.Models)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-generate each successor's contract and raw paths once.
+	type succ struct {
+		port  uint64
+		ct    *Contract
+		paths []*nfir.Path
+	}
+	ports := make([]uint64, 0, len(successors))
+	for p := range successors {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	var succs []succ
+	for _, p := range ports {
+		st := successors[p]
+		ct, paths, err := g.GenerateWithPaths(st.Prog, st.Models)
+		if err != nil {
+			return nil, fmt.Errorf("core: successor on port %d: %w", p, err)
+		}
+		succs = append(succs, succ{port: p, ct: ct, paths: paths})
+	}
+
+	out := &Contract{NF: rootCt.NF + "+dag", Level: rootCt.Level}
+	feas := &symb.Solver{MaxNodes: 20000, Samples: 24}
+
+	for i, pa := range rootCt.Paths {
+		rawA := rootPaths[i]
+		if pa.Action != nfir.ActionForward || rawA.Port == nil {
+			cp := *pa
+			cp.ID = len(out.Paths)
+			cp.Events = prefixEvents("a.", pa.Events)
+			out.Paths = append(out.Paths, &cp)
+			continue
+		}
+
+		// Egress: the output port matches no successor.
+		egress := append([]symb.Expr(nil), pa.Constraints...)
+		for _, s := range succs {
+			egress = append(egress, symb.B(symb.Ne, rawA.Port, symb.C(s.port)))
+		}
+		if feas.Feasible(egress, pa.Domains) {
+			cp := *pa
+			cp.ID = len(out.Paths)
+			cp.Constraints = egress
+			cp.Events = prefixEvents("a.", pa.Events) + " | egress"
+			out.Paths = append(out.Paths, &cp)
+		}
+
+		for _, s := range succs {
+			// Narrow a's path to this output port.
+			narrowed := *pa
+			narrowed.Constraints = append(append([]symb.Expr(nil), pa.Constraints...),
+				symb.B(symb.Eq, rawA.Port, symb.C(s.port)))
+			if !feas.Feasible(narrowed.Constraints, narrowed.Domains) {
+				continue
+			}
+			for j, pb := range s.ct.Paths {
+				joined, ok := joinPair(&narrowed, rawA, pb, s.paths[j], feas)
+				if !ok {
+					continue
+				}
+				joined.ID = len(out.Paths)
+				joined.Events = fmt.Sprintf("%s @port%d", joined.Events, s.port)
+				out.Paths = append(out.Paths, joined)
+			}
+		}
+	}
+	if len(out.Paths) == 0 {
+		return nil, fmt.Errorf("core: DAG composition produced no feasible paths")
+	}
+	return out, nil
+}

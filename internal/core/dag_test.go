@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// A DAG: an LPM router steers port 1 into a firewall and port 2 into a
+// static router; other ports leave the measured topology.
+func TestComposeDAG(t *testing.T) {
+	root := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 8, DefaultPort: 7})
+	if err := root.Table.AddRoute(0x0A000000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Table.AddRoute(0x14000000, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	fw := nf.NewFirewall(nf.FirewallConfig{
+		Rules: []dslib.Rule{{SrcMask: 0, SrcVal: 0, ProtoVal: 17, Action: 1}},
+	})
+	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+
+	g := NewGenerator()
+	dag, err := ComposeDAG(g,
+		ChainStage{Prog: root.Prog, Models: root.Models},
+		map[uint64]ChainStage{
+			1: {Prog: fw.Prog, Models: fw.Models},
+			2: {Prog: sr.Prog, Models: sr.Models},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Paths) == 0 {
+		t.Fatal("empty DAG contract")
+	}
+
+	var sawPort1, sawPort2, sawEgress bool
+	for _, p := range dag.Paths {
+		if strings.Contains(p.Events, "@port1") {
+			sawPort1 = true
+			if !strings.Contains(p.Events, "rules.match") && p.Action == nfir.ActionForward {
+				t.Errorf("port-1 forwarding path without the firewall: %s", p.Class())
+			}
+		}
+		if strings.Contains(p.Events, "@port2") {
+			sawPort2 = true
+		}
+		if strings.Contains(p.Events, "egress") {
+			sawEgress = true
+		}
+	}
+	if !sawPort1 || !sawPort2 || !sawEgress {
+		t.Errorf("fan-out incomplete: port1=%v port2=%v egress=%v", sawPort1, sawPort2, sawEgress)
+	}
+
+	// The root router strips IP options before the DAG (IHL must be 5 to
+	// pass its own check), so the static router's options path must not
+	// survive on the port-2 branch either.
+	for _, p := range dag.Paths {
+		if strings.Contains(p.Events, "optproc.process:options") {
+			t.Errorf("impossible options path in DAG: %s", p.Class())
+		}
+	}
+
+	// The DAG bound dominates the root alone and stays below naive
+	// addition of root + the worst successor.
+	rootCt, err := g.Generate(root.Prog, root.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srCt, err := g.Generate(sr.Prog, sr.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagB, _ := dag.Bound(perf.Instructions, nil, nil)
+	rootB, _ := rootCt.Bound(perf.Instructions, nil, nil)
+	srB, _ := srCt.Bound(perf.Instructions, nil, nil)
+	if dagB <= rootB {
+		t.Errorf("DAG bound %d should exceed root alone %d", dagB, rootB)
+	}
+	if dagB >= rootB+srB {
+		t.Errorf("DAG bound %d should beat naive root+router %d", dagB, rootB+srB)
+	}
+}
+
+func TestComposeDAGNoSuccessors(t *testing.T) {
+	// With no successors every forwarding path is egress: the DAG equals
+	// the root contract in bound.
+	root := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	g := NewGenerator()
+	dag, err := ComposeDAG(g, ChainStage{Prog: root.Prog, Models: root.Models}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootCt, err := g.Generate(root.Prog, root.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dag.Bound(perf.Instructions, nil, nil)
+	b, _ := rootCt.Bound(perf.Instructions, nil, nil)
+	if a != b {
+		t.Errorf("empty DAG bound %d != root %d", a, b)
+	}
+}

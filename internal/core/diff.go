@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/perf"
+)
+
+// DiffEntry reports how one input class's performance expression changed
+// between two contracts of the same NF — the regression-scrutiny
+// workflow §1 motivates: contracts make performance reviewable like an
+// API, so a code change that silently fattens a class is caught before
+// deployment.
+type DiffEntry struct {
+	Class string
+	// Kind is "added", "removed", or "changed".
+	Kind string
+	// Old and New are the class's expressions (zero polynomials when the
+	// class is absent on that side).
+	Old, New expr.Poly
+	// Verdict summarises the change over the class's PCV ranges:
+	// "regression" (new > old somewhere), "improvement" (new < old
+	// somewhere, never above), "equal", or "mixed".
+	Verdict string
+}
+
+// Diff compares two contracts class-by-class for one metric. Class
+// labels (action + stateful outcomes) are the join key, so renames of
+// data structures appear as added+removed pairs.
+func Diff(old, new *Contract, metric perf.Metric) []DiffEntry {
+	oldClasses := classMap(old)
+	newClasses := classMap(new)
+	labels := map[string]bool{}
+	for l := range oldClasses {
+		labels[l] = true
+	}
+	for l := range newClasses {
+		labels[l] = true
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+
+	var out []DiffEntry
+	for _, label := range sorted {
+		o, hasOld := oldClasses[label]
+		n, hasNew := newClasses[label]
+		switch {
+		case !hasOld:
+			out = append(out, DiffEntry{
+				Class: label, Kind: "added", New: n.Expr[metric], Verdict: "regression",
+			})
+		case !hasNew:
+			out = append(out, DiffEntry{
+				Class: label, Kind: "removed", Old: o.Expr[metric], Verdict: "improvement",
+			})
+		default:
+			oe, ne := o.Expr[metric], n.Expr[metric]
+			if oe.String() == ne.String() {
+				continue
+			}
+			ranges := mergeRanges(o.PCVRanges, n.PCVRanges)
+			verdict := "mixed"
+			switch expr.CompareAssuming(ne, oe, ranges) {
+			case expr.AlwaysLeq:
+				verdict = "improvement"
+			case expr.AlwaysGeq:
+				verdict = "regression"
+			case expr.AlwaysEq:
+				verdict = "equal"
+			}
+			out = append(out, DiffEntry{
+				Class: label, Kind: "changed", Old: oe, New: ne, Verdict: verdict,
+			})
+		}
+	}
+	return out
+}
+
+// HasRegression reports whether any class got strictly worse.
+func HasRegression(entries []DiffEntry) bool {
+	for _, e := range entries {
+		if e.Verdict == "regression" || e.Verdict == "mixed" {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderDiff prints a diff legibly.
+func RenderDiff(entries []DiffEntry, metric perf.Metric) string {
+	if len(entries) == 0 {
+		return "no contract changes\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "contract diff (%s):\n", metric)
+	for _, e := range entries {
+		switch e.Kind {
+		case "added":
+			fmt.Fprintf(&b, "  + %-55s %s  [%s]\n", e.Class, e.New, e.Verdict)
+		case "removed":
+			fmt.Fprintf(&b, "  - %-55s %s  [%s]\n", e.Class, e.Old, e.Verdict)
+		default:
+			fmt.Fprintf(&b, "  ~ %-55s %s → %s  [%s]\n", e.Class, e.Old, e.New, e.Verdict)
+		}
+	}
+	return b.String()
+}
+
+func classMap(ct *Contract) map[string]ClassSummary {
+	out := map[string]ClassSummary{}
+	for _, c := range ct.Classes() {
+		out[c.Class] = c
+	}
+	return out
+}
+
+func mergeRanges(a, b map[string]expr.Range) map[string]expr.Range {
+	out := map[string]expr.Range{}
+	for v, r := range a {
+		out[v] = r
+	}
+	for v, r := range b {
+		if old, ok := out[v]; ok {
+			if r.Lo < old.Lo {
+				old.Lo = r.Lo
+			}
+			if r.Hi > old.Hi {
+				old.Hi = r.Hi
+			}
+			out[v] = old
+		} else {
+			out[v] = r
+		}
+	}
+	return out
+}

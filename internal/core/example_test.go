@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// The §2.1 workflow in six lines: build an NF, generate its contract,
+// query a class.
+func ExampleGenerator_Generate() {
+	router := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	ct, err := (&core.Generator{}).Generate(router.Prog, router.Models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ct.Render(perf.Instructions))
+	// Output:
+	// Performance contract: example-lpm (nf-only, metric IC, 2 paths)
+	//   drop                                                       2
+	//   forward [lpm.get:ok]                                       4·l + 5
+}
+
+// Binding PCVs turns a contract into a concrete prediction — here the
+// paper's own §4 numbers: 101 vs 133 instructions for 24- vs 32-bit
+// matched prefixes.
+func ExampleContract_Bound() {
+	router := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	ct, err := (&core.Generator{}).Generate(router.Prog, router.Models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid := core.ClassFilter(nfir.ActionForward)
+	at24, _ := ct.Bound(perf.Instructions, valid, map[string]uint64{"l": 24})
+	at32, _ := ct.Bound(perf.Instructions, valid, map[string]uint64{"l": 32})
+	fmt.Println(at24, at32)
+	// Output: 101 133
+}
+
+// Provisioning from a contract: how much can a 3.3 GHz core guarantee
+// for 24-bit matches at 64-byte packets?
+func ExampleContract_Provision() {
+	router := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	ct, err := (&core.Generator{}).Generate(router.Prog, router.Models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := ct.Provision(3.3e9, 64, core.ClassFilter(nfir.ActionForward), map[string]uint64{"l": 24})
+	fmt.Printf("%.2f Mpps guaranteed\n", p.PacketsPerSecond/1e6)
+	// Output: 0.62 Mpps guaranteed
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"gobolt/internal/dpdk"
+	"gobolt/internal/expr"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+// Generator is BOLT (Algorithm 2): it symbolically executes the NF's
+// stateless code linked against the data-structure models, solves each
+// path's constraints for a concrete witness, replays that witness to
+// validate the path's stateless cost, and assembles the contract by
+// combining the stateless cost with the data-structure contracts
+// selected by each path's outcomes.
+type Generator struct {
+	// Level selects NF-only or full-stack analysis (§3.5).
+	Level dpdk.AnalysisLevel
+	// CallPadIC/CallPadMA model the analysis-vs-production build gap:
+	// the analysis links against models with link-time optimisation
+	// disabled, so BOLT pads each stateful call conservatively (§3.5,
+	// "Instruction Replay"). Default: 1 IC (call linkage the production
+	// build inlines away); the build difference does not add accesses.
+	CallPadIC, CallPadMA uint64
+	// MaxPaths bounds exploration (0 = nfir default).
+	MaxPaths int
+	// Solver produces path witnesses; nil gets a default.
+	Solver *symb.Solver
+	// SkipReplay disables the witness-replay validation step (it is on
+	// by default because it is BOLT's own consistency check).
+	SkipReplay bool
+}
+
+// NewGenerator returns a Generator with the default analysis-build
+// padding (1 IC per stateful call). A zero-valued Generator pads
+// nothing, which makes the analysis and production builds coincide —
+// useful for the stylised §2.1 example, whose published Table 1 assumes
+// exactly that.
+func NewGenerator() *Generator {
+	return &Generator{CallPadIC: 1}
+}
+
+func (g *Generator) defaults() {
+	if g.Solver == nil {
+		g.Solver = &symb.Solver{}
+	}
+}
+
+// Generate computes the performance contract of prog against the given
+// data-structure models.
+func (g *Generator) Generate(prog *nfir.Program, models map[string]nfir.Model) (*Contract, error) {
+	ct, _, err := g.GenerateWithPaths(prog, models)
+	return ct, err
+}
+
+// GenerateWithPaths also returns the underlying symbolic paths, aligned
+// with Contract.Paths; chain composition (§3.4) needs them to connect
+// output-packet expressions across NFs.
+func (g *Generator) GenerateWithPaths(prog *nfir.Program, models map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
+	g.defaults()
+	dsNames := make(map[string]bool, len(models))
+	for n := range models {
+		dsNames[n] = true
+	}
+	if errs := prog.Validate(dsNames); len(errs) > 0 {
+		return nil, nil, fmt.Errorf("core: %s fails validation: %v", prog.Name, errs[0])
+	}
+	engine := &nfir.Engine{Models: models, MaxPaths: g.MaxPaths}
+	paths, err := engine.Explore(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: symbolic execution of %s: %w", prog.Name, err)
+	}
+	ct := &Contract{NF: prog.Name, Level: g.Level.String()}
+	for _, pa := range paths {
+		pc, err := g.analysePath(prog, pa)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s path %d: %w", prog.Name, pa.ID, err)
+		}
+		pc.ID = len(ct.Paths)
+		ct.Paths = append(ct.Paths, pc)
+	}
+	return ct, paths, nil
+}
+
+func (g *Generator) analysePath(prog *nfir.Program, pa *nfir.Path) (*PathContract, error) {
+	cost := map[perf.Metric]expr.Poly{
+		perf.Instructions: expr.Const(pa.StatelessIC),
+		perf.MemAccesses:  expr.Const(pa.StatelessMA),
+		perf.Cycles:       expr.Const(g.statelessCycles(pa)),
+	}
+	pcvs := make(map[string]expr.Range, len(pa.PCVRanges))
+	for v, r := range pa.PCVRanges {
+		pcvs[v] = r
+	}
+	// Data-structure contracts, selected by the path's outcomes
+	// (Algorithm 2 line 11), plus the per-call analysis-build padding.
+	padCycles := uint64(float64(g.CallPadIC)*hwmodel.WorstALU) +
+		uint64(float64(g.CallPadMA)*hwmodel.CyclesPerMemDRAM)
+	for _, ev := range pa.Events {
+		for m, p := range ev.Outcome.Cost {
+			cost[m] = cost[m].Add(p)
+		}
+		cost[perf.Instructions] = cost[perf.Instructions].Add(expr.Const(g.CallPadIC))
+		cost[perf.MemAccesses] = cost[perf.MemAccesses].Add(expr.Const(g.CallPadMA))
+		cost[perf.Cycles] = cost[perf.Cycles].Add(expr.Const(padCycles))
+	}
+	// Framework costs at full-stack level: RX on every path, TX or drop
+	// by terminal action (§3.5, "Including DPDK and NIC driver code").
+	if g.Level == dpdk.FullStack {
+		for m, p := range dpdk.RxCost() {
+			cost[m] = cost[m].Add(p)
+		}
+		tail := dpdk.DropCost()
+		if pa.Action == nfir.ActionForward {
+			tail = dpdk.TxCost()
+		}
+		for m, p := range tail {
+			cost[m] = cost[m].Add(p)
+		}
+	}
+
+	pc := &PathContract{
+		Action:      pa.Action,
+		Constraints: pa.Constraints,
+		Domains:     pa.Domains,
+		Events:      pa.EventSummary(),
+		Cost:        cost,
+		PCVRanges:   pcvs,
+	}
+
+	// Algorithm 2 line 6: concrete inputs for the path.
+	witness, res := g.Solver.Solve(pa.Constraints, pa.Domains)
+	if res == symb.Sat {
+		pc.Witness = witness
+		if !g.SkipReplay {
+			if err := g.replay(prog, pa, witness); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pc, nil
+}
+
+// statelessCycles runs the path's stateless instruction mix through the
+// conservative hardware model: worst-case compute costs, DRAM for every
+// access not provably L1D-resident along this path.
+func (g *Generator) statelessCycles(pa *nfir.Path) uint64 {
+	model := hwmodel.NewConservative()
+	for class, n := range pa.Ops {
+		if class == perf.OpLoad || class == perf.OpStore {
+			continue
+		}
+		model.Op(perf.Access{Class: class, Count: n})
+	}
+	for _, acc := range pa.Accesses {
+		if !acc.Known {
+			model.ChargeUnknown()
+			continue
+		}
+		class := perf.OpLoad
+		if acc.Store {
+			class = perf.OpStore
+		}
+		model.Op(perf.Access{Class: class, Count: 1, Addr: acc.Addr, Size: acc.Size})
+	}
+	return model.Cycles()
+}
+
+// replay is Algorithm 2 line 7: execute the path's witness through the
+// model-linked build and check that the trace matches the symbolic
+// analysis — action, stateless instruction count, and memory accesses.
+func (g *Generator) replay(prog *nfir.Program, pa *nfir.Path, witness map[string]uint64) error {
+	env := nfir.NewEnv()
+	env.Meter = perf.NewMeter(nil)
+	pkt := make([]byte, nfir.MaxPacket)
+	for name, v := range witness {
+		if off, size, ok := nfir.ParseFieldSym(name); ok {
+			writeBE(pkt[off:], size, v)
+		}
+	}
+	pktLen := witness[nfir.SymPktLen]
+	if pktLen == 0 || pktLen > nfir.MaxPacket {
+		pktLen = nfir.MaxPacket
+	}
+	env.ResetPacket(pkt[:pktLen], witness[nfir.SymInPort], witness[nfir.SymNow])
+	stub := &replayDS{events: pa.Events, witness: witness}
+	for ds := range dsNames(pa) {
+		env.DS[ds] = stub
+	}
+	act, err := env.Run(prog)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if act.Kind != pa.Action {
+		return fmt.Errorf("replay diverged: action %v, symbolic %v", act.Kind, pa.Action)
+	}
+	if env.Meter.Instructions() != pa.StatelessIC || env.Meter.MemAccesses() != pa.StatelessMA {
+		return fmt.Errorf("replay cost mismatch: measured %d IC/%d MA, symbolic %d/%d",
+			env.Meter.Instructions(), env.Meter.MemAccesses(), pa.StatelessIC, pa.StatelessMA)
+	}
+	return nil
+}
+
+func dsNames(pa *nfir.Path) map[string]bool {
+	names := make(map[string]bool)
+	for _, ev := range pa.Events {
+		names[ev.DS] = true
+	}
+	return names
+}
+
+// replayDS replays the recorded model outcomes: each call returns the
+// witness's values for the outcome's result symbols and charges nothing
+// (the cost comes from the data-structure contract).
+type replayDS struct {
+	events  []nfir.CallEvent
+	witness map[string]uint64
+	idx     int
+}
+
+// Invoke implements nfir.ConcreteDS.
+func (r *replayDS) Invoke(method string, args []uint64, env *nfir.Env) ([]uint64, error) {
+	if r.idx >= len(r.events) {
+		return nil, fmt.Errorf("replay: unexpected call %s (only %d events)", method, len(r.events))
+	}
+	ev := r.events[r.idx]
+	r.idx++
+	if ev.Method != method {
+		return nil, fmt.Errorf("replay: call %s, recorded %s.%s", method, ev.DS, ev.Method)
+	}
+	out := make([]uint64, len(ev.Outcome.Results))
+	for i, res := range ev.Outcome.Results {
+		out[i] = res.Eval(r.witness)
+	}
+	return out, nil
+}
+
+func writeBE(b []byte, size int, v uint64) {
+	for i := size - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// WCET returns the absolute worst-case bound for a metric over the whole
+// input space — the classic worst-case-execution-time query the paper
+// notes BOLT subsumes (§7: "though not primarily designed as a WCET
+// analysis tool, BOLT can also be used to deduce worst-case bounds").
+// Every PCV is taken at its range maximum.
+func (ct *Contract) WCET(metric perf.Metric) (uint64, *PathContract) {
+	return ct.Bound(metric, nil, nil)
+}
+
+// Provisioning is the operator-facing answer the paper motivates in §1:
+// given a contract, a clock, and workload assumptions, how much traffic
+// can one core be trusted to sustain?
+type Provisioning struct {
+	// CyclesPerPacket is the contract's conservative per-packet bound.
+	CyclesPerPacket uint64
+	// PacketsPerSecond the clock sustains under that bound.
+	PacketsPerSecond float64
+	// Gbps at the given wire packet size (including 20B of Ethernet
+	// preamble+IPG, as line-rate calculations do).
+	Gbps float64
+}
+
+// Provision computes the guaranteed sustainable rate for the packet
+// class selected by filter under the given PCV assumptions.
+func (ct *Contract) Provision(clockHz float64, wireBytes int, filter func(*PathContract) bool, pcvs map[string]uint64) Provisioning {
+	cycles, _ := ct.Bound(perf.Cycles, filter, pcvs)
+	if cycles == 0 {
+		return Provisioning{}
+	}
+	pps := clockHz / float64(cycles)
+	bitsPerPkt := float64(wireBytes+20) * 8
+	return Provisioning{
+		CyclesPerPacket:  cycles,
+		PacketsPerSecond: pps,
+		Gbps:             pps * bitsPerPkt / 1e9,
+	}
+}
+
+// exportedContract is the JSON shape of a contract: the coalesced
+// classes with their expressions per metric, plus per-path detail. It
+// gives downstream tooling (dashboards, provisioning scripts) the same
+// information the rendered tables carry.
+type exportedContract struct {
+	NF      string          `json:"nf"`
+	Level   string          `json:"level"`
+	Classes []exportedClass `json:"classes"`
+	Paths   []exportedPath  `json:"paths"`
+}
+
+type exportedClass struct {
+	Class        string               `json:"class"`
+	Paths        int                  `json:"paths"`
+	Instructions string               `json:"instructions"`
+	MemAccesses  string               `json:"mem_accesses"`
+	Cycles       string               `json:"cycles"`
+	PCVRanges    map[string][2]uint64 `json:"pcv_ranges,omitempty"`
+}
+
+type exportedPath struct {
+	ID           int    `json:"id"`
+	Class        string `json:"class"`
+	Action       string `json:"action"`
+	Instructions string `json:"instructions"`
+	MemAccesses  string `json:"mem_accesses"`
+	Cycles       string `json:"cycles"`
+	HasWitness   bool   `json:"has_witness"`
+}
+
+// MarshalJSON implements json.Marshaler for Contract.
+func (ct *Contract) MarshalJSON() ([]byte, error) {
+	out := exportedContract{NF: ct.NF, Level: ct.Level}
+	for _, cls := range ct.Classes() {
+		ec := exportedClass{
+			Class:        cls.Class,
+			Paths:        cls.Count,
+			Instructions: cls.Expr[perf.Instructions].String(),
+			MemAccesses:  cls.Expr[perf.MemAccesses].String(),
+			Cycles:       cls.Expr[perf.Cycles].String(),
+		}
+		if len(cls.PCVRanges) > 0 {
+			ec.PCVRanges = make(map[string][2]uint64, len(cls.PCVRanges))
+			for v, r := range cls.PCVRanges {
+				ec.PCVRanges[v] = [2]uint64{r.Lo, r.Hi}
+			}
+		}
+		out.Classes = append(out.Classes, ec)
+	}
+	for _, p := range ct.Paths {
+		out.Paths = append(out.Paths, exportedPath{
+			ID:           p.ID,
+			Class:        p.Class(),
+			Action:       p.Action.String(),
+			Instructions: p.Cost[perf.Instructions].String(),
+			MemAccesses:  p.Cost[perf.MemAccesses].String(),
+			Cycles:       p.Cost[perf.Cycles].String(),
+			HasWitness:   p.Witness != nil,
+		})
+	}
+	sort.Slice(out.Paths, func(i, j int) bool { return out.Paths[i].ID < out.Paths[j].ID })
+	return json.Marshal(out)
+}
+
+// ForwardingClasses lists the class labels of forwarding paths, a common
+// starting point for operator queries.
+func (ct *Contract) ForwardingClasses() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range ct.Paths {
+		if p.Action == nfir.ActionForward && !seen[p.Class()] {
+			seen[p.Class()] = true
+			out = append(out, p.Class())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+func TestWCETIsGlobalWorst(t *testing.T) {
+	br := buildBridge()
+	ct, err := NewGenerator().Generate(br.Prog, br.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcet, path := ct.WCET(perf.Instructions)
+	if path == nil || wcet == 0 {
+		t.Fatal("empty WCET")
+	}
+	// WCET dominates any constrained query.
+	for _, pcvs := range []map[string]uint64{
+		{"e": 0, "c": 0, "t": 0},
+		{"e": 10, "c": 2, "t": 5},
+	} {
+		b, _ := ct.Bound(perf.Instructions, nil, pcvs)
+		if b > wcet {
+			t.Errorf("constrained bound %d exceeds WCET %d", b, wcet)
+		}
+	}
+}
+
+func TestProvision(t *testing.T) {
+	ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	ct, err := (&Generator{}).Generate(ex.Prog, ex.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3.3 GHz core (the paper's testbed clock), 64-byte packets.
+	p := ct.Provision(3.3e9, 64, ClassFilter(nfir.ActionForward), map[string]uint64{"l": 24})
+	if p.CyclesPerPacket == 0 {
+		t.Fatal("no cycle bound")
+	}
+	if p.PacketsPerSecond <= 0 || p.Gbps <= 0 {
+		t.Fatalf("provisioning = %+v", p)
+	}
+	// Consistency: pps × cycles = clock.
+	if got := p.PacketsPerSecond * float64(p.CyclesPerPacket); got < 3.29e9 || got > 3.31e9 {
+		t.Errorf("pps × cycles = %g, want ≈3.3e9", got)
+	}
+	// Longer matched prefixes → lower guaranteed rate.
+	p32 := ct.Provision(3.3e9, 64, ClassFilter(nfir.ActionForward), map[string]uint64{"l": 32})
+	if p32.PacketsPerSecond >= p.PacketsPerSecond {
+		t.Error("worse class should provision lower")
+	}
+	// Degenerate inputs.
+	if got := (&Contract{}).Provision(3.3e9, 64, nil, nil); got.CyclesPerPacket != 0 {
+		t.Errorf("empty contract provisioning = %+v", got)
+	}
+}
+
+func TestContractJSONExport(t *testing.T) {
+	ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	ct, err := (&Generator{}).Generate(ex.Prog, ex.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		NF      string `json:"nf"`
+		Classes []struct {
+			Class        string               `json:"class"`
+			Instructions string               `json:"instructions"`
+			PCVRanges    map[string][2]uint64 `json:"pcv_ranges"`
+		} `json:"classes"`
+		Paths []struct {
+			ID         int  `json:"id"`
+			HasWitness bool `json:"has_witness"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.NF != "example-lpm" || len(decoded.Classes) != 2 || len(decoded.Paths) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	found := false
+	for _, c := range decoded.Classes {
+		if c.Instructions == "4·l + 5" {
+			found = true
+			if r, ok := c.PCVRanges["l"]; !ok || r != [2]uint64{0, 32} {
+				t.Errorf("l range = %v", c.PCVRanges)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("JSON missing the valid-class expression: %s", raw)
+	}
+}
+
+func TestForwardingClasses(t *testing.T) {
+	br := buildBridge()
+	ct, err := NewGenerator().Generate(br.Prog, br.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := ct.ForwardingClasses()
+	if len(classes) == 0 {
+		t.Fatal("no forwarding classes")
+	}
+	for _, c := range classes {
+		if !strings.HasPrefix(c, "forward") {
+			t.Errorf("class %q is not a forwarding class", c)
+		}
+	}
+}
+
+func TestComposeManyThreeStageChain(t *testing.T) {
+	// firewall → firewall (tighter policy) → static router: a 3-stage
+	// chain exercising the §3.4 longer-chain fold.
+	fw1 := nf.NewFirewall(nf.FirewallConfig{
+		Rules:         []dslib.Rule{{SrcMask: 0xFF000000, SrcVal: 0x0A000000, Action: 1}},
+		DefaultAccept: false,
+	})
+	fw2 := nf.NewFirewall(nf.FirewallConfig{
+		Rules:         []dslib.Rule{{SrcMask: 0, SrcVal: 0, ProtoVal: 17, Action: 1}}, // UDP only
+		DefaultAccept: false,
+	})
+	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+
+	g := NewGenerator()
+	chain, err := ComposeMany(g, []ChainStage{
+		{Prog: fw1.Prog, Models: fw1.Models},
+		{Prog: fw2.Prog, Models: fw2.Models},
+		{Prog: sr.Prog, Models: sr.Models},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Paths) == 0 {
+		t.Fatal("empty 3-stage composite")
+	}
+	// The router's expensive options path must still be pruned: the
+	// first firewall kills IHL≠5 packets.
+	for _, p := range chain.Paths {
+		if strings.Contains(p.Events, "optproc.process:options") {
+			t.Errorf("3-stage chain kept impossible path %s", p.Class())
+		}
+	}
+	// The 3-stage bound exceeds the 2-stage one (more work per packet)
+	// but stays below naive triple addition.
+	twoStage, err := ComposeMany(g, []ChainStage{
+		{Prog: fw1.Prog, Models: fw1.Models},
+		{Prog: sr.Prog, Models: sr.Models},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := chain.Bound(perf.Instructions, nil, nil)
+	b2, _ := twoStage.Bound(perf.Instructions, nil, nil)
+	if b3 <= b2 {
+		t.Errorf("3-stage bound %d should exceed 2-stage %d", b3, b2)
+	}
+	fw1Ct, _ := g.Generate(fw1.Prog, fw1.Models)
+	fw2Ct, _ := g.Generate(fw2.Prog, fw2.Models)
+	srCt, _ := g.Generate(sr.Prog, sr.Models)
+	naive := NaiveAdd(fw1Ct, fw2Ct, perf.Instructions, nil) + func() uint64 {
+		v, _ := srCt.Bound(perf.Instructions, nil, nil)
+		return v
+	}()
+	if b3 >= naive {
+		t.Errorf("3-stage composite %d should beat naive %d", b3, naive)
+	}
+}
+
+func TestComposeManyValidation(t *testing.T) {
+	fw := nf.NewFirewall(nf.FirewallConfig{})
+	if _, err := ComposeMany(NewGenerator(), []ChainStage{{Prog: fw.Prog, Models: fw.Models}}); err == nil {
+		t.Error("single-stage chain should be rejected")
+	}
+}

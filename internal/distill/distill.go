@@ -1,0 +1,275 @@
+// Package distill implements the production-side tooling of the paper:
+// the testbed runner that measures an NF on a workload (the DUT of
+// §5.1), and the BOLT Distiller (§4), which feeds traffic through the NF
+// and reports the PCV values each packet induced, so operators and
+// developers can bind the PCVs in a contract to realistic values.
+package distill
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/dpdk"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// Record is the measurement of one processed packet.
+type Record struct {
+	Action nfir.Action
+	IC     uint64
+	MA     uint64
+	// Cycles is the detailed-model ("real hardware") cycle count; zero
+	// when the runner has no cycle model attached.
+	Cycles uint64
+	// PCVs are the per-packet PCV observations (e, c, t, o, l, n, s, b).
+	PCVs map[string]uint64
+}
+
+// Runner drives an NF instance over a workload, one packet at a time.
+type Runner struct {
+	// Level selects NF-only or full-stack measurement.
+	Level dpdk.AnalysisLevel
+	// Detailed, when set, plays the testbed's hardware: caches stay warm
+	// across packets and per-packet cycles are recorded.
+	Detailed *hwmodel.Detailed
+}
+
+// Run processes the workload through the instance's production build.
+// The instance keeps its state across calls, so warmup and measurement
+// phases can be separate Run invocations.
+func (r *Runner) Run(inst *nf.Instance, pkts []traffic.Packet) ([]Record, error) {
+	var sink perf.TraceSink
+	if r.Detailed != nil {
+		sink = r.Detailed
+	}
+	meter := perf.NewMeter(sink)
+	inst.Env.Meter = meter
+
+	out := make([]Record, 0, len(pkts))
+	for i, p := range pkts {
+		inst.Env.ResetPacket(p.Data, p.InPort, p.Time)
+		before := meter.Snapshot()
+		var cyclesBefore uint64
+		if r.Detailed != nil {
+			cyclesBefore = r.Detailed.Cycles()
+		}
+
+		var mbuf uint64
+		if r.Level == dpdk.FullStack {
+			var err error
+			mbuf, err = inst.Stack.ChargeRx(inst.Env)
+			if err != nil {
+				return out, fmt.Errorf("distill: packet %d: %w", i, err)
+			}
+		}
+		act, err := inst.Env.Run(inst.Prog)
+		if err != nil {
+			return out, fmt.Errorf("distill: packet %d: %w", i, err)
+		}
+		if r.Level == dpdk.FullStack {
+			if act.Kind == nfir.ActionForward {
+				inst.Stack.ChargeTx(inst.Env, mbuf)
+			} else {
+				inst.Stack.ChargeDrop(inst.Env, mbuf)
+			}
+		}
+
+		delta := meter.Since(before)
+		rec := Record{
+			Action: act,
+			IC:     delta.Instructions,
+			MA:     delta.MemAccesses,
+			PCVs:   make(map[string]uint64, len(inst.Env.PCVs())),
+		}
+		if r.Detailed != nil {
+			rec.Cycles = r.Detailed.Cycles() - cyclesBefore
+		}
+		for k, v := range inst.Env.PCVs() {
+			rec.PCVs[k] = v
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Report is the Distiller's digest of a workload run (§4): per-PCV value
+// distributions plus per-packet metric series for CCDFs and sensitivity
+// analyses.
+type Report struct {
+	Records []Record
+}
+
+// Distill runs the workload and wraps the records in a Report.
+func Distill(inst *nf.Instance, pkts []traffic.Packet, level dpdk.AnalysisLevel) (*Report, error) {
+	r := &Runner{Level: level}
+	recs, err := r.Run(inst, pkts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Records: recs}, nil
+}
+
+// HistogramBin is one row of a PCV distribution (the paper's Tables 7/8:
+// "Number of Expired Flows → Probability Density (%)").
+type HistogramBin struct {
+	Value   uint64
+	Percent float64
+}
+
+// PCVHistogram computes the probability density of a PCV's per-packet
+// values.
+func (rp *Report) PCVHistogram(pcv string) []HistogramBin {
+	counts := make(map[uint64]int)
+	for _, r := range rp.Records {
+		counts[r.PCVs[pcv]]++
+	}
+	values := make([]uint64, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	out := make([]HistogramBin, len(values))
+	total := float64(len(rp.Records))
+	for i, v := range values {
+		out[i] = HistogramBin{Value: v, Percent: 100 * float64(counts[v]) / total}
+	}
+	return out
+}
+
+// MaxPCVs returns the per-PCV maxima over the run — the binding that
+// turns a contract into a workload-specific bound.
+func (rp *Report) MaxPCVs() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, r := range rp.Records {
+		for k, v := range r.PCVs {
+			if cur, ok := out[k]; !ok || v > cur {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// Series extracts a per-packet metric series.
+func (rp *Report) Series(metric perf.Metric) []uint64 {
+	out := make([]uint64, len(rp.Records))
+	for i, r := range rp.Records {
+		switch metric {
+		case perf.Instructions:
+			out[i] = r.IC
+		case perf.MemAccesses:
+			out[i] = r.MA
+		case perf.Cycles:
+			out[i] = r.Cycles
+		}
+	}
+	return out
+}
+
+// CCDFPoint is one point of a complementary CDF.
+type CCDFPoint struct {
+	Value uint64
+	// Frac is P(X > Value).
+	Frac float64
+}
+
+// CCDF computes the complementary CDF of a series (Figures 2 and 4).
+func CCDF(series []uint64) []CCDFPoint {
+	if len(series) == 0 {
+		return nil
+	}
+	sorted := append([]uint64(nil), series...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []CCDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{Value: sorted[i], Frac: float64(len(sorted)-j) / n})
+		i = j
+	}
+	return out
+}
+
+// CDF computes the CDF of a series (Figures 6 and 7).
+func CDF(series []uint64) []CCDFPoint {
+	ccdf := CCDF(series)
+	for i := range ccdf {
+		ccdf[i].Frac = 1 - ccdf[i].Frac
+	}
+	return ccdf
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a series.
+func Quantile(series []uint64, q float64) uint64 {
+	if len(series) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), series...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Max returns the maximum of a series.
+func Max(series []uint64) uint64 {
+	var m uint64
+	for _, v := range series {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the mean of a series.
+func Mean(series []uint64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range series {
+		sum += float64(v)
+	}
+	return sum / float64(len(series))
+}
+
+// SensitivityRow relates a PCV value to the performance packets with
+// that value experienced (the §4 sensitivity analysis and Figure 2's
+// predicted-IC-vs-traversals line).
+type SensitivityRow struct {
+	PCVValue uint64
+	Count    int
+	MaxIC    uint64
+	MeanIC   float64
+}
+
+// Sensitivity groups packets by a PCV's value.
+func (rp *Report) Sensitivity(pcv string) []SensitivityRow {
+	groups := make(map[uint64][]uint64)
+	for _, r := range rp.Records {
+		v := r.PCVs[pcv]
+		groups[v] = append(groups[v], r.IC)
+	}
+	values := make([]uint64, 0, len(groups))
+	for v := range groups {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	out := make([]SensitivityRow, len(values))
+	for i, v := range values {
+		out[i] = SensitivityRow{
+			PCVValue: v,
+			Count:    len(groups[v]),
+			MaxIC:    Max(groups[v]),
+			MeanIC:   Mean(groups[v]),
+		}
+	}
+	return out
+}

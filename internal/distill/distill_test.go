@@ -1,0 +1,227 @@
+package distill
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobolt/internal/dpdk"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+func buildBridge(t *testing.T) *nf.Bridge {
+	t.Helper()
+	return nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: 128, TimeoutNS: 1 << 50, GranularityNS: 1,
+	})
+}
+
+func TestRunnerRecordsPerPacket(t *testing.T) {
+	br := buildBridge(t)
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 100, MACs: 16, Ports: 4, Seed: 1, StartNS: 1_000, GapNS: 1_000,
+	})
+	recs, err := (&Runner{}).Run(br.Instance, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.IC == 0 || r.MA == 0 {
+			t.Fatalf("record %d has zero cost", i)
+		}
+		if r.Cycles != 0 {
+			t.Fatalf("record %d has cycles without a detailed model", i)
+		}
+		if r.Action.Kind != nfir.ActionForward {
+			t.Fatalf("record %d action %v", i, r.Action.Kind)
+		}
+		if _, ok := r.PCVs["t"]; !ok {
+			t.Fatalf("record %d missing t PCV", i)
+		}
+	}
+}
+
+func TestRunnerDetailedCycles(t *testing.T) {
+	br := buildBridge(t)
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 50, MACs: 8, Ports: 4, Seed: 2, StartNS: 1_000, GapNS: 1_000,
+	})
+	det := hwmodel.NewDetailed()
+	recs, err := (&Runner{Detailed: det}).Run(br.Instance, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withCycles int
+	for _, r := range recs {
+		if r.Cycles > 0 {
+			withCycles++
+		}
+	}
+	if withCycles != len(recs) {
+		t.Errorf("%d/%d records have cycles", withCycles, len(recs))
+	}
+	// Warm caches: later identical-shape packets should not cost more
+	// than the very first (cold) one.
+	if recs[len(recs)-1].Cycles > recs[0].Cycles*2 {
+		t.Errorf("no warmup effect: first %d, last %d", recs[0].Cycles, recs[len(recs)-1].Cycles)
+	}
+}
+
+func TestRunnerFullStackNoMbufLeak(t *testing.T) {
+	br := buildBridge(t)
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 600, MACs: 8, BroadcastFraction: 0.3, Ports: 4, Seed: 3,
+		StartNS: 1_000, GapNS: 1_000,
+	})
+	before := br.Stack.FreeMbufs()
+	recs, err := (&Runner{Level: dpdk.FullStack}).Run(br.Instance, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Stack.FreeMbufs() != before {
+		t.Errorf("mbuf leak: %d → %d", before, br.Stack.FreeMbufs())
+	}
+	// Full-stack accounting strictly exceeds NF-only for the same load.
+	br2 := buildBridge(t)
+	nfOnly, err := (&Runner{}).Run(br2.Instance, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[10].IC <= nfOnly[10].IC {
+		t.Errorf("full-stack IC %d should exceed NF-only %d", recs[10].IC, nfOnly[10].IC)
+	}
+}
+
+func TestReportHistogramAndMaxPCVs(t *testing.T) {
+	rep := &Report{Records: []Record{
+		{PCVs: map[string]uint64{"e": 0, "t": 1}},
+		{PCVs: map[string]uint64{"e": 0, "t": 3}},
+		{PCVs: map[string]uint64{"e": 2, "t": 0}},
+		{PCVs: map[string]uint64{"e": 0, "t": 1}},
+	}}
+	bins := rep.PCVHistogram("e")
+	if len(bins) != 2 || bins[0].Value != 0 || bins[0].Percent != 75 || bins[1].Value != 2 {
+		t.Errorf("histogram = %+v", bins)
+	}
+	maxes := rep.MaxPCVs()
+	if maxes["e"] != 2 || maxes["t"] != 3 {
+		t.Errorf("MaxPCVs = %v", maxes)
+	}
+}
+
+func TestSeriesAndStats(t *testing.T) {
+	rep := &Report{Records: []Record{
+		{IC: 10, MA: 1, Cycles: 100},
+		{IC: 30, MA: 3, Cycles: 300},
+		{IC: 20, MA: 2, Cycles: 200},
+	}}
+	ic := rep.Series(perf.Instructions)
+	if len(ic) != 3 || ic[1] != 30 {
+		t.Errorf("IC series = %v", ic)
+	}
+	if got := rep.Series(perf.MemAccesses); got[2] != 2 {
+		t.Errorf("MA series = %v", got)
+	}
+	if got := rep.Series(perf.Cycles); got[0] != 100 {
+		t.Errorf("cycles series = %v", got)
+	}
+	if Max(ic) != 30 || Mean(ic) != 20 {
+		t.Errorf("Max/Mean = %d/%f", Max(ic), Mean(ic))
+	}
+	if Quantile(ic, 0) != 10 || Quantile(ic, 1) != 30 || Quantile(ic, 0.5) != 20 {
+		t.Error("Quantile endpoints")
+	}
+	if Max(nil) != 0 || Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty-series stats")
+	}
+}
+
+func TestCCDFAndCDF(t *testing.T) {
+	series := []uint64{1, 1, 2, 3, 3, 3}
+	ccdf := CCDF(series)
+	// values 1,2,3 with P(X>1)=4/6, P(X>2)=3/6, P(X>3)=0.
+	if len(ccdf) != 3 {
+		t.Fatalf("ccdf = %+v", ccdf)
+	}
+	if ccdf[0].Value != 1 || ccdf[0].Frac != 4.0/6 {
+		t.Errorf("ccdf[0] = %+v", ccdf[0])
+	}
+	if ccdf[2].Frac != 0 {
+		t.Errorf("ccdf tail = %+v", ccdf[2])
+	}
+	cdf := CDF(series)
+	if cdf[2].Frac != 1 {
+		t.Errorf("cdf tail = %+v", cdf[2])
+	}
+	if CCDF(nil) != nil {
+		t.Error("empty CCDF")
+	}
+}
+
+// Property: CCDF is monotonically non-increasing with values sorted.
+func TestCCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := make([]uint64, 1+rng.Intn(200))
+		for i := range series {
+			series[i] = uint64(rng.Intn(50))
+		}
+		ccdf := CCDF(series)
+		for i := 1; i < len(ccdf); i++ {
+			if ccdf[i].Value <= ccdf[i-1].Value || ccdf[i].Frac > ccdf[i-1].Frac {
+				return false
+			}
+		}
+		return len(ccdf) > 0 && ccdf[len(ccdf)-1].Frac == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensitivityGrouping(t *testing.T) {
+	rep := &Report{Records: []Record{
+		{IC: 100, PCVs: map[string]uint64{"t": 1}},
+		{IC: 150, PCVs: map[string]uint64{"t": 1}},
+		{IC: 400, PCVs: map[string]uint64{"t": 5}},
+	}}
+	rows := rep.Sensitivity("t")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].PCVValue != 1 || rows[0].Count != 2 || rows[0].MaxIC != 150 || rows[0].MeanIC != 125 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].PCVValue != 5 || rows[1].MaxIC != 400 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+}
+
+func TestDistillEndToEnd(t *testing.T) {
+	br := buildBridge(t)
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 200, MACs: 32, Ports: 4, Seed: 5, StartNS: 1_000, GapNS: 1_000,
+	})
+	rep, err := Distill(br.Instance, pkts, dpdk.NFOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 200 {
+		t.Fatalf("records = %d", len(rep.Records))
+	}
+	bins := rep.PCVHistogram("t")
+	var total float64
+	for _, b := range bins {
+		total += b.Percent
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("histogram percentages sum to %f", total)
+	}
+}

@@ -1,0 +1,181 @@
+// Package dpdk models the kernel-bypass packet framework and NIC driver
+// underneath the NFs, so BOLT can analyse the software stack at two
+// levels (paper §3.5): NF-only (the framework contributes nothing) and
+// full stack (driver RX, mbuf management, and TX/drop costs included).
+//
+// The model follows the structure the verified-NAT-stack work [paper
+// ref 34] exploited: the subset of the framework a simple NF exercises
+// has simple control flow — per packet the driver reads an RX
+// descriptor, takes an mbuf from the pool, hands the buffer to the NF,
+// and either writes a TX descriptor (plus the tail-register doorbell) or
+// recycles the mbuf. Device registers live in a dedicated MMIO address
+// range with no cacheable locality, so both hardware models charge them
+// as uncached accesses.
+package dpdk
+
+import (
+	"fmt"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// AnalysisLevel selects how much of the stack a contract covers.
+type AnalysisLevel int
+
+const (
+	// NFOnly analyses just the NF logic atop the framework (§3.5 level 1).
+	NFOnly AnalysisLevel = iota
+	// FullStack includes the framework and driver costs (§3.5 level 2).
+	FullStack
+)
+
+// String names the level.
+func (l AnalysisLevel) String() string {
+	if l == FullStack {
+		return "full-stack"
+	}
+	return "nf-only"
+}
+
+// MMIO addresses of the modelled NIC registers (outside any cache-warm
+// region).
+const (
+	mmioBase   = 0x8000_0000
+	regRDT     = mmioBase + 0x2818 // RX descriptor tail
+	regTDT     = mmioBase + 0x6018 // TX descriptor tail
+	descRing   = 0x0040_0000       // descriptor rings (DMA region)
+	ringSize   = 512
+	descBytes  = 16
+	mbufBytes  = 2048
+	mbufRegion = 0x0080_0000
+)
+
+// Step costs of the per-packet framework work. Constants; the driver
+// subset the NFs exercise has no data-dependent loops.
+var (
+	rxCost = dsStep{ // poll descriptor, fetch mbuf, prefetch header
+		alu: 34, branch: 6, load: 7, store: 3,
+	}
+	txCost = dsStep{ // write TX descriptor, bump tail doorbell
+		alu: 26, branch: 4, load: 4, store: 5,
+	}
+	dropCost = dsStep{ // return mbuf to the pool
+		alu: 12, branch: 2, load: 2, store: 2,
+	}
+)
+
+type dsStep struct {
+	alu, branch, load, store uint64
+}
+
+func (s dsStep) ic() uint64 { return s.alu + s.branch + s.load + s.store }
+func (s dsStep) ma() uint64 { return s.load + s.store }
+
+// Stack is one port pair's framework state: descriptor rings and an mbuf
+// pool. It is charged around each packet by the production runner when
+// measuring at FullStack level.
+type Stack struct {
+	rxHead, txHead uint64
+	freeMbufs      []uint64
+	inFlight       uint64
+}
+
+// NewStack builds a stack with a full mbuf pool.
+func NewStack() *Stack {
+	s := &Stack{}
+	for i := uint64(0); i < ringSize; i++ {
+		s.freeMbufs = append(s.freeMbufs, mbufRegion+i*mbufBytes)
+	}
+	return s
+}
+
+// ChargeRx meters the driver receive path for one packet and returns the
+// mbuf address the packet landed in.
+func (s *Stack) ChargeRx(env *nfir.Env) (uint64, error) {
+	if len(s.freeMbufs) == 0 {
+		return 0, fmt.Errorf("dpdk: mbuf pool exhausted (%d in flight)", s.inFlight)
+	}
+	m := env.Meter
+	slot := s.rxHead % ringSize
+	s.rxHead++
+	mbuf := s.freeMbufs[len(s.freeMbufs)-1]
+	s.freeMbufs = s.freeMbufs[:len(s.freeMbufs)-1]
+	s.inFlight++
+
+	m.Exec(perf.OpALU, rxCost.alu)
+	m.Exec(perf.OpBranch, rxCost.branch)
+	// Descriptor read + register poll + mbuf header touches.
+	m.Load(descRing+slot*descBytes, 8, false)
+	m.Load(regRDT, 4, false)
+	for i := uint64(2); i < rxCost.load; i++ {
+		m.Load(mbuf+i*8, 8, true)
+	}
+	for i := uint64(0); i < rxCost.store; i++ {
+		m.Store(descRing+slot*descBytes+8, 8)
+	}
+	return mbuf, nil
+}
+
+// ChargeTx meters the transmit path and recycles the mbuf.
+func (s *Stack) ChargeTx(env *nfir.Env, mbuf uint64) {
+	m := env.Meter
+	slot := s.txHead % ringSize
+	s.txHead++
+	m.Exec(perf.OpALU, txCost.alu)
+	m.Exec(perf.OpBranch, txCost.branch)
+	for i := uint64(0); i < txCost.load; i++ {
+		m.Load(descRing+(ringSize+slot)*descBytes, 8, false)
+	}
+	for i := uint64(1); i < txCost.store; i++ {
+		m.Store(descRing+(ringSize+slot)*descBytes+8, 8)
+	}
+	m.Store(regTDT, 4) // doorbell
+	s.recycle(mbuf)
+}
+
+// ChargeDrop meters the drop path (mbuf recycle only).
+func (s *Stack) ChargeDrop(env *nfir.Env, mbuf uint64) {
+	m := env.Meter
+	m.Exec(perf.OpALU, dropCost.alu)
+	m.Exec(perf.OpBranch, dropCost.branch)
+	for i := uint64(0); i < dropCost.load; i++ {
+		m.Load(mbuf+i*8, 8, false)
+	}
+	for i := uint64(0); i < dropCost.store; i++ {
+		m.Store(mbuf+i*8, 8)
+	}
+	s.recycle(mbuf)
+}
+
+func (s *Stack) recycle(mbuf uint64) {
+	s.freeMbufs = append(s.freeMbufs, mbuf)
+	s.inFlight--
+}
+
+// FreeMbufs reports the pool level (for leak tests).
+func (s *Stack) FreeMbufs() int { return len(s.freeMbufs) }
+
+// Contract terms the generator adds to every path when analysing at
+// FullStack level: RX on every path, plus TX or drop by terminal action.
+
+// RxCost is the expert contract for the receive path.
+func RxCost() map[perf.Metric]expr.Poly { return stepCost(rxCost) }
+
+// TxCost is the expert contract for the transmit path.
+func TxCost() map[perf.Metric]expr.Poly { return stepCost(txCost) }
+
+// DropCost is the expert contract for the drop path.
+func DropCost() map[perf.Metric]expr.Poly { return stepCost(dropCost) }
+
+func stepCost(s dsStep) map[perf.Metric]expr.Poly {
+	// Conservative cycles: every access charged as DRAM, worst-case
+	// compute latencies (same rule as dslib contracts).
+	cycles := s.alu + 3*s.branch + s.ma()*201
+	return map[perf.Metric]expr.Poly{
+		perf.Instructions: expr.Const(s.ic()),
+		perf.MemAccesses:  expr.Const(s.ma()),
+		perf.Cycles:       expr.Const(cycles),
+	}
+}

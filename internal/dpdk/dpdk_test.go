@@ -1,0 +1,107 @@
+package dpdk
+
+import (
+	"testing"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+func newEnv() *nfir.Env {
+	env := nfir.NewEnv()
+	env.Meter = perf.NewMeter(nil)
+	env.ResetPacket(nil, 0, 0)
+	return env
+}
+
+func TestStackRxTxCycle(t *testing.T) {
+	env := newEnv()
+	s := NewStack()
+	full := s.FreeMbufs()
+
+	mbuf, err := s.ChargeRx(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeMbufs() != full-1 {
+		t.Errorf("pool = %d, want %d", s.FreeMbufs(), full-1)
+	}
+	s.ChargeTx(env, mbuf)
+	if s.FreeMbufs() != full {
+		t.Errorf("pool after tx = %d, want %d (no leak)", s.FreeMbufs(), full)
+	}
+
+	mbuf, _ = s.ChargeRx(env)
+	s.ChargeDrop(env, mbuf)
+	if s.FreeMbufs() != full {
+		t.Errorf("pool after drop = %d (leak)", s.FreeMbufs())
+	}
+}
+
+func TestStackPoolExhaustion(t *testing.T) {
+	env := newEnv()
+	s := NewStack()
+	n := s.FreeMbufs()
+	for i := 0; i < n; i++ {
+		if _, err := s.ChargeRx(env); err != nil {
+			t.Fatalf("rx %d: %v", i, err)
+		}
+	}
+	if _, err := s.ChargeRx(env); err == nil {
+		t.Fatal("expected mbuf exhaustion")
+	}
+}
+
+func TestChargesMatchContracts(t *testing.T) {
+	// The metered cost of each framework step must equal its contract
+	// exactly (the framework has no data-dependent paths to coalesce).
+	env := newEnv()
+	s := NewStack()
+
+	before := env.Meter.Snapshot()
+	mbuf, _ := s.ChargeRx(env)
+	d := env.Meter.Since(before)
+	if d.Instructions != RxCost()[perf.Instructions].ConstTerm() {
+		t.Errorf("rx IC %d != contract %d", d.Instructions, RxCost()[perf.Instructions].ConstTerm())
+	}
+	if d.MemAccesses != RxCost()[perf.MemAccesses].ConstTerm() {
+		t.Errorf("rx MA %d != contract %d", d.MemAccesses, RxCost()[perf.MemAccesses].ConstTerm())
+	}
+
+	before = env.Meter.Snapshot()
+	s.ChargeTx(env, mbuf)
+	d = env.Meter.Since(before)
+	if d.Instructions != TxCost()[perf.Instructions].ConstTerm() {
+		t.Errorf("tx IC %d != contract %d", d.Instructions, TxCost()[perf.Instructions].ConstTerm())
+	}
+
+	mbuf, _ = s.ChargeRx(env)
+	before = env.Meter.Snapshot()
+	s.ChargeDrop(env, mbuf)
+	d = env.Meter.Since(before)
+	if d.Instructions != DropCost()[perf.Instructions].ConstTerm() {
+		t.Errorf("drop IC %d != contract %d", d.Instructions, DropCost()[perf.Instructions].ConstTerm())
+	}
+	if d.MemAccesses != DropCost()[perf.MemAccesses].ConstTerm() {
+		t.Errorf("drop MA %d != contract %d", d.MemAccesses, DropCost()[perf.MemAccesses].ConstTerm())
+	}
+}
+
+func TestCycleContractsDominateIC(t *testing.T) {
+	for name, c := range map[string]map[perf.Metric]expr.Poly{
+		"rx":   RxCost(),
+		"tx":   TxCost(),
+		"drop": DropCost(),
+	} {
+		if c[perf.Cycles].ConstTerm() < c[perf.Instructions].ConstTerm() {
+			t.Errorf("%s: cycle bound below IC", name)
+		}
+	}
+}
+
+func TestAnalysisLevelString(t *testing.T) {
+	if NFOnly.String() != "nf-only" || FullStack.String() != "full-stack" {
+		t.Error("level names")
+	}
+}

@@ -1,0 +1,215 @@
+package dslib
+
+import (
+	"gobolt/internal/expr"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// PortAllocator is the NAT's port allocator. §5.3 compares two
+// implementations with identical O(1) big-O but different constants:
+//
+//   - Allocator A: a doubly-linked free list. Allocation and
+//     deallocation cost the same regardless of occupancy or churn.
+//   - Allocator B: an array (bitmap) scanned from a rotating hint, plus
+//     a singly-linked structure for frees. Allocation is cheaper than
+//     A's at low occupancy (the scan finds a free slot immediately) and
+//     much more expensive at high occupancy (long scans).
+//
+// The contract captures this with the scan-length PCV s.
+type PortAllocator interface {
+	// Alloc charges the environment and returns an allocated port.
+	Alloc(env *nfir.Env) (port uint64, ok bool)
+	// Free releases a previously allocated port.
+	Free(env *nfir.Env, port uint64)
+	// AllocCost is the expert contract for one allocation.
+	AllocCost() map[perf.Metric]expr.Poly
+	// FreeCost is the expert contract for one deallocation.
+	FreeCost() map[perf.Metric]expr.Poly
+	// PCVs lists the PCVs AllocCost ranges over.
+	PCVs() []nfir.PCV
+	// InUse reports the number of allocated ports.
+	InUse() int
+	// Capacity reports the total port count.
+	Capacity() int
+}
+
+// Allocator A cost quanta: pointer surgery on a doubly-linked list,
+// occupancy-independent.
+var (
+	allocACost = StepCost{ALU: 38, Branch: 4, Load: 10, Store: 6, Lines: 3} // 58 IC
+	freeACost  = StepCost{ALU: 36, Branch: 4, Load: 8, Store: 10, Lines: 3} // 58 IC
+)
+
+// AllocatorA is the doubly-linked free-list allocator.
+type AllocatorA struct {
+	next, prev []int // free-list links; -1 = not linked
+	head       int
+	inUse      int
+	base       uint64
+	n          int
+	firstPort  int
+}
+
+// NewAllocatorA builds an allocator over ports [firstPort,
+// firstPort+count); ports are returned as firstPort+index.
+func NewAllocatorA(env *nfir.Env, firstPort, count int) *AllocatorA {
+	a := &AllocatorA{
+		next: make([]int, count),
+		prev: make([]int, count),
+		head: 0,
+		n:    count,
+		base: env.Heap.Alloc(uint64(count) * 16),
+	}
+	for i := 0; i < count; i++ {
+		a.next[i] = i + 1
+		a.prev[i] = i - 1
+	}
+	a.next[count-1] = -1
+	a.firstPort = firstPort
+	return a
+}
+
+// Alloc implements PortAllocator.
+func (a *AllocatorA) Alloc(env *nfir.Env) (uint64, bool) {
+	charge(env, allocACost, []uint64{a.base + uint64(maxInt(a.head, 0))*16}, true)
+	if a.head < 0 {
+		return 0, false
+	}
+	i := a.head
+	a.head = a.next[i]
+	if a.head >= 0 {
+		a.prev[a.head] = -1
+	}
+	a.next[i], a.prev[i] = -2, -2 // allocated marker
+	a.inUse++
+	return uint64(a.firstPort + i), true
+}
+
+// Free implements PortAllocator.
+func (a *AllocatorA) Free(env *nfir.Env, port uint64) {
+	i := int(port) - a.firstPort
+	charge(env, freeACost, []uint64{a.base + uint64(i)*16}, true)
+	if i < 0 || i >= a.n || a.next[i] != -2 {
+		return // double free or foreign port: ignore, as the C code would not
+	}
+	a.next[i] = a.head
+	a.prev[i] = -1
+	if a.head >= 0 {
+		a.prev[a.head] = i
+	}
+	a.head = i
+	a.inUse--
+}
+
+// AllocCost implements PortAllocator.
+func (a *AllocatorA) AllocCost() map[perf.Metric]expr.Poly {
+	return buildCost(costTerm{allocACost, nil})
+}
+
+// FreeCost implements PortAllocator.
+func (a *AllocatorA) FreeCost() map[perf.Metric]expr.Poly {
+	return buildCost(costTerm{freeACost, nil})
+}
+
+// PCVs implements PortAllocator (A's contract is constant).
+func (a *AllocatorA) PCVs() []nfir.PCV { return nil }
+
+// InUse implements PortAllocator.
+func (a *AllocatorA) InUse() int { return a.inUse }
+
+// Capacity implements PortAllocator.
+func (a *AllocatorA) Capacity() int { return a.n }
+
+// Allocator B cost quanta: cheap fixed parts plus a per-scan-step cost.
+var (
+	allocBFixed = StepCost{ALU: 12, Branch: 2, Load: 2, Store: 2, Lines: 2} // 18 IC
+	allocBStep  = StepCost{ALU: 3, Branch: 1, Load: 1, Lines: 1}            // 5·s
+	freeBCost   = StepCost{ALU: 30, Branch: 4, Load: 8, Store: 8, Lines: 2} // 50 IC
+)
+
+// AllocatorB is the array-scan allocator.
+type AllocatorB struct {
+	used      []bool
+	hint      int
+	inUse     int
+	base      uint64
+	n         int
+	firstPort int
+}
+
+// NewAllocatorB builds the scanning allocator over the same port range
+// convention as NewAllocatorA.
+func NewAllocatorB(env *nfir.Env, firstPort, count int) *AllocatorB {
+	return &AllocatorB{
+		used:      make([]bool, count),
+		n:         count,
+		base:      env.Heap.Alloc(uint64(count)),
+		firstPort: firstPort,
+	}
+}
+
+// Alloc implements PortAllocator: scan from the rotating hint.
+func (b *AllocatorB) Alloc(env *nfir.Env) (uint64, bool) {
+	charge(env, allocBFixed, []uint64{b.base}, false)
+	if b.inUse >= b.n {
+		env.ObservePCVMax(PCVScan, uint64(b.n))
+		// A full scan discovers exhaustion.
+		for s := 0; s < b.n; s++ {
+			charge(env, allocBStep, []uint64{b.base + uint64((b.hint+s)%b.n)}, false)
+		}
+		return 0, false
+	}
+	var scan uint64
+	for {
+		scan++
+		i := b.hint
+		b.hint = (b.hint + 1) % b.n
+		charge(env, allocBStep, []uint64{b.base + uint64(i)}, false)
+		if !b.used[i] {
+			b.used[i] = true
+			b.inUse++
+			env.ObservePCVMax(PCVScan, scan)
+			return uint64(b.firstPort + i), true
+		}
+	}
+}
+
+// Free implements PortAllocator.
+func (b *AllocatorB) Free(env *nfir.Env, port uint64) {
+	i := int(port) - b.firstPort
+	charge(env, freeBCost, []uint64{b.base + uint64(maxInt(i, 0))}, false)
+	if i < 0 || i >= b.n || !b.used[i] {
+		return
+	}
+	b.used[i] = false
+	b.inUse--
+}
+
+// AllocCost implements PortAllocator: 18 + 5·s.
+func (b *AllocatorB) AllocCost() map[perf.Metric]expr.Poly {
+	return buildCost(costTerm{allocBFixed, nil}, costTerm{allocBStep, []string{PCVScan}})
+}
+
+// FreeCost implements PortAllocator.
+func (b *AllocatorB) FreeCost() map[perf.Metric]expr.Poly {
+	return buildCost(costTerm{freeBCost, nil})
+}
+
+// PCVs implements PortAllocator.
+func (b *AllocatorB) PCVs() []nfir.PCV {
+	return []nfir.PCV{{Name: PCVScan, Range: expr.Range{Lo: 1, Hi: uint64(b.n)}}}
+}
+
+// InUse implements PortAllocator.
+func (b *AllocatorB) InUse() int { return b.inUse }
+
+// Capacity implements PortAllocator.
+func (b *AllocatorB) Capacity() int { return b.n }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package dslib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+func allocators(env *nfir.Env, first, count int) map[string]PortAllocator {
+	return map[string]PortAllocator{
+		"A": NewAllocatorA(env, first, count),
+		"B": NewAllocatorB(env, first, count),
+	}
+}
+
+func TestAllocatorsBasicCycle(t *testing.T) {
+	env := newTestEnv()
+	for name, a := range allocators(env, 1024, 8) {
+		t.Run(name, func(t *testing.T) {
+			seen := map[uint64]bool{}
+			for i := 0; i < 8; i++ {
+				p, ok := a.Alloc(env)
+				if !ok {
+					t.Fatalf("alloc %d failed", i)
+				}
+				if p < 1024 || p >= 1032 {
+					t.Fatalf("port %d out of range", p)
+				}
+				if seen[p] {
+					t.Fatalf("double allocation of %d", p)
+				}
+				seen[p] = true
+			}
+			if _, ok := a.Alloc(env); ok {
+				t.Fatal("9th alloc must fail")
+			}
+			if a.InUse() != 8 {
+				t.Fatalf("InUse = %d", a.InUse())
+			}
+			for p := range seen {
+				a.Free(env, p)
+			}
+			if a.InUse() != 0 {
+				t.Fatalf("InUse after frees = %d", a.InUse())
+			}
+			if _, ok := a.Alloc(env); !ok {
+				t.Fatal("alloc after frees must succeed")
+			}
+		})
+	}
+}
+
+func TestAllocatorsDoubleFreeIgnored(t *testing.T) {
+	env := newTestEnv()
+	for name, a := range allocators(env, 100, 4) {
+		t.Run(name, func(t *testing.T) {
+			p, _ := a.Alloc(env)
+			a.Free(env, p)
+			a.Free(env, p)    // double free
+			a.Free(env, 9999) // foreign port
+			if a.InUse() != 0 {
+				t.Fatalf("InUse = %d", a.InUse())
+			}
+			// The freed port pool must still be consistent: 4 allocs fine.
+			for i := 0; i < 4; i++ {
+				if _, ok := a.Alloc(env); !ok {
+					t.Fatalf("alloc %d failed after double free", i)
+				}
+			}
+			if _, ok := a.Alloc(env); ok {
+				t.Fatal("5th alloc must fail")
+			}
+		})
+	}
+}
+
+func TestAllocatorAOccupancyIndependent(t *testing.T) {
+	env := newTestEnv()
+	a := NewAllocatorA(env, 0, 1024)
+	cost := func() uint64 {
+		before := env.Meter.Snapshot()
+		p, ok := a.Alloc(env)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		defer func() { _ = p }()
+		return env.Meter.Since(before).Instructions
+	}
+	low := cost()
+	// Fill to 90%.
+	for a.InUse() < 920 {
+		if _, ok := a.Alloc(env); !ok {
+			t.Fatal("fill failed")
+		}
+	}
+	high := cost()
+	if low != high {
+		t.Errorf("allocator A cost changed with occupancy: %d vs %d", low, high)
+	}
+}
+
+func TestAllocatorBScanScalesWithOccupancy(t *testing.T) {
+	env := newTestEnv()
+	b := NewAllocatorB(env, 0, 1024)
+	measure := func() uint64 {
+		env.ResetPacket(nil, 0, 0)
+		before := env.Meter.Snapshot()
+		if _, ok := b.Alloc(env); !ok {
+			t.Fatal("alloc failed")
+		}
+		return env.Meter.Since(before).Instructions
+	}
+	low := measure() // nearly empty: scan length 1
+	for b.InUse() < 1024 {
+		if _, ok := b.Alloc(env); !ok {
+			t.Fatal("fill failed")
+		}
+	}
+	// Free one port far ahead of the hint to force a long scan.
+	b.Free(env, uint64((b.hint+512)%1024))
+	high := measure()
+	if high < low*10 {
+		t.Errorf("allocator B at high occupancy (%d IC) should dwarf low occupancy (%d IC)", high, low)
+	}
+}
+
+func TestAllocatorBLowOccupancyCheaperThanA(t *testing.T) {
+	// The §5.3 trade-off: B beats A when the table is mostly empty.
+	env := newTestEnv()
+	a := NewAllocatorA(env, 0, 256)
+	b := NewAllocatorB(env, 0, 256)
+	costA := func() uint64 {
+		before := env.Meter.Snapshot()
+		a.Alloc(env)
+		return env.Meter.Since(before).Instructions
+	}()
+	costB := func() uint64 {
+		before := env.Meter.Snapshot()
+		b.Alloc(env)
+		return env.Meter.Since(before).Instructions
+	}()
+	if costB >= costA {
+		t.Errorf("B at low occupancy (%d) must be cheaper than A (%d)", costB, costA)
+	}
+}
+
+func TestAllocatorContractSoundness(t *testing.T) {
+	env := newTestEnv()
+	for name, a := range allocators(env, 0, 64) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			var live []uint64
+			for i := 0; i < 2000; i++ {
+				env.ResetPacket(nil, 0, 0)
+				if rng.Intn(2) == 0 || len(live) == 0 {
+					before := env.Meter.Snapshot()
+					p, ok := a.Alloc(env)
+					delta := env.Meter.Since(before)
+					binding := map[string]uint64{}
+					for _, pcv := range a.PCVs() {
+						binding[pcv.Name] = env.PCVs()[pcv.Name]
+					}
+					ic := a.AllocCost()[perf.Instructions].Eval(binding)
+					if delta.Instructions > ic {
+						t.Fatalf("alloc IC %d > contract %d (pcvs %v)", delta.Instructions, ic, binding)
+					}
+					if ok {
+						live = append(live, p)
+					}
+				} else {
+					i := rng.Intn(len(live))
+					p := live[i]
+					live = append(live[:i], live[i+1:]...)
+					before := env.Meter.Snapshot()
+					a.Free(env, p)
+					delta := env.Meter.Since(before)
+					ic := a.FreeCost()[perf.Instructions].Eval(map[string]uint64{})
+					if delta.Instructions > ic {
+						t.Fatalf("free IC %d > contract %d", delta.Instructions, ic)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Property: allocators never hand out a port twice while it is live.
+func TestAllocatorNoDoubleAllocationProperty(t *testing.T) {
+	f := func(seed int64, useB bool) bool {
+		env := newTestEnv()
+		var a PortAllocator
+		if useB {
+			a = NewAllocatorB(env, 0, 32)
+		} else {
+			a = NewAllocatorA(env, 0, 32)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		live := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			if rng.Intn(2) == 0 {
+				p, ok := a.Alloc(env)
+				if !ok {
+					if len(live) != 32 {
+						return false // spurious exhaustion
+					}
+					continue
+				}
+				if live[p] {
+					return false // double allocation
+				}
+				live[p] = true
+			} else {
+				for p := range live {
+					a.Free(env, p)
+					delete(live, p)
+					break
+				}
+			}
+			if a.InUse() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

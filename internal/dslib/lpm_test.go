@@ -1,0 +1,274 @@
+package dslib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobolt/internal/perf"
+)
+
+func TestPatriciaTable2Contract(t *testing.T) {
+	// The contract must be exactly the paper's Table 2: 4·l+2 IC, l+1 MA.
+	env := newTestEnv()
+	p := NewPatricia(env, 0)
+	outs := p.Model().Outcomes("get", nil, testFresh())
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	ic := outs[0].Cost[perf.Instructions]
+	ma := outs[0].Cost[perf.MemAccesses]
+	if ic.String() != "4·l + 2" {
+		t.Errorf("IC contract = %q, want 4·l + 2", ic.String())
+	}
+	if ma.String() != "l + 1" {
+		t.Errorf("MA contract = %q, want l + 1", ma.String())
+	}
+}
+
+func TestPatriciaLookupAndCost(t *testing.T) {
+	env := newTestEnv()
+	p := NewPatricia(env, 99)
+	mustAdd := func(prefix uint32, length int, port uint64) {
+		t.Helper()
+		if err := p.AddRoute(prefix, length, port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0x0A000000, 8, 1)  // 10.0.0.0/8 → 1
+	mustAdd(0x0A010000, 16, 2) // 10.1.0.0/16 → 2
+	mustAdd(0xC0A80100, 24, 3) // 192.168.1.0/24 → 3
+
+	cases := []struct {
+		ip       uint64
+		port     uint64
+		matchLen uint64
+	}{
+		{0x0A020304, 1, 8},  // 10.2.3.4 → /8 (descends 8 levels, then stops)
+		{0x0A010305, 2, 16}, // 10.1.3.5 → /16
+		{0xC0A80142, 3, 24}, // 192.168.1.66 → /24
+		{0x08080808, 99, 0}, // 8.8.8.8 → default
+	}
+	for _, c := range cases {
+		res, delta, pcvs := invoke(t, env, p, "get", c.ip)
+		if res[0] != c.port {
+			t.Errorf("get(%#x) = %d, want %d", c.ip, res[0], c.port)
+		}
+		l := pcvs[PCVPrefixLen]
+		if l < c.matchLen {
+			t.Errorf("get(%#x) depth %d, want ≥ %d", c.ip, l, c.matchLen)
+		}
+		// Soundness: measured ≤ 4·l+2 / l+1 at the observed depth.
+		if delta.Instructions > 4*l+2 {
+			t.Errorf("IC %d > 4·%d+2", delta.Instructions, l)
+		}
+		if delta.MemAccesses > l+1 {
+			t.Errorf("MA %d > %d+1", delta.MemAccesses, l)
+		}
+	}
+}
+
+// Property: Patricia agrees with a brute-force longest-prefix scan.
+func TestPatriciaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newTestEnv()
+		p := NewPatricia(env, 9999)
+		type route struct {
+			prefix uint32
+			length int
+			port   uint64
+		}
+		var routes []route
+		for i := 0; i < 20; i++ {
+			length := rng.Intn(33)
+			prefix := uint32(rng.Uint64())
+			if length < 32 {
+				prefix &= ^uint32(0) << (32 - length)
+			}
+			r := route{prefix, length, uint64(i + 1)}
+			routes = append(routes, r)
+			if err := p.AddRoute(r.prefix, r.length, r.port); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			ip := uint32(rng.Uint64())
+			if trial%3 == 0 && len(routes) > 0 {
+				ip = routes[rng.Intn(len(routes))].prefix | uint32(rng.Intn(256))
+			}
+			// Brute force: longest matching route wins; later insert wins ties.
+			want, bestLen := uint64(9999), -1
+			for _, r := range routes {
+				if r.length == 32 && ip != r.prefix {
+					continue
+				}
+				if r.length < 32 && (ip>>(32-r.length)) != (r.prefix>>(32-r.length)) && r.length != 0 {
+					continue
+				}
+				if r.length >= bestLen {
+					if r.length > bestLen || true {
+						// ties: AddRoute overwrote, so the last added wins
+					}
+					if r.length > bestLen {
+						bestLen = r.length
+						want = r.port
+					} else if r.length == bestLen {
+						want = r.port // last added with same prefix+len overwrites
+					}
+				}
+			}
+			res, err := p.Invoke("get", []uint64{uint64(ip)}, newTestEnv())
+			if err != nil {
+				return false
+			}
+			if res[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatriciaBadRoute(t *testing.T) {
+	env := newTestEnv()
+	p := NewPatricia(env, 0)
+	if err := p.AddRoute(0, 33, 1); err == nil {
+		t.Error("length 33 must fail")
+	}
+	if err := p.AddRoute(0, -1, 1); err == nil {
+		t.Error("negative length must fail")
+	}
+	if _, err := p.Invoke("put", []uint64{1}, env); err == nil {
+		t.Error("unknown method must fail")
+	}
+}
+
+func TestDir248ShortVsLong(t *testing.T) {
+	env := newTestEnv()
+	d := NewDir248(env, 999, 16)
+	if err := d.AddRoute(0x0A000000, 8, 1); err != nil { // 10/8
+		t.Fatal(err)
+	}
+	if err := d.AddRoute(0xC0A80180, 25, 2); err != nil { // 192.168.1.128/25
+		t.Fatal(err)
+	}
+
+	// ≤24-bit match: exactly one table read (the LPM2 class).
+	res, delta, _ := invoke(t, env, d, "get", 0x0A010203)
+	if res[0] != 1 {
+		t.Fatalf("short lookup = %d, want 1", res[0])
+	}
+	if delta.MemAccesses != 1 {
+		t.Errorf("short lookup MA = %d, want 1", delta.MemAccesses)
+	}
+	shortIC := delta.Instructions
+
+	// >24-bit match: two reads (the LPM1 class).
+	res, delta, _ = invoke(t, env, d, "get", 0xC0A801FF)
+	if res[0] != 2 {
+		t.Fatalf("long lookup = %d, want 2", res[0])
+	}
+	if delta.MemAccesses != 2 {
+		t.Errorf("long lookup MA = %d, want 2", delta.MemAccesses)
+	}
+	if delta.Instructions <= shortIC {
+		t.Errorf("long lookup IC %d must exceed short %d", delta.Instructions, shortIC)
+	}
+
+	// An address inside the /24 slot but outside the /25 range falls back
+	// to the covering shorter route (here: default, since only /25 set).
+	res, _, _ = invoke(t, env, d, "get", 0xC0A80110)
+	if res[0] != 999 {
+		t.Fatalf("sub-slot miss = %d, want default", res[0])
+	}
+}
+
+func TestDir248LongerPrefixWins(t *testing.T) {
+	env := newTestEnv()
+	d := NewDir248(env, 0, 16)
+	if err := d.AddRoute(0x0A000000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRoute(0x0A010000, 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding the /8 must not clobber the /16.
+	if err := d.AddRoute(0x0A000000, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := invoke(t, env, d, "get", 0x0A010101)
+	if res[0] != 2 {
+		t.Errorf("lookup = %d, want 2 (/16 wins)", res[0])
+	}
+	res, _, _ = invoke(t, env, d, "get", 0x0A020101)
+	if res[0] != 3 {
+		t.Errorf("lookup = %d, want 3 (updated /8)", res[0])
+	}
+}
+
+// Property: DIR-24-8 agrees with the Patricia trie on random route sets.
+func TestDir248MatchesPatricia(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newTestEnv()
+		d := NewDir248(env, 0, 64)
+		p := NewPatricia(env, 0)
+		for i := 0; i < 15; i++ {
+			length := 1 + rng.Intn(32)
+			prefix := uint32(rng.Uint64()) &^ (uint32(0xFFFFFFFF) >> length)
+			port := uint64(i + 1)
+			if err := d.AddRoute(prefix, length, uint16(port)); err != nil {
+				return true // ran out of tbl8 groups: skip this case
+			}
+			if err := p.AddRoute(prefix, length, port); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			ip := uint64(uint32(rng.Uint64()))
+			rd, err1 := d.Invoke("get", []uint64{ip}, newTestEnv())
+			rp, err2 := p.Invoke("get", []uint64{ip}, newTestEnv())
+			if err1 != nil || err2 != nil || rd[0] != rp[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDir248ModelOutcomes(t *testing.T) {
+	env := newTestEnv()
+	d := NewDir248(env, 0, 4)
+	outs := d.Model().Outcomes("get", nil, testFresh())
+	if len(outs) != 2 || outs[0].Label != "short" || outs[1].Label != "long" {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+	sIC := outs[0].Cost[perf.Instructions].ConstTerm()
+	lIC := outs[1].Cost[perf.Instructions].ConstTerm()
+	if lIC <= sIC {
+		t.Errorf("long class (%d) must cost more than short (%d)", lIC, sIC)
+	}
+	if outs[0].Cost[perf.MemAccesses].ConstTerm() != 1 ||
+		outs[1].Cost[perf.MemAccesses].ConstTerm() != 2 {
+		t.Error("MA contract must be 1 (short) and 2 (long)")
+	}
+}
+
+func TestDir248GroupExhaustion(t *testing.T) {
+	env := newTestEnv()
+	d := NewDir248(env, 0, 1)
+	if err := d.AddRoute(0x01000000, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A second distinct /25 slot needs a second group.
+	if err := d.AddRoute(0x02000000, 25, 2); err == nil {
+		t.Error("expected tbl8 exhaustion")
+	}
+}

@@ -1,0 +1,232 @@
+package dslib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRing(t *testing.T, nb, m int) (*MaglevRing, func() uint64) {
+	t.Helper()
+	env := newTestEnv()
+	r, err := NewMaglevRing(env, nb, m, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, func() uint64 { return env.Time }
+}
+
+func TestMaglevPopulationBalanced(t *testing.T) {
+	r, _ := newRing(t, 7, 1031) // prime table size, as Maglev prescribes
+	total := 0
+	min, max := r.TableSize(), 0
+	for b := 0; b < r.Backends(); b++ {
+		s := r.Share(b)
+		total += s
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if total != r.TableSize() {
+		t.Fatalf("shares sum to %d, want %d", total, r.TableSize())
+	}
+	// Maglev guarantees near-perfect balance: max/min ≤ 2 easily.
+	if max > 2*min {
+		t.Errorf("imbalanced ring: min %d, max %d", min, max)
+	}
+}
+
+func TestMaglevConsistency(t *testing.T) {
+	// The same flow hash always maps to the same backend.
+	env := newTestEnv()
+	r, err := NewMaglevRing(env, 5, 503, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h := uint64(i) * 0x9E3779B97F4A7C15
+		r1, _, _ := invoke(t, env, r, "pick", h)
+		r2, _, _ := invoke(t, env, r, "pick", h)
+		if r1[0] != r2[0] {
+			t.Fatalf("pick(%d) unstable: %d vs %d", h, r1[0], r2[0])
+		}
+		if r1[0] >= 5 {
+			t.Fatalf("backend %d out of range", r1[0])
+		}
+	}
+}
+
+func TestMaglevHeartbeatLiveness(t *testing.T) {
+	env := newTestEnv()
+	r, err := NewMaglevRing(env, 3, 97, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(5_000_000_000)
+	env.Time = now
+	// No heartbeats since t=0 → all dead at t=5s.
+	res, _, _ := invoke(t, env, r, "alive", 0, now)
+	if res[0] != 0 {
+		t.Fatal("backend should be dead without heartbeats")
+	}
+	invoke(t, env, r, "heartbeat", 0, now)
+	res, _, _ = invoke(t, env, r, "alive", 0, now+500_000_000)
+	if res[0] != 1 {
+		t.Fatal("backend should be alive after heartbeat")
+	}
+	res, _, _ = invoke(t, env, r, "alive", 0, now+2_000_000_000)
+	if res[0] != 0 {
+		t.Fatal("backend should expire after timeout")
+	}
+}
+
+func TestMaglevPickAliveFallback(t *testing.T) {
+	env := newTestEnv()
+	r, err := NewMaglevRing(env, 4, 211, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(10_000_000_000)
+	env.Time = now
+	// All alive.
+	for b := 0; b < 4; b++ {
+		invoke(t, env, r, "heartbeat", uint64(b), now)
+	}
+	res, direct, _ := invoke(t, env, r, "pick_alive", 12345, now)
+	if res[1] != 1 {
+		t.Fatal("pick_alive with all alive must succeed")
+	}
+	primary := res[0]
+
+	// Kill the primary: fallback must find another backend, costing more.
+	r.SetHeartbeat(int(primary), 0)
+	res, fb, pcvs := invoke(t, env, r, "pick_alive", 12345, now)
+	if res[1] != 1 {
+		t.Fatal("fallback must find an alive backend")
+	}
+	if res[0] == primary {
+		t.Fatal("fallback returned the dead backend")
+	}
+	if fb.Instructions <= direct.Instructions {
+		t.Errorf("fallback IC %d must exceed direct %d", fb.Instructions, direct.Instructions)
+	}
+	if pcvs[PCVBackendProbes] == 0 {
+		t.Error("fallback must observe the probes PCV")
+	}
+	checkOutcome(t, r.Model(), "pick_alive", "fallback", fb, pcvs)
+
+	// Kill everyone: outcome "none".
+	for b := 0; b < 4; b++ {
+		r.SetHeartbeat(b, 0)
+	}
+	res, none, pcvs := invoke(t, env, r, "pick_alive", 12345, now)
+	if res[1] != 0 {
+		t.Fatal("pick_alive with all dead must fail")
+	}
+	checkOutcome(t, r.Model(), "pick_alive", "none", none, pcvs)
+}
+
+func TestMaglevContractSoundnessRandom(t *testing.T) {
+	env := newTestEnv()
+	r, err := NewMaglevRing(env, 6, 307, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := r.Model()
+	rng := rand.New(rand.NewSource(11))
+	now := uint64(1)
+	for i := 0; i < 1500; i++ {
+		now += uint64(rng.Intn(100_000_000))
+		env.Time = now
+		switch rng.Intn(3) {
+		case 0:
+			_, delta, pcvs := invoke(t, env, r, "heartbeat", uint64(rng.Intn(6)), now)
+			checkOutcome(t, model, "heartbeat", "ok", delta, pcvs)
+		case 1:
+			res, delta, pcvs := invoke(t, env, r, "pick", rng.Uint64())
+			if res[0] >= 6 {
+				t.Fatal("backend out of range")
+			}
+			checkOutcome(t, model, "pick", "ok", delta, pcvs)
+		default:
+			res, delta, pcvs := invoke(t, env, r, "pick_alive", rng.Uint64(), now)
+			label := "none"
+			if res[1] == 1 {
+				if pcvs[PCVBackendProbes] > 0 {
+					label = "fallback"
+				} else {
+					label = "direct"
+				}
+			}
+			checkOutcome(t, model, "pick_alive", label, delta, pcvs)
+		}
+	}
+}
+
+func TestMaglevErrors(t *testing.T) {
+	env := newTestEnv()
+	if _, err := NewMaglevRing(env, 0, 10, 1); err == nil {
+		t.Error("zero backends must fail")
+	}
+	if _, err := NewMaglevRing(env, 10, 5, 1); err == nil {
+		t.Error("table smaller than backends must fail")
+	}
+	r, _ := NewMaglevRing(env, 2, 13, 1)
+	for _, c := range []struct {
+		m    string
+		args []uint64
+	}{
+		{"pick", nil},
+		{"pick_alive", []uint64{1}},
+		{"heartbeat", []uint64{9, 1}},
+		{"alive", []uint64{9, 1}},
+		{"bogus", nil},
+	} {
+		if _, err := r.Invoke(c.m, c.args, env); err == nil {
+			t.Errorf("%s(%v) should fail", c.m, c.args)
+		}
+	}
+}
+
+// Property: removing one backend only remaps flows that mapped to it
+// (the consistent-hashing property, checked via ring shares).
+func TestMaglevMinimalDisruptionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newTestEnv()
+		nb := 3 + rng.Intn(5)
+		r, err := NewMaglevRing(env, nb, 503, 1_000_000_000)
+		if err != nil {
+			return false
+		}
+		now := uint64(10_000_000_000)
+		for b := 0; b < nb; b++ {
+			r.SetHeartbeat(b, now)
+		}
+		dead := rng.Intn(nb)
+		// Flows on live backends keep their assignment when `dead` dies.
+		for i := 0; i < 40; i++ {
+			h := rng.Uint64()
+			before, err1 := r.Invoke("pick_alive", []uint64{h, now}, env)
+			if err1 != nil {
+				return false
+			}
+			r.SetHeartbeat(dead, 0)
+			after, err2 := r.Invoke("pick_alive", []uint64{h, now}, env)
+			r.SetHeartbeat(dead, now)
+			if err2 != nil {
+				return false
+			}
+			if before[0] != uint64(dead) && before[0] != after[0] {
+				return false // a flow on a live backend moved
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

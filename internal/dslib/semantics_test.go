@@ -1,0 +1,214 @@
+package dslib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refEntry mirrors one table entry for the reference-model comparison.
+type refEntry struct {
+	val   uint64
+	stamp uint64
+}
+
+// Property: the flow table behaves exactly like a reference map with
+// timeout semantics, under arbitrary interleavings of put/get/peek/
+// expire. This pins the functional behaviour independently of the
+// performance machinery.
+func TestFlowTableMatchesReferenceMap(t *testing.T) {
+	const timeout = 1_000
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newTestEnv()
+		ft := NewFlowTable(env, FlowTableConfig{
+			Name: "ref", Capacity: 16, KeyWords: 1,
+			TimeoutNS: timeout, GranularityNS: 1,
+			Costs: VigNATCosts(), Seed: uint64(seed) | 1,
+		})
+		ref := map[uint64]refEntry{}
+		now := uint64(1)
+
+		refExpire := func() {
+			for k, e := range ref {
+				if e.stamp+timeout <= now {
+					delete(ref, k)
+				}
+			}
+		}
+
+		for op := 0; op < 400; op++ {
+			now += uint64(rng.Intn(300))
+			env.Time = now
+			key := uint64(rng.Intn(24))
+			switch rng.Intn(4) {
+			case 0: // put
+				res, err := ft.Invoke("put", []uint64{key, key * 3, now}, env)
+				if err != nil {
+					return false
+				}
+				_, exists := ref[key]
+				switch res[0] {
+				case PutStatusKnown:
+					if !exists {
+						return false
+					}
+					ref[key] = refEntry{val: key * 3, stamp: now}
+				case PutStatusNew:
+					if exists || len(ref) >= 16 {
+						return false
+					}
+					ref[key] = refEntry{val: key * 3, stamp: now}
+				case PutStatusFull:
+					if exists || len(ref) < 16 {
+						return false
+					}
+				default:
+					return false
+				}
+			case 1: // get (refreshes)
+				res, err := ft.Invoke("get", []uint64{key, now}, env)
+				if err != nil {
+					return false
+				}
+				e, exists := ref[key]
+				if (res[1] == 1) != exists {
+					return false
+				}
+				if exists {
+					if res[0] != e.val {
+						return false
+					}
+					ref[key] = refEntry{val: e.val, stamp: now}
+				}
+			case 2: // peek (no refresh)
+				res, err := ft.Invoke("peek", []uint64{key}, env)
+				if err != nil {
+					return false
+				}
+				e, exists := ref[key]
+				if (res[1] == 1) != exists || (exists && res[0] != e.val) {
+					return false
+				}
+			default: // expire
+				res, err := ft.Invoke("expire", []uint64{now}, env)
+				if err != nil {
+					return false
+				}
+				before := len(ref)
+				refExpire()
+				if res[0] != uint64(before-len(ref)) {
+					return false
+				}
+				if ft.Count() != len(ref) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the NAT map's two sides stay consistent — every internal
+// mapping is reachable by its external port with matching intInfo, ports
+// are never shared, and expiry releases exactly the mapped ports.
+func TestNATMapBidirectionalConsistency(t *testing.T) {
+	const timeout = 1_000
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newTestEnv()
+		nm := NewNATMap(env, NATMapConfig{
+			Name: "ref", Capacity: 12, TimeoutNS: timeout, GranularityNS: 1,
+			Costs: VigNATCosts(), FirstPort: 100, PortCount: 12,
+			Seed: uint64(seed) | 1,
+		}, NewAllocatorA(env, 100, 12))
+
+		type flow struct {
+			port uint64
+			info uint64
+		}
+		ref := map[[3]uint64]flow{}
+		stamps := map[[3]uint64]uint64{}
+		now := uint64(1)
+
+		refExpire := func() {
+			for k, s := range stamps {
+				if s+timeout <= now {
+					delete(stamps, k)
+					delete(ref, k)
+				}
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			now += uint64(rng.Intn(250))
+			env.Time = now
+			key := [3]uint64{uint64(rng.Intn(20)), uint64(rng.Intn(3)), 17}
+			switch rng.Intn(3) {
+			case 0: // add
+				info := uint64(rng.Intn(1 << 20))
+				res, err := nm.Invoke("add", []uint64{key[0], key[1], key[2], info, now}, env)
+				if err != nil {
+					return false
+				}
+				if res[1] == AddStatusOK {
+					if fl, exists := ref[key]; exists {
+						// Idempotent add: the existing mapping survives.
+						if res[0] != fl.port {
+							return false
+						}
+						stamps[key] = now
+						break
+					}
+					// Port uniqueness across live flows.
+					for _, fl := range ref {
+						if fl.port == res[0] {
+							return false
+						}
+					}
+					ref[key] = flow{port: res[0], info: info}
+					stamps[key] = now
+				}
+			case 1: // lookup both directions
+				res, err := nm.Invoke("lookup_int", []uint64{key[0], key[1], key[2], now}, env)
+				if err != nil {
+					return false
+				}
+				fl, exists := ref[key]
+				if (res[1] == 1) != exists {
+					return false
+				}
+				if exists {
+					if res[0] != fl.port {
+						return false
+					}
+					stamps[key] = now
+					ext, err := nm.Invoke("lookup_ext", []uint64{fl.port, now}, env)
+					if err != nil || ext[1] != 1 || ext[0] != fl.info&0xffff_ffff_ffff {
+						return false
+					}
+				}
+			default: // expire
+				res, err := nm.Invoke("expire", []uint64{now}, env)
+				if err != nil {
+					return false
+				}
+				before := len(ref)
+				refExpire()
+				if res[0] != uint64(before-len(ref)) {
+					return false
+				}
+				if nm.Allocator().InUse() != len(ref) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

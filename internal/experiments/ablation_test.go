@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationCoalescing(t *testing.T) {
+	rows, err := AblationCoalescing(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	shipped, exact, bare := rows[0], rows[1], rows[2]
+	// Removing the coalesced walk shortcut must shrink the gap, and
+	// additionally removing the padding must shrink it to (near) zero —
+	// the paper's §6 decomposition of its 7% over-estimation.
+	if !(exact.OverPct < shipped.OverPct) {
+		t.Errorf("exact-walk gap %.2f%% should be below shipped %.2f%%", exact.OverPct, shipped.OverPct)
+	}
+	if !(bare.OverPct <= exact.OverPct) {
+		t.Errorf("no-padding gap %.2f%% should not exceed exact-walk %.2f%%", bare.OverPct, exact.OverPct)
+	}
+	if bare.OverPct > 1.0 {
+		t.Errorf("with both sources removed the gap should be ≈0, got %.2f%%", bare.OverPct)
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "coalesced (shipped)") {
+		t.Error("render incomplete")
+	}
+	t.Logf("\n%s", out)
+}

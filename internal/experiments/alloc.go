@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/packet"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// AllocScenario is one (allocator, churn) cell of the §5.3 comparison.
+// The measured distribution is over flow-setup packets — the packets
+// whose latency the port allocator actually determines.
+type AllocScenario struct {
+	Allocator string
+	Churn     string
+	// PredictedCycles is the contract bound for the new-flow class at
+	// the Distiller-observed PCVs (Figure 5's bars).
+	PredictedCycles uint64
+	// MeasuredCDF is the flow-setup latency distribution (Figures 6/7).
+	MeasuredCDF []distill.CCDFPoint
+	// MeanCycles and MeanIC summarise the measured setups.
+	MeanCycles float64
+	MeanIC     float64
+}
+
+// AllocatorStudy runs the four scenarios: allocators A and B under low
+// churn (long-lived flows, high port occupancy — long scans for B) and
+// high churn (short-lived flows, low occupancy — B's cheap fast path).
+func AllocatorStudy(sc Scale) ([]AllocScenario, error) {
+	var out []AllocScenario
+	for _, alloc := range []string{"A", "B"} {
+		for _, churn := range []string{"low", "high"} {
+			s, err := allocScenario(sc, alloc, churn)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// natFlowPacket builds one internal-side packet for flow id.
+func natFlowPacket(id int, t uint64) traffic.Packet {
+	src := netip.AddrFrom4([4]byte{10, byte(id >> 16), byte(id >> 8), byte(id)})
+	dst := netip.AddrFrom4([4]byte{192, 168, 1, 1})
+	frame := packet.NewBuilder().
+		Ethernet(packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, packet.EtherTypeIPv4).
+		IPv4(src, dst, packet.ProtoUDP, 64, nil).
+		UDP(uint16(10000+id%50000), 80).
+		Bytes()
+	return traffic.Packet{Data: frame, Time: t, InPort: nf.NATPortInternal}
+}
+
+func allocScenario(sc Scale, alloc, churn string) (AllocScenario, error) {
+	// The allocator trade-off is about port-space *occupancy*, not table
+	// scale, so the experiment uses a fixed 512-port NAT at any Scale.
+	const capacity = 512
+	const timeout = 150_000_000 // 150 ms
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: capacity,
+		TimeoutNS: timeout, GranularityNS: 1_000_000,
+		PortCount: capacity, Seed: 9, Allocator: alloc,
+	})
+	ct, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+	if err != nil {
+		return AllocScenario{}, err
+	}
+
+	rng := rand.New(rand.NewSource(1234))
+	var pkts []traffic.Packet
+	var isSetup []bool
+	now := uint64(1_000_000)
+
+	if churn == "low" {
+		// Long-lived flows at ~98% port occupancy: the refresh rate is
+		// set so a flow's expected refresh interval is timeout/4 (about
+		// 2% of flows randomly age out at any time). Their randomly
+		// scattered freed ports are what the occasional new flow must
+		// scan for — allocator B's long-scan regime.
+		const nWarm = capacity
+		gap := uint64(timeout * 15 / (64 * nWarm)) // ≈ timeout/(4.3·n) per packet
+		for i := 0; i < nWarm; i++ {
+			pkts = append(pkts, natFlowPacket(i, now))
+			isSetup = append(isSetup, false) // warmup, excluded below
+			now += gap
+		}
+		nextID := nWarm
+		steady := 6 * 64 * nWarm / 15 // ≈ six timeouts of turnover
+		if steady < sc.Packets*4 {
+			steady = sc.Packets * 4
+		}
+		for i := 0; i < steady; i++ {
+			if i%16 == 0 {
+				pkts = append(pkts, natFlowPacket(nextID, now))
+				isSetup = append(isSetup, true)
+				nextID++
+			} else {
+				pkts = append(pkts, natFlowPacket(rng.Intn(nWarm), now))
+				isSetup = append(isSetup, false)
+			}
+			now += gap
+		}
+	} else {
+		// High churn: every packet a brand-new flow; old flows expire
+		// long before the table fills, so occupancy stays near zero.
+		for i := 0; i < sc.Packets*2; i++ {
+			pkts = append(pkts, natFlowPacket(i, now))
+			isSetup = append(isSetup, true)
+			now += 50_000_000 // 50 ms per packet
+		}
+	}
+
+	det := hwmodel.NewDetailed()
+	recs, err := (&distill.Runner{Detailed: det}).Run(nat.Instance, pkts)
+	if err != nil {
+		return AllocScenario{}, err
+	}
+	skip := len(recs) / 3 // settle into steady state
+	var setupCycles, setupIC []uint64
+	setupRecs := make([]distill.Record, 0)
+	for i := skip; i < len(recs); i++ {
+		if isSetup[i] {
+			setupCycles = append(setupCycles, recs[i].Cycles)
+			setupIC = append(setupIC, recs[i].IC)
+			setupRecs = append(setupRecs, recs[i])
+		}
+	}
+	if len(setupCycles) == 0 {
+		return AllocScenario{}, fmt.Errorf("alloc %s/%s: no setup packets measured", alloc, churn)
+	}
+	rep := &distill.Report{Records: setupRecs}
+	pcvs := rep.MaxPCVs()
+	for _, p := range ct.Paths {
+		for v := range p.PCVRanges {
+			if _, ok := pcvs[v]; !ok {
+				pcvs[v] = 0
+			}
+		}
+	}
+	pred, _ := ct.Bound(perf.Cycles, has("flows.add:ok"), pcvs)
+	return AllocScenario{
+		Allocator:       alloc,
+		Churn:           churn,
+		PredictedCycles: pred,
+		MeasuredCDF:     distill.CDF(setupCycles),
+		MeanCycles:      distill.Mean(setupCycles),
+		MeanIC:          distill.Mean(setupIC),
+	}, nil
+}
+
+// RenderFigure5 prints the predicted-cycles comparison (Figure 5) plus
+// the measured means backing Figures 6/7.
+func RenderFigure5(scenarios []AllocScenario) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %18s %16s %12s\n", "Allocator", "Churn", "Predicted cycles", "Measured mean", "Mean IC")
+	for _, s := range scenarios {
+		fmt.Fprintf(&b, "%-10s %-8s %18d %16.0f %12.0f\n", s.Allocator, s.Churn, s.PredictedCycles, s.MeanCycles, s.MeanIC)
+	}
+	return b.String()
+}
+
+// Find returns the scenario for (allocator, churn).
+func Find(scenarios []AllocScenario, alloc, churn string) *AllocScenario {
+	for i := range scenarios {
+		if scenarios[i].Allocator == alloc && scenarios[i].Churn == churn {
+			return &scenarios[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/dpdk"
+	"gobolt/internal/nf"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// Table4Row is one class of the bridge contract (paper Table 4).
+type Table4Row struct {
+	TrafficType  string
+	Instructions string
+}
+
+// Table4 generates the bridge contract with the rehash defence enabled
+// and renders its three published classes.
+func Table4(sc Scale) ([]Table4Row, *core.Contract, error) {
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: sc.TableCapacity,
+		TimeoutNS: hourNS, GranularityNS: 1_000_000,
+		RehashThreshold: 6, Seed: 77,
+	})
+	ct, err := core.NewGenerator().Generate(br.Prog, br.Models)
+	if err != nil {
+		return nil, nil, err
+	}
+	pick := func(name string, filter func(*core.PathContract) bool) (Table4Row, error) {
+		var worst *core.PathContract
+		for _, p := range ct.Paths {
+			if !filter(p) {
+				continue
+			}
+			if worst == nil || p.Cost[perf.Instructions].ConstTerm() > worst.Cost[perf.Instructions].ConstTerm() {
+				worst = p
+			}
+		}
+		if worst == nil {
+			return Table4Row{}, fmt.Errorf("table4: no path for class %q", name)
+		}
+		return Table4Row{TrafficType: name, Instructions: worst.Cost[perf.Instructions].String()}, nil
+	}
+	rows := make([]Table4Row, 0, 3)
+	for _, cls := range []struct {
+		name   string
+		filter func(*core.PathContract) bool
+	}{
+		{"Known Source MAC", has("mac.put:known", "mac.peek:hit")},
+		{"Unknown Source MAC; No Rehashing", has("mac.put:new", "mac.peek:hit")},
+		{"Unknown Source MAC; Rehashing", has("mac.put:rehash", "mac.peek:hit")},
+	} {
+		row, err := pick(cls.name, cls.filter)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, ct, nil
+}
+
+// Figure2Point is one x-position of Figure 2: the CCDF of bucket
+// traversals under a uniform random workload, alongside the contract's
+// predicted IC at that traversal count.
+type Figure2Point struct {
+	Traversals  uint64
+	CCDF        float64
+	PredictedIC uint64
+}
+
+// Figure2 runs the Distiller over a uniform random workload against the
+// defended bridge and overlays the per-traversal prediction, the
+// analysis an operator uses to place the rehash threshold (§5.2).
+func Figure2(sc Scale) ([]Figure2Point, error) {
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: sc.TableCapacity,
+		TimeoutNS: hourNS, GranularityNS: 1_000_000,
+		RehashThreshold: uint64(sc.TableCapacity), // defence armed but out of reach
+		Seed:            77,
+	})
+	ct, err := core.NewGenerator().Generate(br.Prog, br.Models)
+	if err != nil {
+		return nil, err
+	}
+	pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: sc.Packets * 4, MACs: sc.TableCapacity / 2, Ports: 4,
+		StartNS: 1_000, GapNS: 1_000, Seed: 13,
+	})
+	rep, err := distill.Distill(br.Instance, pkts, dpdk.NFOnly)
+	if err != nil {
+		return nil, err
+	}
+	// CCDF of the t PCV.
+	var ts []uint64
+	for _, r := range rep.Records {
+		ts = append(ts, r.PCVs["t"])
+	}
+	ccdf := distill.CCDF(ts)
+	// Prediction as a function of t for the no-rehash unknown-MAC class
+	// with the distilled collision bound (the Figure 2 overlay line).
+	cBound := rep.MaxPCVs()["c"]
+	filter := has("mac.put:new", "mac.peek")
+	out := make([]Figure2Point, 0, len(ccdf))
+	for _, pt := range ccdf {
+		pred, _ := ct.Bound(perf.Instructions, filter,
+			map[string]uint64{"t": pt.Value, "c": cBound, "e": 0, "o": 0})
+		out = append(out, Figure2Point{Traversals: pt.Value, CCDF: pt.Frac, PredictedIC: pred})
+	}
+	return out, nil
+}
+
+// RenderTable4 prints the bridge contract rows.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %s\n", "Traffic Type", "Instructions")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %s\n", r.TrafficType, r.Instructions)
+	}
+	return b.String()
+}
+
+// RenderFigure2 prints the traversal CCDF and prediction series.
+func RenderFigure2(pts []Figure2Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %10s %14s\n", "Traversals", "CCDF", "Predicted IC")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%12d %10.4f %14d\n", p.Traversals, p.CCDF, p.PredictedIC)
+	}
+	return b.String()
+}

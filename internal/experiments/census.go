@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+)
+
+// CensusRow reports how many feasible paths and coalesced input classes
+// one NF's contract subsumes — the §5.1 observation that "each such
+// contract subsumes from several hundred to a few thousand unique
+// execution paths". The IR-level NFs here are far more compact than
+// compiled C, so the counts run tens rather than thousands; the class
+// structure, which is what contracts expose, is the same.
+type CensusRow struct {
+	NF      string
+	Paths   int
+	Classes int
+}
+
+// Census generates contracts for all seven NFs and counts their paths
+// and classes.
+func Census(sc Scale) ([]CensusRow, error) {
+	builders := []struct {
+		name  string
+		build func() (*nf.Instance, error)
+	}{
+		{"example-lpm", func() (*nf.Instance, error) {
+			return nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4}).Instance, nil
+		}},
+		{"lpm-router", func() (*nf.Instance, error) {
+			return nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16}).Instance, nil
+		}},
+		{"firewall", func() (*nf.Instance, error) {
+			return nf.NewFirewall(nf.FirewallConfig{}).Instance, nil
+		}},
+		{"static-router", func() (*nf.Instance, error) {
+			return nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4}).Instance, nil
+		}},
+		{"bridge", func() (*nf.Instance, error) {
+			return nf.NewBridge(nf.BridgeConfig{
+				Ports: 4, Capacity: sc.TableCapacity, TimeoutNS: hourNS,
+				RehashThreshold: 6,
+			}).Instance, nil
+		}},
+		{"nat", func() (*nf.Instance, error) {
+			return nf.NewNAT(nf.NATConfig{
+				ExternalIP: 1, Capacity: sc.TableCapacity, TimeoutNS: hourNS,
+			}).Instance, nil
+		}},
+		{"lb", func() (*nf.Instance, error) {
+			lb, err := nf.NewLB(nf.LBConfig{
+				Backends: 16, RingSize: 4099, FlowCapacity: sc.TableCapacity,
+				TimeoutNS: hourNS, HeartbeatTimeoutNS: hourNS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return lb.Instance, nil
+		}},
+	}
+	var out []CensusRow
+	for _, b := range builders {
+		inst, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := core.NewGenerator().Generate(inst.Prog, inst.Models)
+		if err != nil {
+			return nil, fmt.Errorf("census %s: %w", b.name, err)
+		}
+		out = append(out, CensusRow{NF: b.name, Paths: len(ct.Paths), Classes: ct.NumClasses()})
+	}
+	return out, nil
+}
+
+// RenderCensus prints the census.
+func RenderCensus(rows []CensusRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s\n", "NF", "Paths", "Classes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %8d\n", r.NF, r.Paths, r.Classes)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCensus(t *testing.T) {
+	rows, err := Census(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]CensusRow{}
+	for _, r := range rows {
+		byName[r.NF] = r
+		if r.Paths == 0 || r.Classes == 0 || r.Classes > r.Paths {
+			t.Errorf("%s: paths=%d classes=%d", r.NF, r.Paths, r.Classes)
+		}
+	}
+	// The running example has exactly its two published classes; the
+	// stateful NFs have richer structure.
+	if byName["example-lpm"].Paths != 2 {
+		t.Errorf("example-lpm paths = %d", byName["example-lpm"].Paths)
+	}
+	if byName["lb"].Paths < byName["example-lpm"].Paths {
+		t.Error("the LB should subsume more paths than the running example")
+	}
+	out := RenderCensus(rows)
+	if !strings.Contains(out, "bridge") {
+		t.Error("render incomplete")
+	}
+	t.Logf("\n%s", out)
+}

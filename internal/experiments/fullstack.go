@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/dpdk"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// FullStackRow compares the two §3.5 analysis levels on one NF: the
+// NF-only contract, the full-stack contract (driver RX + mbuf + TX/drop
+// included), and a full-stack measurement.
+type FullStackRow struct {
+	NF           string
+	NFOnlyPred   uint64
+	FullPred     uint64
+	FullMeasured uint64
+}
+
+// FullStack runs the comparison for the LPM router and the NAT's
+// established-flow class.
+func FullStack(sc Scale) ([]FullStackRow, error) {
+	var out []FullStackRow
+
+	// LPM router, short-prefix class.
+	{
+		build := func() (*nf.LPMRouter, error) {
+			r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
+			return r, r.Table.AddRoute(0x0A000000, 8, 1)
+		}
+		r, err := build()
+		if err != nil {
+			return nil, err
+		}
+		nfCt, err := core.NewGenerator().Generate(r.Prog, r.Models)
+		if err != nil {
+			return nil, err
+		}
+		g := core.NewGenerator()
+		g.Level = dpdk.FullStack
+		fullCt, err := g.Generate(r.Prog, r.Models)
+		if err != nil {
+			return nil, err
+		}
+		pkts := traffic.LPMPackets(traffic.LPMConfig{
+			Packets: sc.Packets, Dsts: []uint32{0x0A010203}, StartNS: 1_000, GapNS: 1_000, Seed: 1,
+		})
+		recs, err := (&distill.Runner{Level: dpdk.FullStack}).Run(r.Instance, pkts)
+		if err != nil {
+			return nil, err
+		}
+		rep := &distill.Report{Records: recs}
+		filt := has("lpm.get:short")
+		nfPred, _ := nfCt.Bound(perf.Instructions, filt, rep.MaxPCVs())
+		fullPred, _ := fullCt.Bound(perf.Instructions, filt, rep.MaxPCVs())
+		out = append(out, FullStackRow{
+			NF: "lpm-router (short)", NFOnlyPred: nfPred, FullPred: fullPred,
+			FullMeasured: distill.Max(rep.Series(perf.Instructions)),
+		})
+	}
+
+	// NAT, established flows.
+	{
+		nat := nf.NewNAT(nf.NATConfig{
+			ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
+			TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 11,
+		})
+		nfCt, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+		if err != nil {
+			return nil, err
+		}
+		g := core.NewGenerator()
+		g.Level = dpdk.FullStack
+		fullCt, err := g.Generate(nat.Prog, nat.Models)
+		if err != nil {
+			return nil, err
+		}
+		warm := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: 64, Flows: 64, RoundRobin: true,
+			StartNS: 1_000, GapNS: 1_000, Seed: 3, InPort: nf.NATPortInternal,
+		})
+		runner := &distill.Runner{Level: dpdk.FullStack}
+		if _, err := runner.Run(nat.Instance, warm); err != nil {
+			return nil, err
+		}
+		replay := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: sc.Packets, Flows: 64, RoundRobin: true,
+			StartNS: 100_000, GapNS: 1_000, Seed: 3, InPort: nf.NATPortInternal,
+		})
+		recs, err := runner.Run(nat.Instance, replay)
+		if err != nil {
+			return nil, err
+		}
+		rep := &distill.Report{Records: recs}
+		filt := core.And(acts(nfir.ActionForward), has("flows.lookup_int:hit"))
+		binding := rep.MaxPCVs()
+		nfPred, _ := nfCt.Bound(perf.Instructions, filt, binding)
+		fullPred, _ := fullCt.Bound(perf.Instructions, filt, binding)
+		out = append(out, FullStackRow{
+			NF: "nat (established)", NFOnlyPred: nfPred, FullPred: fullPred,
+			FullMeasured: distill.Max(rep.Series(perf.Instructions)),
+		})
+	}
+	return out, nil
+}
+
+// RenderFullStack prints the comparison.
+func RenderFullStack(rows []FullStackRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %14s %14s %16s\n", "NF (class)", "NF-only pred", "Full pred", "Full measured")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %14d %14d %16d\n", r.NF, r.NFOnlyPred, r.FullPred, r.FullMeasured)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The §3.5 two-level claim: full-stack measurements exceed the NF-only
+// bound (the framework is real work) and stay within the full-stack
+// bound.
+func TestFullStackLevels(t *testing.T) {
+	rows, err := FullStack(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FullMeasured <= r.NFOnlyPred {
+			t.Errorf("%s: full-stack measurement %d should exceed the NF-only bound %d",
+				r.NF, r.FullMeasured, r.NFOnlyPred)
+		}
+		if r.FullMeasured > r.FullPred {
+			t.Errorf("%s: full-stack measurement %d exceeds the full-stack bound %d",
+				r.NF, r.FullMeasured, r.FullPred)
+		}
+		if r.FullPred <= r.NFOnlyPred {
+			t.Errorf("%s: full-stack bound %d should exceed NF-only %d",
+				r.NF, r.FullPred, r.NFOnlyPred)
+		}
+	}
+	out := RenderFullStack(rows)
+	if !strings.Contains(out, "nat (established)") {
+		t.Error("render incomplete")
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMicrobenchRatios(t *testing.T) {
+	rows, err := Microbench(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r1, r2, r3 := rows[0].Ratio(), rows[1].Ratio(), rows[2].Ratio()
+	// §5.1: P1 within ~5% of measured; P2 ~6×; P3 ~9×.
+	if r1 < 0.95 || r1 > 1.35 {
+		t.Errorf("P1 ratio = %.2f, want ≈1", r1)
+	}
+	if r2 < 4.5 || r2 > 8 {
+		t.Errorf("P2 ratio = %.2f, want ≈6", r2)
+	}
+	if r3 < 7 || r3 > 12 {
+		t.Errorf("P3 ratio = %.2f, want ≈9", r3)
+	}
+	// Soundness: prediction never below measurement.
+	for _, r := range rows {
+		if r.Predicted < r.Measured {
+			t.Errorf("%s: predicted %d < measured %d", r.Program, r.Predicted, r.Measured)
+		}
+	}
+	out := RenderMicrobench(rows)
+	if !strings.Contains(out, "P3") {
+		t.Error("render missing P3")
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable4BridgeContract(t *testing.T) {
+	rows, ct, err := Table4(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The published Table 4 structure: the known-MAC class carries
+	// 245·e + 144·c + 36·t + 82·e·c + 19·e·t; the unknown class 50·t;
+	// the rehash class additionally 124·o + 14·t·o and a large constant.
+	known := rows[0].Instructions
+	for _, frag := range []string{"144·c", "245·e", "36·t", "82·c·e", "19·e·t"} {
+		if !strings.Contains(known, frag) {
+			t.Errorf("known-MAC row %q missing %s", known, frag)
+		}
+	}
+	if !strings.Contains(rows[1].Instructions, "50·t") {
+		t.Errorf("unknown-MAC row %q missing 50·t", rows[1].Instructions)
+	}
+	rehash := rows[2].Instructions
+	for _, frag := range []string{"124·o", "14·o·t"} {
+		if !strings.Contains(rehash, frag) {
+			t.Errorf("rehash row %q missing %s", rehash, frag)
+		}
+	}
+	// The rehash cliff: its constant dwarfs the others (the paper's
+	// 984069-style term from reallocating every bucket).
+	if ct.NumClasses() == 0 {
+		t.Error("contract has no classes")
+	}
+	out := RenderTable4(rows)
+	if !strings.Contains(out, "Rehashing") {
+		t.Error("render incomplete")
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFigure2DistillerAnalysis(t *testing.T) {
+	pts, err := Figure2(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// CCDF must be non-increasing and the prediction non-decreasing in t.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CCDF > pts[i-1].CCDF {
+			t.Errorf("CCDF not monotone at %d", i)
+		}
+		if pts[i].PredictedIC < pts[i-1].PredictedIC {
+			t.Errorf("prediction not monotone in traversals at %d", i)
+		}
+	}
+	// The vast majority of packets incur few traversals — the basis for
+	// placing the rehash threshold (§5.2: <0.2% beyond 6 traversals).
+	for _, p := range pts {
+		if p.Traversals >= 6 && p.CCDF > 0.01 {
+			t.Errorf("t=%d still has CCDF %.4f; uniform workload should be compact", p.Traversals, p.CCDF)
+		}
+	}
+	t.Logf("\n%s", RenderFigure2(pts))
+}
+
+func TestTable5AndFigure3Chain(t *testing.T) {
+	t5, _, _, _, err := ChainContracts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router options class must carry the 79·n term; the chain's
+	// no-options class must not mention b.n at all (options never reach
+	// the router).
+	if !strings.Contains(t5.Router[1][1], "79·n") {
+		t.Errorf("router options row = %q, want 79·n term", t5.Router[1][1])
+	}
+	for _, row := range t5.Chain {
+		if strings.Contains(row[1], "b.n") {
+			t.Errorf("chain row %q leaks the router's options PCV", row[1])
+		}
+	}
+	t.Logf("\n%s", RenderTable5(t5))
+
+	rows, err := Figure3(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Figure3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	naive, comp := byName["Naive-Add"], byName["Composite-Bolt"]
+	if comp.PredictedIC >= naive.PredictedIC {
+		t.Errorf("composite %d should beat naive %d (Figure 3)", comp.PredictedIC, naive.PredictedIC)
+	}
+	if comp.MeasuredIC > comp.PredictedIC {
+		t.Errorf("composite unsound: measured %d > predicted %d", comp.MeasuredIC, comp.PredictedIC)
+	}
+	// The composite should be much closer to the chain's real worst case.
+	naiveGap := float64(naive.PredictedIC-naive.MeasuredIC) / float64(naive.MeasuredIC)
+	compGap := float64(comp.PredictedIC-comp.MeasuredIC) / float64(comp.MeasuredIC)
+	if compGap >= naiveGap {
+		t.Errorf("composite gap %.2f should be smaller than naive gap %.2f", compGap, naiveGap)
+	}
+	t.Logf("\n%s", RenderFigure3(rows))
+}
+
+func TestTable6VigNATContract(t *testing.T) {
+	rows, err := Table6(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every class carries the expiry terms; known flows carry 30·c+18·t.
+	for _, r := range rows {
+		if !strings.Contains(r[1], "359·e") {
+			t.Errorf("%s: %q missing 359·e", r[0], r[1])
+		}
+		if !strings.Contains(r[1], "80·c·e") || !strings.Contains(r[1], "38·e·t") {
+			t.Errorf("%s: %q missing expiry cross terms", r[0], r[1])
+		}
+	}
+	if !strings.Contains(rows[1][1], "30·c") || !strings.Contains(rows[1][1], "18·t") {
+		t.Errorf("known flows row = %q", rows[1][1])
+	}
+	if !strings.Contains(rows[4][1], "44·t") {
+		t.Errorf("new internal flows row = %q, want 44·t", rows[4][1])
+	}
+	t.Logf("\n%s", RenderTable6(rows))
+}
+
+func TestFigure4ExpiryBatching(t *testing.T) {
+	second, milli, err := Figure4(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables 7/8: with coarse granularity, most packets see zero
+	// expirations but a few see large batches; with fine granularity the
+	// distribution concentrates on 0/1/2.
+	maxBatch := func(s *VigNATStudy) uint64 {
+		var m uint64
+		for _, b := range s.ExpiryHistogram {
+			if b.Value > m {
+				m = b.Value
+			}
+		}
+		return m
+	}
+	if mb := maxBatch(second); mb < 20 {
+		t.Errorf("coarse granularity max batch = %d, want ≥ 20 (batching)", mb)
+	}
+	if mb := maxBatch(milli); mb > 8 {
+		t.Errorf("fine granularity max batch = %d, want small", mb)
+	}
+	// Figure 4: the fix eliminates the long tail.
+	if milli.Tail >= second.Tail {
+		t.Errorf("fixed tail %d should be below buggy tail %d", milli.Tail, second.Tail)
+	}
+	if second.Tail < 4*second.Median {
+		t.Errorf("buggy run should have a heavy tail: median %d, p99.9 %d", second.Median, second.Tail)
+	}
+	t.Logf("\n%s", RenderFigure4(second, milli))
+	t.Logf("\n%s", RenderExpiryHistogram("Coarse granularity (Table 7 analog):", second.ExpiryHistogram))
+	t.Logf("\n%s", RenderExpiryHistogram("Fine granularity (Table 8 analog):", milli.ExpiryHistogram))
+}
+
+func TestFigure5AllocatorChoice(t *testing.T) {
+	scenarios, err := AllocatorStudy(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 4 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	aLow, bLow := Find(scenarios, "A", "low"), Find(scenarios, "B", "low")
+	aHigh, bHigh := Find(scenarios, "A", "high"), Find(scenarios, "B", "high")
+
+	// Low churn / high occupancy: A outperforms B (B's scans are long).
+	if !(aLow.PredictedCycles < bLow.PredictedCycles) {
+		t.Errorf("low churn: predicted A %d should beat B %d", aLow.PredictedCycles, bLow.PredictedCycles)
+	}
+	if !(aLow.MeanIC < bLow.MeanIC) {
+		t.Errorf("low churn: measured A %.0f IC should beat B %.0f", aLow.MeanIC, bLow.MeanIC)
+	}
+	// High churn / low occupancy: B outperforms A.
+	if !(bHigh.PredictedCycles < aHigh.PredictedCycles) {
+		t.Errorf("high churn: predicted B %d should beat A %d", bHigh.PredictedCycles, aHigh.PredictedCycles)
+	}
+	if !(bHigh.MeanIC < aHigh.MeanIC) {
+		t.Errorf("high churn: measured B %.0f IC should beat A %.0f", bHigh.MeanIC, aHigh.MeanIC)
+	}
+	t.Logf("\n%s", RenderFigure5(scenarios))
+}

@@ -1,0 +1,39 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"gobolt/internal/expr"
+)
+
+// Performance expressions render the way the paper prints them.
+func ExamplePoly_String() {
+	// Table 4's known-source-MAC row.
+	p := expr.Term(245, "e").
+		Add(expr.Term(144, "c")).
+		Add(expr.Term(36, "t")).
+		Add(expr.Term(82, "e", "c")).
+		Add(expr.Term(19, "e", "t")).
+		Add(expr.Const(882))
+	fmt.Println(p)
+	// Output: 144·c + 245·e + 36·t + 82·c·e + 19·e·t + 882
+}
+
+// Binding PCVs evaluates a contract expression: the paper's §5.2
+// calculation 144×5 + 50×6 + 918 = 1938… with its own numbers.
+func ExamplePoly_Eval() {
+	p := expr.Term(4, "l").Add(expr.Const(5))
+	fmt.Println(p.Eval(map[string]uint64{"l": 24}))
+	fmt.Println(p.Eval(map[string]uint64{"l": 32}))
+	// Output:
+	// 101
+	// 133
+}
+
+// The derivative answers "what does one more traversal cost?" — the
+// sensitivity statement behind Figure 2's threshold analysis.
+func ExamplePoly_Derivative() {
+	p := expr.Term(36, "t").Add(expr.Term(19, "e", "t")).Add(expr.Const(882))
+	fmt.Println(p.Derivative("t"))
+	// Output: 19·e + 36
+}

@@ -1,0 +1,123 @@
+// Package hwmodel provides the two hardware models BOLT's cycle metric
+// relies on (paper §3.5 and §5.1):
+//
+//   - Conservative: the model BOLT uses to *predict* cycles. Compute
+//     instructions are charged their worst-case manual latency; every
+//     memory access is charged as served from main memory unless the
+//     model can definitively prove an L1D hit by tracking the spatial
+//     and temporal locality of earlier accesses on the same path. No
+//     prefetching, no memory-level parallelism, no shared caches.
+//
+//   - Detailed: the stand-in for the paper's Xeon testbed, used to
+//     *measure* cycles. It keeps caches warm across packets, models a
+//     three-level hierarchy, a next-line prefetcher, overlap of
+//     independent misses (MLP), and average-case instruction costs.
+//
+// The paper's headline result for cycles is the ratio between the two:
+// ~2–4× for typical workloads, ~9× for pathological ones, ≈1× for
+// pointer chasing (its P1 microbenchmark), ~6× with prefetching only
+// (P2) and ~9× with prefetching and MLP (P3).
+package hwmodel
+
+// LineBits is log2 of the cache line size (64-byte lines).
+const LineBits = 6
+
+// Cache is a set-associative cache with LRU replacement, keyed by line
+// address. It tracks presence only (no data).
+type Cache struct {
+	sets    []cacheSet
+	setMask uint64
+	ways    int
+	tick    uint64
+}
+
+type cacheSet struct {
+	lines []cacheLine
+}
+
+type cacheLine struct {
+	tag  uint64
+	used uint64
+}
+
+// NewCache builds a cache with the given number of sets (power of two)
+// and ways.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("hwmodel: sets must be a positive power of two")
+	}
+	if ways <= 0 {
+		panic("hwmodel: ways must be positive")
+	}
+	return &Cache{
+		sets:    make([]cacheSet, sets),
+		setMask: uint64(sets - 1),
+		ways:    ways,
+	}
+}
+
+// lineOf returns the line address of a byte address.
+func lineOf(addr uint64) uint64 { return addr >> LineBits }
+
+// Contains reports whether the line holding addr is cached, updating LRU
+// state on hit.
+func (c *Cache) Contains(addr uint64) bool {
+	line := lineOf(addr)
+	set := &c.sets[line&c.setMask]
+	for i := range set.lines {
+		if set.lines[i].tag == line {
+			c.tick++
+			set.lines[i].used = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert caches the line holding addr, evicting the LRU line if the set
+// is full.
+func (c *Cache) Insert(addr uint64) {
+	line := lineOf(addr)
+	set := &c.sets[line&c.setMask]
+	c.tick++
+	for i := range set.lines {
+		if set.lines[i].tag == line {
+			set.lines[i].used = c.tick
+			return
+		}
+	}
+	if len(set.lines) < c.ways {
+		set.lines = append(set.lines, cacheLine{tag: line, used: c.tick})
+		return
+	}
+	victim := 0
+	for i := range set.lines {
+		if set.lines[i].used < set.lines[victim].used {
+			victim = i
+		}
+	}
+	set.lines[victim] = cacheLine{tag: line, used: c.tick}
+}
+
+// Reset empties the cache.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i].lines = c.sets[i].lines[:0]
+	}
+	c.tick = 0
+}
+
+// Touch performs a combined lookup-and-fill, returning whether it hit.
+func (c *Cache) Touch(addr uint64) bool {
+	if c.Contains(addr) {
+		return true
+	}
+	c.Insert(addr)
+	return false
+}
+
+// SpansLines reports whether an access of size bytes at addr crosses a
+// line boundary (such accesses are charged as two).
+func SpansLines(addr uint64, size uint8) bool {
+	return size > 0 && lineOf(addr) != lineOf(addr+uint64(size)-1)
+}

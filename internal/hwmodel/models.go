@@ -1,0 +1,265 @@
+package hwmodel
+
+import (
+	"math"
+
+	"gobolt/internal/perf"
+)
+
+// Conservative-model constants: worst-case latencies in the spirit of the
+// Intel optimisation manual's per-instruction upper bounds, plus the
+// memory charges of §3.5 (DRAM unless provably L1D-resident).
+const (
+	WorstALU    = 1.0
+	WorstMul    = 5.0
+	WorstDiv    = 45.0
+	WorstBranch = 3.0 // taken-branch redirect, no predictor credit
+	WorstCall   = 3.0
+	MemIssue    = 1.0 // address generation + issue, charged per access
+	LatL1       = 4.0
+	LatDRAM     = 200.0
+)
+
+// Detailed-model constants: steady-state averages for a wide out-of-order
+// core with a stride prefetcher and ~10 outstanding misses.
+const (
+	AvgALU      = 0.5 // ~2 effective IPC on pointer-heavy NF code
+	AvgMul      = 1.0
+	AvgDiv      = 20.0
+	AvgBranch   = 1.0 // predicted
+	AvgCall     = 1.0
+	DetL1       = 1.0 // partially hidden by OoO
+	DetL2       = 12.0
+	DetL3       = 40.0
+	DetDRAM     = 200.0
+	PrefetchHit = 30.0 // stream-covered miss: DRAM bandwidth bound
+	MLPWidth    = 10.0 // independent misses overlap this much
+)
+
+// worstCost maps op classes to conservative per-instruction cycles.
+func worstCost(c perf.OpClass) float64 {
+	switch c {
+	case perf.OpMul:
+		return WorstMul
+	case perf.OpDiv:
+		return WorstDiv
+	case perf.OpBranch:
+		return WorstBranch
+	case perf.OpCall:
+		return WorstCall
+	default:
+		return WorstALU
+	}
+}
+
+// avgCost maps op classes to detailed-model per-instruction cycles.
+func avgCost(c perf.OpClass) float64 {
+	switch c {
+	case perf.OpMul:
+		return AvgMul
+	case perf.OpDiv:
+		return AvgDiv
+	case perf.OpBranch:
+		return AvgBranch
+	case perf.OpCall:
+		return AvgCall
+	default:
+		return AvgALU
+	}
+}
+
+// Conservative is BOLT's prediction-side cycle model. It implements
+// perf.TraceSink so a replayed path can be streamed through it.
+//
+// Its L1D tracker starts cold for every packet (Reset); a memory access
+// is charged LatL1 only if an earlier access on the same path touched
+// the same line — the "definitively prove" condition of §3.5 — and
+// LatDRAM otherwise.
+type Conservative struct {
+	l1     *Cache
+	cycles float64
+}
+
+// NewConservative builds the conservative model with a 32 KiB, 8-way L1D
+// used purely as the provable-hit tracker.
+func NewConservative() *Conservative {
+	return &Conservative{l1: NewCache(64, 8)}
+}
+
+// Reset clears the per-path tracker and the accumulated cycles.
+func (m *Conservative) Reset() {
+	m.l1.Reset()
+	m.cycles = 0
+}
+
+// Op implements perf.TraceSink.
+func (m *Conservative) Op(ev perf.Access) {
+	switch ev.Class {
+	case perf.OpLoad, perf.OpStore:
+		m.cycles += MemIssue
+		n := 1
+		if SpansLines(ev.Addr, ev.Size) {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			addr := ev.Addr + uint64(i)*(1<<LineBits)
+			if m.l1.Touch(addr) {
+				m.cycles += LatL1
+			} else {
+				m.cycles += LatDRAM
+			}
+		}
+	default:
+		m.cycles += worstCost(ev.Class) * float64(ev.Count)
+	}
+}
+
+// ChargeUnknown charges an access whose address the analysis could not
+// concretise: always DRAM, and it contributes no locality.
+func (m *Conservative) ChargeUnknown() { m.cycles += MemIssue + LatDRAM }
+
+// Cycles returns the accumulated conservative cycle count, rounded up.
+func (m *Conservative) Cycles() uint64 { return uint64(math.Ceil(m.cycles)) }
+
+// Detailed is the measurement-side cycle model standing in for real
+// hardware. State (cache contents, prefetch streams) persists across
+// packets, as on a warm testbed.
+type Detailed struct {
+	l1, l2, l3 *Cache
+	prefetched map[uint64]bool
+	lastLine   uint64
+	haveLast   bool
+	cycles     float64
+}
+
+// NewDetailed builds the detailed model: 32 KiB/8-way L1D, 256 KiB/8-way
+// L2, 8 MiB/16-way L3.
+func NewDetailed() *Detailed {
+	return &Detailed{
+		l1:         NewCache(64, 8),
+		l2:         NewCache(512, 8),
+		l3:         NewCache(8192, 16),
+		prefetched: make(map[uint64]bool),
+	}
+}
+
+// ResetCycles clears the cycle accumulator but keeps the cache state
+// (measurements exclude warmup but caches stay warm).
+func (m *Detailed) ResetCycles() { m.cycles = 0 }
+
+// ResetAll clears both cycles and all cache/prefetch state.
+func (m *Detailed) ResetAll() {
+	m.l1.Reset()
+	m.l2.Reset()
+	m.l3.Reset()
+	m.prefetched = make(map[uint64]bool)
+	m.haveLast = false
+	m.cycles = 0
+}
+
+// Op implements perf.TraceSink.
+func (m *Detailed) Op(ev perf.Access) {
+	switch ev.Class {
+	case perf.OpLoad, perf.OpStore:
+		n := 1
+		if SpansLines(ev.Addr, ev.Size) {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			m.access(ev.Addr+uint64(i)*(1<<LineBits), ev.LoadDependent)
+		}
+	default:
+		m.cycles += avgCost(ev.Class) * float64(ev.Count)
+	}
+}
+
+func (m *Detailed) access(addr uint64, dependent bool) {
+	line := lineOf(addr)
+	defer func() {
+		m.lastLine = line
+		m.haveLast = true
+	}()
+
+	if m.l1.Contains(addr) {
+		if m.prefetched[line] {
+			delete(m.prefetched, line)
+			if dependent {
+				// The stream prefetch covered this line but the chase
+				// still serialises on it: bandwidth-bound per line.
+				m.cycles += PrefetchHit
+			} else {
+				// Independent consumers overlap with the stream: the
+				// effective per-line cost is the MLP-overlapped fetch.
+				m.cycles += DetDRAM / MLPWidth
+			}
+		} else {
+			m.cycles += DetL1
+		}
+		m.maybePrefetch(line)
+		return
+	}
+
+	var lat float64
+	switch {
+	case m.l2.Contains(addr):
+		lat = DetL2
+	case m.l3.Contains(addr):
+		lat = DetL3
+	default:
+		lat = DetDRAM
+	}
+	if !dependent && lat >= DetL3 {
+		// Independent long-latency misses overlap in the load queue.
+		lat /= MLPWidth
+	}
+	m.cycles += lat
+	m.fill(addr)
+	m.maybePrefetch(line)
+}
+
+// maybePrefetch issues a next-line prefetch when the access continues an
+// ascending stream (previous access was to this or the preceding line).
+func (m *Detailed) maybePrefetch(line uint64) {
+	if !m.haveLast {
+		return
+	}
+	if line == m.lastLine || line == m.lastLine+1 {
+		next := (line + 1) << LineBits
+		if !m.l1.Contains(next) {
+			m.fill(next)
+			m.prefetched[line+1] = true
+		}
+	}
+}
+
+func (m *Detailed) fill(addr uint64) {
+	m.l1.Insert(addr)
+	m.l2.Insert(addr)
+	m.l3.Insert(addr)
+}
+
+// Cycles returns the accumulated detailed cycle count, rounded up.
+func (m *Detailed) Cycles() uint64 { return uint64(math.Ceil(m.cycles)) }
+
+// ConservativeStatic computes the conservative cycle cost of an
+// instruction mix without an address trace (every access charged as
+// DRAM). Data-structure contract authors use it to derive cycle
+// polynomial coefficients from IC/MA counts.
+func ConservativeStatic(ops map[perf.OpClass]uint64, memAccesses uint64) float64 {
+	total := float64(memAccesses) * (MemIssue + LatDRAM)
+	for c, n := range ops {
+		if c == perf.OpLoad || c == perf.OpStore {
+			continue
+		}
+		total += worstCost(c) * float64(n)
+	}
+	return total
+}
+
+// CyclesPerMemDRAM and CyclesPerALU are exported for contract authors
+// who write cycle polynomials by hand: one DRAM-charged access and one
+// worst-case ALU op.
+const (
+	CyclesPerMemDRAM = MemIssue + LatDRAM
+	CyclesPerALU     = WorstALU
+)

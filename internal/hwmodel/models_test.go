@@ -1,0 +1,285 @@
+package hwmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobolt/internal/perf"
+)
+
+func TestCacheBasic(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Contains(0x1000) {
+		t.Fatal("empty cache cannot hit")
+	}
+	c.Insert(0x1000)
+	if !c.Contains(0x1000) {
+		t.Fatal("inserted line must hit")
+	}
+	if !c.Contains(0x1010) { // same 64-byte line
+		t.Fatal("same-line address must hit")
+	}
+	if c.Contains(0x1040) { // next line
+		t.Fatal("adjacent line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2) // one set, two ways
+	c.Insert(0 << LineBits)
+	c.Insert(1 << LineBits)
+	if !c.Contains(0 << LineBits) {
+		t.Fatal("line 0 should be resident")
+	}
+	// Touch line 0 (now MRU), insert line 2 → line 1 evicted.
+	c.Insert(2 << LineBits)
+	if !c.Contains(0<<LineBits) || c.Contains(1<<LineBits) || !c.Contains(2<<LineBits) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Insert(0x40)
+	c.Reset()
+	if c.Contains(0x40) {
+		t.Fatal("reset cache must be empty")
+	}
+}
+
+func TestCacheBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(3, 2) },
+		func() { NewCache(0, 2) },
+		func() { NewCache(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad cache params")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpansLines(t *testing.T) {
+	if SpansLines(0, 8) {
+		t.Error("aligned 8B access must not span")
+	}
+	if !SpansLines(60, 8) {
+		t.Error("access crossing byte 64 must span")
+	}
+	if SpansLines(63, 1) {
+		t.Error("1-byte access cannot span")
+	}
+}
+
+func TestConservativeColdThenWarm(t *testing.T) {
+	m := NewConservative()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1000, Size: 8})
+	first := m.Cycles()
+	if first != uint64(MemIssue+LatDRAM) {
+		t.Errorf("cold access = %d cycles, want %d", first, uint64(MemIssue+LatDRAM))
+	}
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1008, Size: 8})
+	if got := m.Cycles() - first; got != uint64(MemIssue+LatL1) {
+		t.Errorf("provable hit = %d cycles, want %d", got, uint64(MemIssue+LatL1))
+	}
+}
+
+func TestConservativeResetForgetsLocality(t *testing.T) {
+	m := NewConservative()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1000, Size: 8})
+	m.Reset()
+	if m.Cycles() != 0 {
+		t.Fatal("reset must clear cycles")
+	}
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1000, Size: 8})
+	if m.Cycles() != uint64(MemIssue+LatDRAM) {
+		t.Error("post-reset access must be charged as DRAM")
+	}
+}
+
+func TestConservativeComputeCosts(t *testing.T) {
+	m := NewConservative()
+	m.Op(perf.Access{Class: perf.OpALU, Count: 10})
+	m.Op(perf.Access{Class: perf.OpDiv, Count: 1})
+	m.Op(perf.Access{Class: perf.OpBranch, Count: 2})
+	want := uint64(10*WorstALU + WorstDiv + 2*WorstBranch)
+	if got := m.Cycles(); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestConservativeUnknownAccess(t *testing.T) {
+	m := NewConservative()
+	m.ChargeUnknown()
+	if m.Cycles() != uint64(MemIssue+LatDRAM) {
+		t.Errorf("unknown access = %d", m.Cycles())
+	}
+}
+
+func TestConservativeSpanningAccess(t *testing.T) {
+	m := NewConservative()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 60, Size: 8})
+	want := uint64(MemIssue + 2*LatDRAM)
+	if got := m.Cycles(); got != want {
+		t.Errorf("spanning access = %d, want %d", got, want)
+	}
+}
+
+func TestDetailedWarmCacheCheaper(t *testing.T) {
+	m := NewDetailed()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x10000, Size: 8})
+	cold := m.Cycles()
+	m.ResetCycles()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x10000, Size: 8})
+	warm := m.Cycles()
+	if warm >= cold {
+		t.Errorf("warm access (%d) must be cheaper than cold (%d)", warm, cold)
+	}
+}
+
+func TestDetailedMLPOverlap(t *testing.T) {
+	// Independent far-apart misses should be ~MLPWidth cheaper than
+	// dependent ones.
+	indep := NewDetailed()
+	dep := NewDetailed()
+	for i := uint64(0); i < 100; i++ {
+		addr := 0x100000 + i*4096*7 // avoid streams
+		indep.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: addr, Size: 8})
+		dep.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: addr, Size: 8, LoadDependent: true})
+	}
+	ratio := float64(dep.Cycles()) / float64(indep.Cycles())
+	if ratio < MLPWidth*0.8 || ratio > MLPWidth*1.2 {
+		t.Errorf("dependent/independent ratio = %.2f, want ≈%v", ratio, MLPWidth)
+	}
+}
+
+func TestDetailedPrefetchStream(t *testing.T) {
+	// A sequential dependent walk: after the first miss, subsequent lines
+	// are prefetch-covered, far below DRAM latency.
+	m := NewDetailed()
+	var addrs []uint64
+	for i := uint64(0); i < 64; i++ {
+		addrs = append(addrs, 0x200000+i*64)
+	}
+	for _, a := range addrs {
+		m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: a, Size: 8, LoadDependent: true})
+	}
+	perLine := float64(m.Cycles()) / float64(len(addrs))
+	if perLine > PrefetchHit*1.5 {
+		t.Errorf("prefetched stream costs %.1f cycles/line, want ≲%v", perLine, PrefetchHit*1.5)
+	}
+}
+
+// The three-program experiment of §5.1: the conservative/detailed ratio
+// must be ≈1 for random pointer chasing, ≈6 with prefetching only, and
+// ≈9 with prefetching + MLP. The full experiment lives in
+// internal/experiments; this is the model-level sanity check.
+func TestP1P2P3Ratios(t *testing.T) {
+	runBoth := func(addrs []uint64, dependent bool) (consRatio float64) {
+		cons := NewConservative()
+		det := NewDetailed()
+		for _, a := range addrs {
+			ev := perf.Access{Class: perf.OpLoad, Count: 1, Addr: a, Size: 8, LoadDependent: dependent}
+			cons.Op(ev)
+			det.Op(ev)
+		}
+		return float64(cons.Cycles()) / float64(det.Cycles())
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	// P1: random 64-bit-ish pointer chase, dependent.
+	var p1 []uint64
+	for i := 0; i < 4000; i++ {
+		p1 = append(p1, uint64(rng.Intn(1<<28))&^63|0x4000_0000)
+	}
+	r1 := runBoth(p1, true)
+	if r1 < 0.9 || r1 > 1.3 {
+		t.Errorf("P1 ratio = %.2f, want ≈1", r1)
+	}
+
+	// P2: contiguous 64-byte nodes, dependent (linked list in one chunk).
+	var p2 []uint64
+	for i := uint64(0); i < 4000; i++ {
+		p2 = append(p2, 0x5000_0000+i*64)
+	}
+	r2 := runBoth(p2, true)
+	if r2 < 4.5 || r2 > 8 {
+		t.Errorf("P2 ratio = %.2f, want ≈6", r2)
+	}
+
+	// P3: array of 8-byte elements, independent loads.
+	var p3 []uint64
+	for i := uint64(0); i < 32000; i++ {
+		p3 = append(p3, 0x6000_0000+i*8)
+	}
+	r3 := runBoth(p3, false)
+	if r3 < 7 || r3 > 12 {
+		t.Errorf("P3 ratio = %.2f, want ≈9", r3)
+	}
+}
+
+func TestConservativeStatic(t *testing.T) {
+	ops := map[perf.OpClass]uint64{
+		perf.OpALU:    10,
+		perf.OpBranch: 2,
+		perf.OpLoad:   3, // ignored: memory charged via the second arg
+	}
+	got := ConservativeStatic(ops, 3)
+	want := 10*WorstALU + 2*WorstBranch + 3*(MemIssue+LatDRAM)
+	if got != want {
+		t.Errorf("ConservativeStatic = %v, want %v", got, want)
+	}
+}
+
+// Property: the conservative model never predicts fewer cycles than the
+// detailed model measures for the same trace — the soundness direction
+// of Table 3.
+func TestConservativeDominatesDetailed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cons := NewConservative()
+		det := NewDetailed()
+		for i := 0; i < 300; i++ {
+			var ev perf.Access
+			switch rng.Intn(4) {
+			case 0:
+				ev = perf.Access{Class: perf.OpALU, Count: uint64(1 + rng.Intn(5))}
+			case 1:
+				ev = perf.Access{Class: perf.OpBranch, Count: 1}
+			default:
+				ev = perf.Access{
+					Class:         perf.OpLoad,
+					Count:         1,
+					Addr:          uint64(rng.Intn(1 << 16)),
+					Size:          8,
+					LoadDependent: rng.Intn(2) == 0,
+				}
+			}
+			cons.Op(ev)
+			det.Op(ev)
+		}
+		return cons.Cycles() >= det.Cycles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetailedResetAll(t *testing.T) {
+	m := NewDetailed()
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1000, Size: 8})
+	m.ResetAll()
+	if m.Cycles() != 0 {
+		t.Fatal("ResetAll must clear cycles")
+	}
+	m.Op(perf.Access{Class: perf.OpLoad, Count: 1, Addr: 0x1000, Size: 8})
+	if m.Cycles() < uint64(DetDRAM/MLPWidth) {
+		t.Error("post-reset access should miss")
+	}
+}

@@ -1,0 +1,283 @@
+package nf
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/nfir"
+	"gobolt/internal/packet"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// run processes one packet through an instance's production build.
+func run(t *testing.T, in *Instance, p traffic.Packet) nfir.Action {
+	t.Helper()
+	if in.Env.Meter == nil {
+		in.Env.Meter = perf.NewMeter(nil)
+	}
+	in.Env.ResetPacket(p.Data, p.InPort, p.Time)
+	act, err := in.Env.Run(in.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return act
+}
+
+func udpPacket(srcIP, dstIP [4]byte, sp, dp uint16, t, inPort uint64) traffic.Packet {
+	frame := packet.NewBuilder().
+		Ethernet(packet.MAC{2, 0, 0, 0, 0, 9}, packet.MAC{2, 0, 0, 0, 0, 8}, packet.EtherTypeIPv4).
+		IPv4(addr(srcIP), addr(dstIP), packet.ProtoUDP, 64, nil).
+		UDP(sp, dp).
+		Bytes()
+	return traffic.Packet{Data: frame, Time: t, InPort: inPort}
+}
+
+func addr(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }
+
+func TestBridgeLearningAndForwarding(t *testing.T) {
+	br := NewBridge(BridgeConfig{Ports: 4, Capacity: 64, TimeoutNS: 1 << 50, GranularityNS: 1})
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xA}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xB}
+
+	frame := func(dst, src packet.MAC) []byte {
+		return packet.NewBuilder().Ethernet(dst, src, packet.EtherTypeIPv4).
+			IPv4(addr(addrv(10, 0, 0, 1)), addr(addrv(10, 0, 0, 2)), packet.ProtoUDP, 64, nil).
+			UDP(1, 2).Bytes()
+	}
+
+	// A→B before B is known: flood; the bridge learns A on port 1.
+	act := run(t, br.Instance, traffic.Packet{Data: frame(macB, macA), Time: 1000, InPort: 1})
+	if act.Kind != nfir.ActionForward || act.Port != FloodPort {
+		t.Fatalf("unknown dst should flood, got %+v", act)
+	}
+	// B→A: A is known on port 1 → unicast forward to 1; learns B on 2.
+	act = run(t, br.Instance, traffic.Packet{Data: frame(macA, macB), Time: 2000, InPort: 2})
+	if act.Kind != nfir.ActionForward || act.Port != 1 {
+		t.Fatalf("known dst should forward to 1, got %+v", act)
+	}
+	// A→B again: B now known on port 2.
+	act = run(t, br.Instance, traffic.Packet{Data: frame(macB, macA), Time: 3000, InPort: 1})
+	if act.Port != 2 {
+		t.Fatalf("learned dst should forward to 2, got %+v", act)
+	}
+	// Broadcast always floods.
+	act = run(t, br.Instance, traffic.Packet{Data: frame(packet.Broadcast, macA), Time: 4000, InPort: 1})
+	if act.Port != FloodPort {
+		t.Fatalf("broadcast should flood, got %+v", act)
+	}
+	// A station moving ports updates the table.
+	run(t, br.Instance, traffic.Packet{Data: frame(macB, macA), Time: 5000, InPort: 3})
+	act = run(t, br.Instance, traffic.Packet{Data: frame(macA, macB), Time: 6000, InPort: 2})
+	if act.Port != 3 {
+		t.Fatalf("station move not learned: %+v", act)
+	}
+}
+
+func addrv(a, b, c, d byte) [4]byte { return [4]byte{a, b, c, d} }
+
+func TestNATEndToEndTranslation(t *testing.T) {
+	nat := NewNAT(NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: 64,
+		TimeoutNS: 1 << 50, GranularityNS: 1,
+	})
+	// Internal host 10.0.0.5:1234 → 8.8.8.8:53.
+	out := udpPacket(addrv(10, 0, 0, 5), addrv(8, 8, 8, 8), 1234, 53, 1000, NATPortInternal)
+	act := run(t, nat.Instance, out)
+	if act.Kind != nfir.ActionForward || act.Port != NATPortExternal {
+		t.Fatalf("outbound = %+v", act)
+	}
+	// The source must be rewritten to the external IP and an allocated port.
+	gotSrc := binary.BigEndian.Uint32(nat.Env.Pkt[26:30])
+	extPort := binary.BigEndian.Uint16(nat.Env.Pkt[34:36])
+	if gotSrc != 0xC0A80001 {
+		t.Fatalf("src not rewritten: %#x", gotSrc)
+	}
+	if extPort < 1024 {
+		t.Fatalf("ext port = %d", extPort)
+	}
+
+	// Reply: 8.8.8.8:53 → 192.168.0.1:extPort arrives externally.
+	reply := udpPacket(addrv(8, 8, 8, 8), addrv(192, 168, 0, 1), 53, extPort, 2000, NATPortExternal)
+	act = run(t, nat.Instance, reply)
+	if act.Kind != nfir.ActionForward || act.Port != NATPortInternal {
+		t.Fatalf("reply = %+v", act)
+	}
+	// Destination must be rewritten back to the internal host and port.
+	gotDst := binary.BigEndian.Uint32(nat.Env.Pkt[30:34])
+	gotDport := binary.BigEndian.Uint16(nat.Env.Pkt[36:38])
+	if gotDst != 0x0A000005 || gotDport != 1234 {
+		t.Fatalf("reply rewrite = %#x:%d, want 0x0a000005:1234", gotDst, gotDport)
+	}
+
+	// Unsolicited external packet to a free port: dropped (NAT4).
+	stray := udpPacket(addrv(9, 9, 9, 9), addrv(192, 168, 0, 1), 53, extPort+7, 3000, NATPortExternal)
+	if act := run(t, nat.Instance, stray); act.Kind != nfir.ActionDrop {
+		t.Fatalf("stray external = %+v", act)
+	}
+
+	// Established flow reuses the same mapping.
+	act = run(t, nat.Instance, out)
+	if p := binary.BigEndian.Uint16(nat.Env.Pkt[34:36]); p != extPort {
+		t.Fatalf("mapping not stable: %d vs %d", p, extPort)
+	}
+	_ = act
+}
+
+func TestNATDropsInvalid(t *testing.T) {
+	nat := NewNAT(NATConfig{ExternalIP: 1, Capacity: 8, TimeoutNS: 1})
+	if act := run(t, nat.Instance, traffic.NonIPv4(1, NATPortInternal)); act.Kind != nfir.ActionDrop {
+		t.Fatal("non-IPv4 must drop")
+	}
+	if act := run(t, nat.Instance, traffic.WithOptions(2, 2, NATPortInternal)); act.Kind != nfir.ActionDrop {
+		t.Fatal("IP options must drop (invalid class)")
+	}
+}
+
+func TestLBStickinessAndFailover(t *testing.T) {
+	lb, err := NewLB(LBConfig{
+		Backends: 8, RingSize: 257, BackendIPBase: 0xAC100000,
+		FlowCapacity: 64, TimeoutNS: 1 << 50, GranularityNS: 1,
+		HeartbeatTimeoutNS: 1 << 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(10_000)
+	for b := 0; b < 8; b++ {
+		lb.Ring.SetHeartbeat(b, now)
+	}
+	flow := udpPacket(addrv(1, 2, 3, 4), addrv(172, 16, 0, 100), 5555, 80, now, LBPortClient)
+	act1 := run(t, lb.Instance, flow)
+	if act1.Kind != nfir.ActionForward || act1.Port != LBPortBackend {
+		t.Fatalf("first packet = %+v", act1)
+	}
+	backend1 := binary.BigEndian.Uint32(lb.Env.Pkt[30:34]) - 0xAC100000
+
+	// Same flow sticks to the same backend.
+	act2 := run(t, lb.Instance, flow)
+	backend2 := binary.BigEndian.Uint32(lb.Env.Pkt[30:34]) - 0xAC100000
+	if act2.Kind != nfir.ActionForward || backend1 != backend2 {
+		t.Fatalf("flow moved: %d → %d", backend1, backend2)
+	}
+
+	// Kill that backend: the flow is re-steered to a live one (LB3).
+	lb.Ring.SetHeartbeat(int(backend1), 0)
+	lb.Ring.TimeoutNS = 1
+	for b := 0; b < 8; b++ {
+		if uint32(b) != backend1 {
+			lb.Ring.SetHeartbeat(b, 1<<51)
+		}
+	}
+	act3 := run(t, lb.Instance, flow)
+	backend3 := binary.BigEndian.Uint32(lb.Env.Pkt[30:34]) - 0xAC100000
+	if act3.Kind != nfir.ActionForward || backend3 == backend1 {
+		t.Fatalf("flow not re-steered off dead backend: %d", backend3)
+	}
+	// And it now sticks to the new backend.
+	run(t, lb.Instance, flow)
+	if b := binary.BigEndian.Uint32(lb.Env.Pkt[30:34]) - 0xAC100000; b != backend3 {
+		t.Fatalf("re-steered flow moved again: %d → %d", backend3, b)
+	}
+}
+
+func TestLBHeartbeatConsumed(t *testing.T) {
+	lb, err := NewLB(LBConfig{
+		Backends: 4, RingSize: 97, BackendIPBase: 1,
+		FlowCapacity: 16, TimeoutNS: 1 << 50, HeartbeatTimeoutNS: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := traffic.Heartbeat(2, LBHeartbeatPort, 5_000)
+	if act := run(t, lb.Instance, hb); act.Kind != nfir.ActionDrop {
+		t.Fatalf("heartbeat should be consumed, got %+v", act)
+	}
+	// The heartbeat refreshed backend 2's liveness.
+	res, err := lb.Ring.Invoke("alive", []uint64{2, 100_000}, lb.Env)
+	if err != nil || res[0] != 1 {
+		t.Fatalf("backend 2 not alive after heartbeat: %v %v", res, err)
+	}
+}
+
+func TestLPMRouterForwardingAndTTL(t *testing.T) {
+	r := NewLPMRouter(LPMRouterConfig{Ports: 8, DefaultPort: 7})
+	if err := r.Table.AddRoute(0x0A000000, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := udpPacket(addrv(1, 1, 1, 1), addrv(10, 2, 3, 4), 1, 2, 1000, 0)
+	ttlBefore := p.Data[22]
+	act := run(t, r.Instance, p)
+	if act.Kind != nfir.ActionForward || act.Port != 3 {
+		t.Fatalf("route lookup = %+v", act)
+	}
+	if r.Env.Pkt[22] != ttlBefore-1 {
+		t.Fatalf("TTL not decremented: %d → %d", ttlBefore, r.Env.Pkt[22])
+	}
+	// MAC rewrite happened (next-hop addressing).
+	if r.Env.Pkt[0] != 0x02 {
+		t.Error("dst MAC not rewritten")
+	}
+
+	// TTL ≤ 1 drops.
+	p.Data[22] = 1
+	if act := run(t, r.Instance, p); act.Kind != nfir.ActionDrop {
+		t.Fatal("TTL 1 must drop")
+	}
+	// Non-IPv4 drops.
+	if act := run(t, r.Instance, traffic.NonIPv4(1, 0)); act.Kind != nfir.ActionDrop {
+		t.Fatal("non-IPv4 must drop")
+	}
+}
+
+func TestFirewallPolicy(t *testing.T) {
+	fw := NewFirewall(FirewallConfig{
+		Rules: []dslib.Rule{
+			{SrcMask: 0xFF000000, SrcVal: 0x0A000000, Action: 1},
+		},
+		DefaultAccept: false,
+	})
+	allowed := udpPacket(addrv(10, 1, 1, 1), addrv(1, 2, 3, 4), 1, 2, 1000, 0)
+	if act := run(t, fw.Instance, allowed); act.Kind != nfir.ActionForward {
+		t.Fatal("10/8 source should be accepted")
+	}
+	denied := udpPacket(addrv(11, 1, 1, 1), addrv(1, 2, 3, 4), 1, 2, 2000, 0)
+	if act := run(t, fw.Instance, denied); act.Kind != nfir.ActionDrop {
+		t.Fatal("non-matching source should be denied")
+	}
+	// The IP-options policy (§5.2): dropped regardless of rules.
+	if act := run(t, fw.Instance, traffic.WithOptions(2, 3000, 0)); act.Kind != nfir.ActionDrop {
+		t.Fatal("options packet must be dropped")
+	}
+}
+
+func TestStaticRouterProcessesOptions(t *testing.T) {
+	sr := NewStaticRouter(StaticRouterConfig{Ports: 4, DefaultPort: 2})
+	plain := udpPacket(addrv(10, 1, 1, 1), addrv(9, 9, 9, 9), 1, 2, 1000, 0)
+	sr.Env.Meter = perf.NewMeter(nil)
+	sr.Env.ResetPacket(plain.Data, 0, plain.Time)
+	if _, err := sr.Env.Run(sr.Prog); err != nil {
+		t.Fatal(err)
+	}
+	plainIC := sr.Env.Meter.Instructions()
+
+	sr.Env.Meter.Reset()
+	opts := traffic.WithOptions(5, 2000, 0)
+	sr.Env.ResetPacket(opts.Data, 0, opts.Time)
+	act, err := sr.Env.Run(sr.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Kind != nfir.ActionForward {
+		t.Fatalf("options packet should still forward, got %+v", act)
+	}
+	optIC := sr.Env.Meter.Instructions()
+	if optIC <= plainIC {
+		t.Fatalf("options processing should cost more: %d vs %d", optIC, plainIC)
+	}
+	if got := sr.Env.PCVs()["n"]; got != 5 {
+		t.Fatalf("options PCV = %d, want 5", got)
+	}
+}

@@ -1,0 +1,403 @@
+package nfir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+// Heap is the simulated flat memory used by MemLoad/MemStore and by the
+// data-structure library to reserve address ranges (so access traces have
+// realistic, stable addresses). It is byte-addressed and sparse.
+type Heap struct {
+	mem  map[uint64]byte
+	next uint64
+}
+
+// heapBase leaves low addresses free so packet buffers and device rings
+// can live below the heap.
+const heapBase = 0x1000_0000
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{mem: make(map[uint64]byte), next: heapBase}
+}
+
+// Alloc reserves size bytes and returns the base address. The region is
+// zeroed. Alignment is 64 bytes so distinct objects never share a cache
+// line.
+func (h *Heap) Alloc(size uint64) uint64 {
+	const align = 64
+	h.next = (h.next + align - 1) &^ (align - 1)
+	base := h.next
+	h.next += size
+	return base
+}
+
+// Read loads size ∈ {1,2,4,8} bytes little-endian at addr.
+func (h *Heap) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(h.mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size ∈ {1,2,4,8} bytes little-endian at addr.
+func (h *Heap) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		h.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// Env is the execution environment for one packet through the concrete
+// interpreter. Reuse an Env across packets via ResetPacket to keep the
+// data structures' state.
+type Env struct {
+	// Pkt is the packet buffer (length MaxPacket); PktLen is the actual
+	// packet length.
+	Pkt    []byte
+	PktLen uint64
+	// PktAddr is the simulated address of the packet buffer.
+	PktAddr uint64
+	// InPort is the arrival interface index.
+	InPort uint64
+	// Time is the packet's arrival timestamp in nanoseconds.
+	Time uint64
+	// Meter accounts the execution's cost; may be nil to run unmetered.
+	Meter *perf.Meter
+	// Heap is the simulated memory; shared across packets.
+	Heap *Heap
+	// DS maps data-structure names to their linked implementations —
+	// real ones in the production build, replay stubs during analysis.
+	DS map[string]ConcreteDS
+	// Action is the processing outcome, valid after Run returns.
+	Action Action
+
+	// TxAddr is the simulated TX-descriptor address charged by Forward.
+	TxAddr uint64
+
+	locals   map[string]uint64
+	localDep map[string]bool
+	pcvs     map[string]uint64
+}
+
+// NewEnv builds an environment with a fresh heap and packet buffer.
+func NewEnv() *Env {
+	h := NewHeap()
+	return &Env{
+		Pkt:      make([]byte, MaxPacket),
+		PktAddr:  0x10_0000,
+		TxAddr:   0x20_0000,
+		Heap:     h,
+		DS:       make(map[string]ConcreteDS),
+		locals:   make(map[string]uint64),
+		localDep: make(map[string]bool),
+		pcvs:     make(map[string]uint64),
+	}
+}
+
+// ResetPacket prepares the Env for the next packet: locals, PCV
+// observations and the previous action are cleared; data-structure state
+// and the heap persist.
+func (e *Env) ResetPacket(pkt []byte, inPort, timeNS uint64) {
+	if len(pkt) > MaxPacket {
+		pkt = pkt[:MaxPacket]
+	}
+	copy(e.Pkt, pkt)
+	for i := len(pkt); i < MaxPacket; i++ {
+		e.Pkt[i] = 0
+	}
+	e.PktLen = uint64(len(pkt))
+	e.InPort = inPort
+	e.Time = timeNS
+	e.Action = Action{}
+	clear(e.locals)
+	clear(e.localDep)
+	clear(e.pcvs)
+}
+
+// ObservePCV accumulates an observation of a performance-critical
+// variable for the current packet; the Distiller and the soundness tests
+// read the per-packet totals via PCVs. Counting PCVs (expired entries)
+// sum across calls.
+func (e *Env) ObservePCV(name string, v uint64) { e.pcvs[name] += v }
+
+// ObservePCVMax records a per-operation PCV with max semantics: PCVs like
+// "hash collisions" and "bucket traversals" denote the worst single
+// operation the packet induced, which is what makes per-call contract
+// terms sum soundly into the per-packet contract.
+func (e *Env) ObservePCVMax(name string, v uint64) {
+	if cur, ok := e.pcvs[name]; !ok || v > cur {
+		e.pcvs[name] = v
+	}
+}
+
+// PCVs returns the PCV observations accumulated for the current packet.
+// The map is live; copy it before the next ResetPacket.
+func (e *Env) PCVs() map[string]uint64 { return e.pcvs }
+
+// Local returns a local's value, for tests and replay validation.
+func (e *Env) Local(name string) (uint64, bool) {
+	v, ok := e.locals[name]
+	return v, ok
+}
+
+// Run executes the program's body on the current packet. It returns the
+// resulting action; every path must end in Forward or Drop.
+func (e *Env) Run(p *Program) (Action, error) {
+	done, err := e.execStmts(p.Body)
+	if err != nil {
+		return Action{}, fmt.Errorf("nfir: %s: %w", p.Name, err)
+	}
+	if !done {
+		return Action{}, fmt.Errorf("nfir: %s: fell off the end without Forward/Drop", p.Name)
+	}
+	return e.Action, nil
+}
+
+func (e *Env) execStmts(stmts []Stmt) (done bool, err error) {
+	for _, s := range stmts {
+		done, err = e.execStmt(s)
+		if err != nil || done {
+			return done, err
+		}
+	}
+	return false, nil
+}
+
+func (e *Env) execStmt(s Stmt) (done bool, err error) {
+	switch st := s.(type) {
+	case Assign:
+		v, dep, err := e.eval(st.E)
+		if err != nil {
+			return false, err
+		}
+		e.locals[st.Dst] = v
+		e.localDep[st.Dst] = dep
+		return false, nil
+	case If:
+		v, _, err := e.evalCond(st.Cond)
+		if err != nil {
+			return false, err
+		}
+		if v != 0 {
+			return e.execStmts(st.Then)
+		}
+		return e.execStmts(st.Else)
+	case While:
+		for iter := 0; ; iter++ {
+			if st.MaxIter > 0 && iter > st.MaxIter {
+				return false, fmt.Errorf("loop exceeded MaxIter=%d", st.MaxIter)
+			}
+			v, _, err := e.evalCond(st.Cond)
+			if err != nil {
+				return false, err
+			}
+			if v == 0 {
+				return false, nil
+			}
+			done, err := e.execStmts(st.Body)
+			if err != nil || done {
+				return done, err
+			}
+		}
+	case Call:
+		args := make([]uint64, len(st.Args))
+		for i, a := range st.Args {
+			v, _, err := e.eval(a)
+			if err != nil {
+				return false, err
+			}
+			args[i] = v
+		}
+		ds, ok := e.DS[st.DS]
+		if !ok {
+			return false, fmt.Errorf("unknown data structure %q", st.DS)
+		}
+		results, err := ds.Invoke(st.Method, args, e)
+		if err != nil {
+			return false, fmt.Errorf("%s.%s: %w", st.DS, st.Method, err)
+		}
+		if len(results) < len(st.Dsts) {
+			return false, fmt.Errorf("%s.%s returned %d values, want ≥ %d", st.DS, st.Method, len(results), len(st.Dsts))
+		}
+		for i, dst := range st.Dsts {
+			e.locals[dst] = results[i]
+			e.localDep[dst] = true // model results flow through memory
+		}
+		return false, nil
+	case PktStore:
+		off, _, err := e.eval(st.Off)
+		if err != nil {
+			return false, err
+		}
+		v, _, err := e.eval(st.Val)
+		if err != nil {
+			return false, err
+		}
+		if off+uint64(st.Size) > MaxPacket {
+			return false, fmt.Errorf("packet store out of bounds: off=%d size=%d", off, st.Size)
+		}
+		e.Meter.Store(e.PktAddr+off, uint8(st.Size))
+		putBE(e.Pkt[off:], st.Size, v)
+		return false, nil
+	case MemStore:
+		addr, _, err := e.eval(st.Addr)
+		if err != nil {
+			return false, err
+		}
+		v, _, err := e.eval(st.Val)
+		if err != nil {
+			return false, err
+		}
+		e.Meter.Store(addr, uint8(st.Size))
+		e.Heap.Write(addr, st.Size, v)
+		return false, nil
+	case Forward:
+		port, _, err := e.eval(st.Port)
+		if err != nil {
+			return false, err
+		}
+		e.Action = Action{Kind: ActionForward, Port: port}
+		return true, nil
+	case DropStmt:
+		e.Action = Action{Kind: ActionDrop}
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+// evalCond evaluates a branch condition, charging the extra branch
+// instruction when the condition is not itself comparison-shaped (a bare
+// value needs an explicit test+jump).
+func (e *Env) evalCond(cond Expr) (uint64, bool, error) {
+	v, dep, err := e.eval(cond)
+	if err != nil {
+		return 0, false, err
+	}
+	if !isCmpShaped(cond) {
+		e.Meter.Exec(perf.OpBranch, 1)
+	}
+	return v, dep, nil
+}
+
+// isCmpShaped reports whether evaluating the expression already ends in a
+// comparison whose result feeds the branch (so cmp+jcc fuse).
+func isCmpShaped(e Expr) bool {
+	switch x := e.(type) {
+	case Bin:
+		return x.Op.IsComparison()
+	case Not:
+		return isCmpShaped(x.X)
+	}
+	return false
+}
+
+// eval computes an expression, charging its cost. The bool result is the
+// load-dependence taint used by the detailed hardware model to decide
+// which misses can overlap.
+func (e *Env) eval(x Expr) (uint64, bool, error) {
+	switch ex := x.(type) {
+	case Const:
+		return ex.V, false, nil
+	case Local:
+		v, ok := e.locals[ex.Name]
+		if !ok {
+			return 0, false, fmt.Errorf("read of unassigned local %q", ex.Name)
+		}
+		return v, e.localDep[ex.Name], nil
+	case Now:
+		return e.Time, false, nil
+	case InPort:
+		return e.InPort, false, nil
+	case PktLen:
+		return e.PktLen, false, nil
+	case Not:
+		v, dep, err := e.eval(ex.X)
+		if err != nil {
+			return 0, false, err
+		}
+		if v == 0 {
+			return 1, dep, nil
+		}
+		return 0, dep, nil
+	case Bin:
+		l, ldep, err := e.eval(ex.L)
+		if err != nil {
+			return 0, false, err
+		}
+		r, rdep, err := e.eval(ex.R)
+		if err != nil {
+			return 0, false, err
+		}
+		e.Meter.Exec(opClass(ex.Op), 1)
+		return symb.ApplyOp(ex.Op, l, r), ldep || rdep, nil
+	case PktLoad:
+		off, _, err := e.eval(ex.Off)
+		if err != nil {
+			return 0, false, err
+		}
+		if off+uint64(ex.Size) > MaxPacket {
+			return 0, false, fmt.Errorf("packet load out of bounds: off=%d size=%d", off, ex.Size)
+		}
+		e.Meter.Load(e.PktAddr+off, uint8(ex.Size), false)
+		return getBE(e.Pkt[off:], ex.Size), true, nil
+	case MemLoad:
+		addr, adep, err := e.eval(ex.Addr)
+		if err != nil {
+			return 0, false, err
+		}
+		e.Meter.Load(addr, uint8(ex.Size), adep)
+		return e.Heap.Read(addr, ex.Size), true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown expression %T", x)
+	}
+}
+
+// opClass maps an operator to its hardware cost class.
+func opClass(op symb.Op) perf.OpClass {
+	switch {
+	case op == symb.Mul:
+		return perf.OpMul
+	case op == symb.Div || op == symb.Mod:
+		return perf.OpDiv
+	case op.IsComparison():
+		return perf.OpBranch
+	default:
+		return perf.OpALU
+	}
+}
+
+func getBE(b []byte, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.BigEndian.Uint16(b))
+	case 4:
+		return uint64(binary.BigEndian.Uint32(b))
+	case 8:
+		return binary.BigEndian.Uint64(b)
+	default:
+		panic("nfir: unsupported access size")
+	}
+}
+
+func putBE(b []byte, size int, v uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.BigEndian.PutUint64(b, v)
+	default:
+		panic("nfir: unsupported access size")
+	}
+}

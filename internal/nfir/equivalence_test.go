@@ -1,0 +1,145 @@
+package nfir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+// randomProgram builds a small random (but valid) stateless program:
+// field reads, arithmetic over locals, nested branches, packet writes.
+func randomProgram(rng *rand.Rand) *Program {
+	p := &Program{Name: "random", NumPorts: 4}
+	defined := []string{}
+	var genStmts func(depth, budget int) []Stmt
+	genExpr := func() Expr {
+		switch rng.Intn(4) {
+		case 0:
+			return C(uint64(rng.Intn(256)))
+		case 1:
+			return Field(uint64(rng.Intn(64)), []int{1, 2, 4}[rng.Intn(3)])
+		case 2:
+			if len(defined) > 0 {
+				return L(defined[rng.Intn(len(defined))])
+			}
+			return C(uint64(rng.Intn(16)))
+		default:
+			ops := []func(Expr, Expr) Expr{Add, Sub, Mul, Band, Xor}
+			return ops[rng.Intn(len(ops))](
+				Field(uint64(rng.Intn(64)), 1),
+				C(uint64(1+rng.Intn(32))),
+			)
+		}
+	}
+	genCond := func() Expr {
+		cmps := []func(Expr, Expr) Expr{Eq, Ne, Lt, Ge}
+		return cmps[rng.Intn(len(cmps))](genExpr(), C(uint64(rng.Intn(300))))
+	}
+	genStmts = func(depth, budget int) []Stmt {
+		var out []Stmt
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n && budget > 0; i++ {
+			budget--
+			switch rng.Intn(4) {
+			case 0:
+				name := []string{"a", "b", "c"}[rng.Intn(3)]
+				out = append(out, Set(name, genExpr()))
+				defined = append(defined, name)
+			case 1:
+				if depth < 3 {
+					out = append(out, IfElse(genCond(),
+						genStmts(depth+1, budget),
+						genStmts(depth+1, budget)))
+				}
+			case 2:
+				out = append(out, PktStore{
+					Off: C(uint64(rng.Intn(64))), Size: 1, Val: genExpr(),
+				})
+			default:
+				out = append(out, Set("tmp", genExpr()))
+				defined = append(defined, "tmp")
+			}
+		}
+		return out
+	}
+	p.Body = genStmts(0, 8)
+	// Deterministic terminator.
+	p.Body = append(p.Body, IfElse(genCond(),
+		[]Stmt{Fwd(C(uint64(rng.Intn(4))))},
+		[]Stmt{Drop()},
+	))
+	return p
+}
+
+// Property (the replay-validation invariant, program-generically): for a
+// random stateless program and a random packet, exactly one explored
+// path's constraints accept the packet, and the concrete execution's
+// action/IC/MA equal that path's symbolic accounting.
+func TestSymbolicConcreteEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomProgram(rng)
+		if errs := prog.Validate(nil); len(errs) > 0 {
+			return true // undefined-local shapes are rejected upstream
+		}
+		en := &Engine{}
+		paths, err := en.Explore(prog)
+		if err != nil {
+			return true // loop-bound style rejections are fine
+		}
+
+		for trial := 0; trial < 5; trial++ {
+			pkt := make([]byte, 128)
+			rng.Read(pkt)
+			// Bind the canonical field symbols from the packet bytes.
+			binding := func(p *Path) map[string]uint64 {
+				m := map[string]uint64{
+					SymInPort: uint64(rng.Intn(4)),
+					SymNow:    0,
+					SymPktLen: 128,
+				}
+				for _, s := range symb.Symbols(p.Constraints...) {
+					if off, size, ok := ParseFieldSym(s); ok {
+						m[s] = getBE(pkt[off:], size)
+					}
+				}
+				return m
+			}
+
+			var matched *Path
+			for _, pa := range paths {
+				if symb.CheckModel(pa.Constraints, binding(pa)) {
+					if matched != nil {
+						return false // paths must partition the input space
+					}
+					matched = pa
+				}
+			}
+			if matched == nil {
+				return false // some path must accept every packet
+			}
+
+			env := NewEnv()
+			env.Meter = perf.NewMeter(nil)
+			env.ResetPacket(pkt, 0, 0)
+			act, err := env.Run(prog)
+			if err != nil {
+				return false
+			}
+			if act.Kind != matched.Action {
+				return false
+			}
+			if env.Meter.Instructions() != matched.StatelessIC ||
+				env.Meter.MemAccesses() != matched.StatelessMA {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

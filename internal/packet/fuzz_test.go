@@ -1,0 +1,44 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode checks that the decoder never panics and that accepted
+// frames satisfy basic structural invariants — the property a parser at
+// the edge of the trust boundary must have.
+func FuzzDecode(f *testing.F) {
+	f.Add(NewBuilder().
+		Ethernet(MAC{1}, MAC{2}, EtherTypeIPv4).
+		IPv4(netip.AddrFrom4([4]byte{10, 0, 0, 1}), netip.AddrFrom4([4]byte{10, 0, 0, 2}), ProtoUDP, 64, nil).
+		UDP(1, 2).Bytes())
+	f.Add(NewBuilder().
+		Ethernet(MAC{1}, MAC{2}, EtherTypeIPv4).
+		IPv4(netip.AddrFrom4([4]byte{1, 1, 1, 1}), netip.AddrFrom4([4]byte{2, 2, 2, 2}), ProtoTCP, 3, TimestampOption(2)).
+		TCP(80, 443, 7, 9, TCPSyn).Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 13))
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoded
+		if err := Decode(data, &d); err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if !d.Has(LayerEthernet) {
+			t.Fatal("accepted frame without Ethernet layer")
+		}
+		if d.Has(LayerIPv4) {
+			if d.IP.IHL < 5 || d.IP.IHL > 15 {
+				t.Fatalf("accepted IHL %d", d.IP.IHL)
+			}
+			if len(d.IP.Options) != int(d.IP.IHL-5)*4 {
+				t.Fatalf("options length %d for IHL %d", len(d.IP.Options), d.IP.IHL)
+			}
+		}
+		if d.Has(LayerUDP) && !d.Has(LayerIPv4) {
+			t.Fatal("UDP without IPv4")
+		}
+	})
+}

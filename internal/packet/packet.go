@@ -1,0 +1,423 @@
+// Package packet builds and parses the packet formats the evaluated NFs
+// process: Ethernet II, IPv4 (including IP options, which the static
+// router of §5.2 handles), UDP and TCP.
+//
+// The API follows the gopacket idioms the Go networking ecosystem
+// established: explicit layer types, lazy field access on a shared
+// buffer, and zero-copy decoding into caller-owned structs
+// (DecodeLayers-style), but implemented on the standard library alone.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Layer types understood by the decoder.
+const (
+	LayerEthernet LayerType = iota
+	LayerIPv4
+	LayerUDP
+	LayerTCP
+	LayerPayload
+)
+
+// String names the layer.
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerEthernet:
+		return "Ethernet"
+	case LayerIPv4:
+		return "IPv4"
+	case LayerUDP:
+		return "UDP"
+	case LayerTCP:
+		return "TCP"
+	case LayerPayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(lt))
+	}
+}
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// Well-known byte offsets within an Ethernet+IPv4 frame (no VLAN). The
+// NFs written in the IR read these with PktLoad.
+const (
+	OffDstMAC     = 0
+	OffSrcMAC     = 6
+	OffEtherType  = 12
+	OffIPVerIHL   = 14
+	OffIPTotLen   = 16
+	OffIPTTL      = 22
+	OffIPProto    = 23
+	OffIPChecksum = 24
+	OffSrcIP      = 26
+	OffDstIP      = 30
+	// L4 offsets assume a 20-byte IPv4 header (IHL=5); NFs must check
+	// IHL before using them, or compute the real offset.
+	OffSrcPort = 34
+	OffDstPort = 36
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// Uint64 packs the MAC into the low 48 bits, big-endian, the form the IR
+// NFs handle.
+func (m MAC) Uint64() uint64 {
+	var v uint64
+	for _, b := range m {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// MACFromUint64 unpacks a MAC from the low 48 bits.
+func MACFromUint64(v uint64) MAC {
+	var m MAC
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+// String renders the usual colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the all-ones MAC.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Ethernet is the decoded Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// IPv4 is the decoded IPv4 header.
+type IPv4 struct {
+	IHL      uint8 // header length in 32-bit words (5 = no options)
+	TotalLen uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst netip.Addr
+	// Options holds the raw option bytes ((IHL-5)*4 of them).
+	Options []byte
+}
+
+// UDP is the decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// TCP is the decoded TCP header (the fields NFs use).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPAck = 1 << 4
+)
+
+// Decoded is the result of decoding a frame: which layers were found and
+// their contents. Reuse one Decoded across packets to avoid allocation
+// (the DecodingLayerParser pattern).
+type Decoded struct {
+	Layers []LayerType
+	Eth    Ethernet
+	IP     IPv4
+	UDP    UDP
+	TCP    TCP
+	// Payload is the undecoded remainder (aliases the input buffer).
+	Payload []byte
+}
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("packet: truncated")
+	ErrBadHeader = errors.New("packet: malformed header")
+)
+
+// Decode parses an Ethernet frame into d, stopping at the first layer it
+// does not understand (which becomes Payload). It never copies packet
+// bytes except the IPv4 options slice header.
+func Decode(frame []byte, d *Decoded) error {
+	d.Layers = d.Layers[:0]
+	d.Payload = nil
+	if len(frame) < 14 {
+		return fmt.Errorf("%w: ethernet header needs 14 bytes, have %d", ErrTruncated, len(frame))
+	}
+	copy(d.Eth.Dst[:], frame[0:6])
+	copy(d.Eth.Src[:], frame[6:12])
+	d.Eth.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	d.Layers = append(d.Layers, LayerEthernet)
+	rest := frame[14:]
+
+	if d.Eth.EtherType != EtherTypeIPv4 {
+		d.Payload = rest
+		d.Layers = append(d.Layers, LayerPayload)
+		return nil
+	}
+	if len(rest) < 20 {
+		return fmt.Errorf("%w: ipv4 header needs 20 bytes, have %d", ErrTruncated, len(rest))
+	}
+	verIHL := rest[0]
+	if verIHL>>4 != 4 {
+		return fmt.Errorf("%w: ipv4 version %d", ErrBadHeader, verIHL>>4)
+	}
+	ihl := verIHL & 0x0f
+	if ihl < 5 {
+		return fmt.Errorf("%w: ihl %d < 5", ErrBadHeader, ihl)
+	}
+	hdrLen := int(ihl) * 4
+	if len(rest) < hdrLen {
+		return fmt.Errorf("%w: ihl %d needs %d bytes, have %d", ErrTruncated, ihl, hdrLen, len(rest))
+	}
+	d.IP.IHL = ihl
+	d.IP.TotalLen = binary.BigEndian.Uint16(rest[2:4])
+	d.IP.TTL = rest[8]
+	d.IP.Protocol = rest[9]
+	d.IP.Checksum = binary.BigEndian.Uint16(rest[10:12])
+	d.IP.Src = netip.AddrFrom4([4]byte(rest[12:16]))
+	d.IP.Dst = netip.AddrFrom4([4]byte(rest[16:20]))
+	d.IP.Options = rest[20:hdrLen]
+	d.Layers = append(d.Layers, LayerIPv4)
+	rest = rest[hdrLen:]
+
+	switch d.IP.Protocol {
+	case ProtoUDP:
+		if len(rest) < 8 {
+			return fmt.Errorf("%w: udp header needs 8 bytes, have %d", ErrTruncated, len(rest))
+		}
+		d.UDP.SrcPort = binary.BigEndian.Uint16(rest[0:2])
+		d.UDP.DstPort = binary.BigEndian.Uint16(rest[2:4])
+		d.UDP.Length = binary.BigEndian.Uint16(rest[4:6])
+		d.UDP.Checksum = binary.BigEndian.Uint16(rest[6:8])
+		d.Layers = append(d.Layers, LayerUDP)
+		d.Payload = rest[8:]
+	case ProtoTCP:
+		if len(rest) < 20 {
+			return fmt.Errorf("%w: tcp header needs 20 bytes, have %d", ErrTruncated, len(rest))
+		}
+		d.TCP.SrcPort = binary.BigEndian.Uint16(rest[0:2])
+		d.TCP.DstPort = binary.BigEndian.Uint16(rest[2:4])
+		d.TCP.Seq = binary.BigEndian.Uint32(rest[4:8])
+		d.TCP.Ack = binary.BigEndian.Uint32(rest[8:12])
+		d.TCP.DataOff = rest[12] >> 4
+		d.TCP.Flags = rest[13]
+		d.TCP.Window = binary.BigEndian.Uint16(rest[14:16])
+		d.TCP.Checksum = binary.BigEndian.Uint16(rest[16:18])
+		d.Layers = append(d.Layers, LayerTCP)
+		off := int(d.TCP.DataOff) * 4
+		if off < 20 || off > len(rest) {
+			return fmt.Errorf("%w: tcp data offset %d", ErrBadHeader, d.TCP.DataOff)
+		}
+		d.Payload = rest[off:]
+	default:
+		d.Payload = rest
+		d.Layers = append(d.Layers, LayerPayload)
+		return nil
+	}
+	d.Layers = append(d.Layers, LayerPayload)
+	return nil
+}
+
+// Has reports whether the decode found the given layer.
+func (d *Decoded) Has(lt LayerType) bool {
+	for _, l := range d.Layers {
+		if l == lt {
+			return true
+		}
+	}
+	return false
+}
+
+// Builder assembles frames. Methods return the builder for chaining; Bytes
+// finalises lengths and checksums.
+type Builder struct {
+	buf     []byte
+	ipStart int // -1 when no IPv4 layer
+	l4Start int
+	l4Proto uint8
+}
+
+// NewBuilder starts an empty frame.
+func NewBuilder() *Builder {
+	return &Builder{buf: make([]byte, 0, 128), ipStart: -1, l4Start: -1}
+}
+
+// Ethernet appends an Ethernet II header.
+func (b *Builder) Ethernet(dst, src MAC, etherType uint16) *Builder {
+	b.buf = append(b.buf, dst[:]...)
+	b.buf = append(b.buf, src[:]...)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, etherType)
+	return b
+}
+
+// IPv4 appends an IPv4 header with the given options (padded to 4 bytes).
+// TotalLen and the checksum are fixed up in Bytes.
+func (b *Builder) IPv4(src, dst netip.Addr, proto uint8, ttl uint8, options []byte) *Builder {
+	for len(options)%4 != 0 {
+		options = append(options, 0) // EOL padding
+	}
+	ihl := 5 + len(options)/4
+	b.ipStart = len(b.buf)
+	hdr := make([]byte, 20)
+	hdr[0] = 0x40 | uint8(ihl)
+	hdr[8] = ttl
+	hdr[9] = proto
+	s4 := src.As4()
+	d4 := dst.As4()
+	copy(hdr[12:16], s4[:])
+	copy(hdr[16:20], d4[:])
+	b.buf = append(b.buf, hdr...)
+	b.buf = append(b.buf, options...)
+	return b
+}
+
+// UDP appends a UDP header; Length and checksum are fixed up in Bytes.
+func (b *Builder) UDP(srcPort, dstPort uint16) *Builder {
+	b.l4Start = len(b.buf)
+	b.l4Proto = ProtoUDP
+	b.buf = binary.BigEndian.AppendUint16(b.buf, srcPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, dstPort)
+	b.buf = append(b.buf, 0, 0, 0, 0) // length, checksum
+	return b
+}
+
+// TCP appends a minimal TCP header (no options).
+func (b *Builder) TCP(srcPort, dstPort uint16, seq, ack uint32, flags uint8) *Builder {
+	b.l4Start = len(b.buf)
+	b.l4Proto = ProtoTCP
+	b.buf = binary.BigEndian.AppendUint16(b.buf, srcPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, dstPort)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, seq)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, ack)
+	b.buf = append(b.buf, 5<<4, flags)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, 65535) // window
+	b.buf = append(b.buf, 0, 0, 0, 0)                   // checksum, urgent
+	return b
+}
+
+// Payload appends raw bytes.
+func (b *Builder) Payload(p []byte) *Builder {
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// Bytes finalises the frame: IPv4 total length and checksum, UDP length,
+// and L4 checksums (with pseudo-header), then returns the buffer.
+func (b *Builder) Bytes() []byte {
+	if b.ipStart >= 0 {
+		ip := b.buf[b.ipStart:]
+		binary.BigEndian.PutUint16(ip[2:4], uint16(len(ip)))
+		binary.BigEndian.PutUint16(ip[10:12], 0)
+		binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:int(ip[0]&0x0f)*4]))
+	}
+	if b.l4Start >= 0 && b.ipStart >= 0 {
+		l4 := b.buf[b.l4Start:]
+		ip := b.buf[b.ipStart:]
+		if b.l4Proto == ProtoUDP {
+			binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+			binary.BigEndian.PutUint16(l4[6:8], 0)
+			binary.BigEndian.PutUint16(l4[6:8], pseudoChecksum(ip, l4, ProtoUDP))
+		} else if b.l4Proto == ProtoTCP {
+			binary.BigEndian.PutUint16(l4[16:18], 0)
+			binary.BigEndian.PutUint16(l4[16:18], pseudoChecksum(ip, l4, ProtoTCP))
+		}
+	}
+	return b.buf
+}
+
+// Checksum is the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes a TCP/UDP checksum including the IPv4
+// pseudo-header.
+func pseudoChecksum(ipHdr, l4 []byte, proto uint8) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], ipHdr[12:16])
+	copy(pseudo[4:8], ipHdr[16:20])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(l4)))
+	var sum uint32
+	addBytes := func(data []byte) {
+		for i := 0; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+		}
+		if len(data)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+		}
+	}
+	addBytes(pseudo[:])
+	addBytes(l4)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// IPOption type values used by the static-router experiment (§5.2). The
+// timestamp option is RFC 781's.
+const (
+	IPOptEnd       = 0
+	IPOptNop       = 1
+	IPOptTimestamp = 68
+)
+
+// TimestampOption builds an IP timestamp option with n empty 4-byte
+// slots, as the static router of §5.2 processes.
+func TimestampOption(n int) []byte {
+	length := 4 + 4*n
+	opt := make([]byte, length)
+	opt[0] = IPOptTimestamp
+	opt[1] = byte(length)
+	opt[2] = 5 // pointer to first free slot
+	opt[3] = 0 // flags: timestamps only
+	return opt
+}

@@ -1,0 +1,238 @@
+package packet
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0x01}
+	macB = MAC{0x02, 0, 0, 0, 0, 0x02}
+	ipA  = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	ipB  = netip.AddrFrom4([4]byte{192, 168, 1, 7})
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42}
+	if got := MACFromUint64(m.Uint64()); got != m {
+		t.Errorf("round trip: %v → %v", m, got)
+	}
+	if m.Uint64() != 0xdeadbeef0042 {
+		t.Errorf("Uint64 = %#x", m.Uint64())
+	}
+	if m.String() != "de:ad:be:ef:00:42" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestBuildDecodeUDP(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, nil).
+		UDP(1234, 53).
+		Payload([]byte("hello")).
+		Bytes()
+
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has(LayerEthernet) || !d.Has(LayerIPv4) || !d.Has(LayerUDP) {
+		t.Fatalf("layers = %v", d.Layers)
+	}
+	if d.Eth.Src != macA || d.Eth.Dst != macB || d.Eth.EtherType != EtherTypeIPv4 {
+		t.Errorf("eth = %+v", d.Eth)
+	}
+	if d.IP.Src != ipA || d.IP.Dst != ipB || d.IP.Protocol != ProtoUDP || d.IP.IHL != 5 {
+		t.Errorf("ip = %+v", d.IP)
+	}
+	if d.UDP.SrcPort != 1234 || d.UDP.DstPort != 53 {
+		t.Errorf("udp = %+v", d.UDP)
+	}
+	if string(d.Payload) != "hello" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+}
+
+func TestBuildDecodeTCP(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoTCP, 64, nil).
+		TCP(4000, 443, 1000, 2000, TCPSyn|TCPAck).
+		Bytes()
+
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has(LayerTCP) {
+		t.Fatalf("layers = %v", d.Layers)
+	}
+	if d.TCP.SrcPort != 4000 || d.TCP.DstPort != 443 ||
+		d.TCP.Seq != 1000 || d.TCP.Ack != 2000 ||
+		d.TCP.Flags != TCPSyn|TCPAck || d.TCP.DataOff != 5 {
+		t.Errorf("tcp = %+v", d.TCP)
+	}
+}
+
+func TestBuildWithIPOptions(t *testing.T) {
+	opts := TimestampOption(3)
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, opts).
+		UDP(1, 2).
+		Bytes()
+
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.IP.IHL != 9 { // 5 + 16/4
+		t.Errorf("IHL = %d, want 9", d.IP.IHL)
+	}
+	if len(d.IP.Options) != 16 || d.IP.Options[0] != IPOptTimestamp {
+		t.Errorf("options = %v", d.IP.Options)
+	}
+	if d.UDP.SrcPort != 1 || d.UDP.DstPort != 2 {
+		t.Errorf("udp after options = %+v", d.UDP)
+	}
+}
+
+func TestDecodeNonIPv4(t *testing.T) {
+	frame := NewBuilder().Ethernet(Broadcast, macA, EtherTypeARP).Payload([]byte{1, 2, 3}).Bytes()
+	var d Decoded
+	if err := Decode(frame, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Has(LayerIPv4) {
+		t.Error("ARP frame decoded as IPv4")
+	}
+	if len(d.Payload) != 3 {
+		t.Errorf("payload = %v", d.Payload)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, nil).
+		UDP(1234, 53).
+		Bytes()
+	for _, cut := range []int{0, 5, 13, 20, 33, 40} {
+		if cut >= len(frame) {
+			continue
+		}
+		var d Decoded
+		if err := Decode(frame[:cut], &d); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, nil).
+		UDP(1234, 53).
+		Bytes()
+	frame[14] = 0x65 // version 6
+	var d Decoded
+	if err := Decode(frame, &d); err == nil {
+		t.Error("version 6 must fail IPv4 decode")
+	}
+	frame[14] = 0x44 // IHL 4
+	if err := Decode(frame, &d); err == nil {
+		t.Error("IHL 4 must fail")
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, nil).
+		UDP(9, 9).
+		Bytes()
+	// Verifying the checksum over the header must yield zero.
+	if got := Checksum(frame[14:34]); got != 0 {
+		t.Errorf("header checksum verify = %#x, want 0", got)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 → checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#x, want 0x220d", got)
+	}
+	// Odd length handling.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd Checksum = %#x", got)
+	}
+}
+
+func TestWellKnownOffsets(t *testing.T) {
+	frame := NewBuilder().
+		Ethernet(macB, macA, EtherTypeIPv4).
+		IPv4(ipA, ipB, ProtoUDP, 64, nil).
+		UDP(1234, 53).
+		Bytes()
+	if got := binary.BigEndian.Uint16(frame[OffEtherType:]); got != EtherTypeIPv4 {
+		t.Errorf("ethertype at offset = %#x", got)
+	}
+	if frame[OffIPProto] != ProtoUDP {
+		t.Errorf("proto at offset = %d", frame[OffIPProto])
+	}
+	if got := binary.BigEndian.Uint32(frame[OffSrcIP:]); got != 0x0A000001 {
+		t.Errorf("src ip at offset = %#x", got)
+	}
+	if got := binary.BigEndian.Uint16(frame[OffSrcPort:]); got != 1234 {
+		t.Errorf("src port at offset = %d", got)
+	}
+}
+
+func TestTimestampOption(t *testing.T) {
+	opt := TimestampOption(2)
+	if len(opt) != 12 || opt[0] != IPOptTimestamp || opt[1] != 12 {
+		t.Errorf("opt = %v", opt)
+	}
+}
+
+// Property: build→decode round trips for random UDP flows.
+func TestBuildDecodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+		dst := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+		sp, dp := uint16(r.Intn(65536)), uint16(r.Intn(65536))
+		payload := make([]byte, r.Intn(64))
+		r.Read(payload)
+		frame := NewBuilder().
+			Ethernet(macB, macA, EtherTypeIPv4).
+			IPv4(src, dst, ProtoUDP, 64, nil).
+			UDP(sp, dp).
+			Payload(payload).
+			Bytes()
+		var d Decoded
+		if err := Decode(frame, &d); err != nil {
+			return false
+		}
+		return d.IP.Src == src && d.IP.Dst == dst &&
+			d.UDP.SrcPort == sp && d.UDP.DstPort == dp &&
+			len(d.Payload) == len(payload) &&
+			Checksum(frame[14:34]) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	for _, lt := range []LayerType{LayerEthernet, LayerIPv4, LayerUDP, LayerTCP, LayerPayload} {
+		if lt.String() == "" {
+			t.Errorf("LayerType(%d) has empty name", int(lt))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package pcap reads and writes classic libpcap capture files (the
+// artifact format the paper's Distiller and traffic generator exchange,
+// §4–§5), using only the standard library.
+//
+// Only the original 2.4 format with microsecond timestamps and the
+// Ethernet link type is supported, in either byte order on read and
+// little-endian on write.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers of the classic format.
+const (
+	magicLE = 0xa1b2c3d4
+	magicBE = 0xd4c3b2a1
+)
+
+// LinkTypeEthernet is the only link type the NFs process.
+const LinkTypeEthernet = 1
+
+// Record is one captured packet.
+type Record struct {
+	// Time is the capture timestamp (microsecond precision on disk).
+	Time time.Time
+	// Data is the captured bytes.
+	Data []byte
+	// OrigLen is the original wire length (≥ len(Data)).
+	OrigLen uint32
+}
+
+// ErrBadMagic reports a file that is not classic pcap.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// Writer emits a pcap file.
+type Writer struct {
+	w        io.Writer
+	snapLen  uint32
+	wroteHdr bool
+}
+
+// NewWriter returns a Writer with a 64 KiB snap length.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, snapLen: 65536} }
+
+func (pw *Writer) writeHeader() error {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], magicLE)
+	le.PutUint16(hdr[4:], 2) // version major
+	le.PutUint16(hdr[6:], 4) // version minor
+	// thiszone, sigfigs = 0
+	le.PutUint32(hdr[16:], pw.snapLen)
+	le.PutUint32(hdr[20:], LinkTypeEthernet)
+	_, err := pw.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one record.
+func (pw *Writer) WritePacket(r Record) error {
+	if !pw.wroteHdr {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.wroteHdr = true
+	}
+	if uint32(len(r.Data)) > pw.snapLen {
+		return fmt.Errorf("pcap: packet of %d bytes exceeds snap length %d", len(r.Data), pw.snapLen)
+	}
+	origLen := r.OrigLen
+	if origLen == 0 {
+		origLen = uint32(len(r.Data))
+	}
+	var hdr [16]byte
+	le := binary.LittleEndian
+	usec := r.Time.UnixMicro()
+	le.PutUint32(hdr[0:], uint32(usec/1e6))
+	le.PutUint32(hdr[4:], uint32(usec%1e6))
+	le.PutUint32(hdr[8:], uint32(len(r.Data)))
+	le.PutUint32(hdr[12:], origLen)
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(r.Data)
+	return err
+}
+
+// Reader parses a pcap file.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	linkType uint32
+	readHdr  bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+func (pr *Reader) readHeader() error {
+	var hdr [24]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magicLE:
+		pr.order = binary.LittleEndian
+	case magicBE:
+		pr.order = binary.BigEndian
+	default:
+		return ErrBadMagic
+	}
+	pr.linkType = pr.order.Uint32(hdr[20:])
+	if pr.linkType != LinkTypeEthernet {
+		return fmt.Errorf("pcap: unsupported link type %d", pr.linkType)
+	}
+	return nil
+}
+
+// ReadPacket returns the next record, or io.EOF at the end of the file.
+func (pr *Reader) ReadPacket() (Record, error) {
+	if !pr.readHdr {
+		if err := pr.readHeader(); err != nil {
+			return Record{}, err
+		}
+		pr.readHdr = true
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := pr.order.Uint32(hdr[0:])
+	usec := pr.order.Uint32(hdr[4:])
+	capLen := pr.order.Uint32(hdr[8:])
+	origLen := pr.order.Uint32(hdr[12:])
+	if capLen > 1<<24 {
+		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: reading %d packet bytes: %w", capLen, err)
+	}
+	return Record{
+		Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data:    data,
+		OrigLen: origLen,
+	}, nil
+}
+
+// ReadAll drains the file into a slice.
+func ReadAll(r io.Reader) ([]Record, error) {
+	pr := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := pr.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// WriteAll writes all records to w.
+func WriteAll(w io.Writer, recs []Record) error {
+	pw := NewWriter(w)
+	if len(recs) == 0 {
+		return pw.writeHeader()
+	}
+	for _, r := range recs {
+		if err := pw.WritePacket(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecords() []Record {
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	return []Record{
+		{Time: base, Data: []byte{1, 2, 3, 4}},
+		{Time: base.Add(123 * time.Microsecond), Data: bytes.Repeat([]byte{0xAB}, 64)},
+		{Time: base.Add(2 * time.Second), Data: []byte{}, OrigLen: 1500},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Time.Equal(want[i].Time) {
+			t.Errorf("record %d time = %v, want %v", i, got[i].Time, want[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("record %d data mismatch", i)
+		}
+	}
+	if got[2].OrigLen != 1500 {
+		t.Errorf("OrigLen = %d, want 1500", got[2].OrigLen)
+	}
+	if got[0].OrigLen != 4 {
+		t.Errorf("default OrigLen = %d, want 4", got[0].OrigLen)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Errorf("empty file = %d bytes, want 24", buf.Len())
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("ReadAll = %d records, err %v", len(recs), err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBigEndianFile(t *testing.T) {
+	// Hand-build a big-endian file with one 3-byte packet.
+	var buf bytes.Buffer
+	be := binary.BigEndian
+	hdr := make([]byte, 24)
+	be.PutUint32(hdr[0:], magicLE) // written BE: reads as the swapped magic
+	be.PutUint16(hdr[4:], 2)
+	be.PutUint16(hdr[6:], 4)
+	be.PutUint32(hdr[16:], 65536)
+	be.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	be.PutUint32(rec[0:], 100)
+	be.PutUint32(rec[4:], 42)
+	be.PutUint32(rec[8:], 3)
+	be.PutUint32(rec[12:], 3)
+	buf.Write(rec)
+	buf.Write([]byte{9, 8, 7})
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Data, []byte{9, 8, 7}) {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Time.Unix() != 100 {
+		t.Errorf("time = %v", recs[0].Time)
+	}
+}
+
+func TestUnsupportedLinkType(t *testing.T) {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	hdr := make([]byte, 24)
+	le.PutUint32(hdr[0:], magicLE)
+	le.PutUint32(hdr[20:], 105) // 802.11
+	buf.Write(hdr)
+	if _, err := ReadAll(&buf); err == nil {
+		t.Error("unsupported link type must fail")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleRecords()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut in the middle of the packet data.
+	if _, err := ReadAll(bytes.NewReader(full[:len(full)-2])); err == nil {
+		t.Error("truncated record must fail")
+	}
+	// Cut in the middle of the record header.
+	if _, err := ReadAll(bytes.NewReader(full[:30])); err == nil {
+		t.Error("truncated record header must fail")
+	}
+}
+
+func TestSnapLenEnforced(t *testing.T) {
+	pw := NewWriter(io.Discard)
+	pw.snapLen = 8
+	err := pw.WritePacket(Record{Time: time.Unix(0, 0), Data: make([]byte, 9)})
+	if err == nil {
+		t.Error("oversized packet must fail")
+	}
+}
+
+// Property: round trip preserves count, payload bytes, and microsecond
+// timestamps for random records.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		recs := make([]Record, n)
+		for i := range recs {
+			data := make([]byte, r.Intn(256))
+			r.Read(data)
+			recs[i] = Record{
+				Time: time.Unix(int64(r.Intn(1<<30)), int64(r.Intn(1e6))*1000).UTC(),
+				Data: data,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(got[i].Data, recs[i].Data) || !got[i].Time.Equal(recs[i].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type recordingSink struct {
+	events []Access
+}
+
+func (r *recordingSink) Op(ev Access) { r.events = append(r.events, ev) }
+
+func TestMetricString(t *testing.T) {
+	cases := map[Metric]string{
+		Instructions: "IC",
+		MemAccesses:  "MA",
+		Cycles:       "cycles",
+		Metric(42):   "Metric(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Metric(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	for c := OpClass(0); c < OpClass(NumOpClasses); c++ {
+		if got := c.String(); got == "" || got[0] == 'O' {
+			t.Errorf("OpClass(%d).String() = %q, want lowercase name", int(c), got)
+		}
+	}
+	if got := OpClass(99).String(); got != "OpClass(99)" {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Exec(OpALU, 5)
+	m.Load(0x100, 8, false)
+	m.Store(0x100, 8)
+	m.Reset()
+	if m.Instructions() != 0 || m.MemAccesses() != 0 {
+		t.Fatal("nil meter must report zero")
+	}
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil meter snapshot = %+v", s)
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	m := NewMeter(nil)
+	m.Exec(OpALU, 3)
+	m.Exec(OpBranch, 1)
+	m.Load(0x1000, 8, true)
+	m.Store(0x1008, 4)
+	if got, want := m.Instructions(), uint64(6); got != want {
+		t.Errorf("Instructions = %d, want %d", got, want)
+	}
+	if got, want := m.MemAccesses(), uint64(2); got != want {
+		t.Errorf("MemAccesses = %d, want %d", got, want)
+	}
+	if got := m.Get(Instructions); got != 6 {
+		t.Errorf("Get(Instructions) = %d", got)
+	}
+	if got := m.Get(MemAccesses); got != 2 {
+		t.Errorf("Get(MemAccesses) = %d", got)
+	}
+	m.Reset()
+	if m.Instructions() != 0 || m.MemAccesses() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestMeterGetCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(Cycles) should panic")
+		}
+	}()
+	NewMeter(nil).Get(Cycles)
+}
+
+func TestMeterZeroCountExec(t *testing.T) {
+	sink := &recordingSink{}
+	m := NewMeter(sink)
+	m.Exec(OpALU, 0)
+	if len(sink.events) != 0 {
+		t.Error("zero-count Exec must not emit events")
+	}
+	if m.Instructions() != 0 {
+		t.Error("zero-count Exec must not charge")
+	}
+}
+
+func TestMeterSinkEvents(t *testing.T) {
+	sink := &recordingSink{}
+	m := NewMeter(sink)
+	m.Exec(OpMul, 2)
+	m.Load(0xdead, 8, true)
+	m.Store(0xbeef, 2)
+	want := []Access{
+		{Class: OpMul, Count: 2},
+		{Class: OpLoad, Count: 1, Addr: 0xdead, Size: 8, LoadDependent: true},
+		{Class: OpStore, Count: 1, Addr: 0xbeef, Size: 2},
+	}
+	if len(sink.events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(sink.events), len(want))
+	}
+	for i := range want {
+		if sink.events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, sink.events[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	m := NewMeter(nil)
+	m.Exec(OpALU, 10)
+	s := m.Snapshot()
+	m.Load(0x10, 8, false)
+	m.Exec(OpALU, 4)
+	d := m.Since(s)
+	if d.Instructions != 5 || d.MemAccesses != 1 {
+		t.Errorf("Since = %+v, want {5 1}", d)
+	}
+}
+
+// Property: for any sequence of charges, Instructions equals the sum of
+// all Exec counts plus one per memory op, and MemAccesses equals the
+// number of memory ops.
+func TestMeterAccountingProperty(t *testing.T) {
+	f := func(execs []uint8, memOps []bool) bool {
+		m := NewMeter(nil)
+		var wantIC, wantMA uint64
+		for _, e := range execs {
+			m.Exec(OpALU, uint64(e))
+			wantIC += uint64(e)
+		}
+		for _, isLoad := range memOps {
+			if isLoad {
+				m.Load(0x40, 8, false)
+			} else {
+				m.Store(0x40, 8)
+			}
+			wantIC++
+			wantMA++
+		}
+		return m.Instructions() == wantIC && m.MemAccesses() == wantMA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

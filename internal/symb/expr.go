@@ -1,0 +1,423 @@
+// Package symb provides the symbolic-value substrate for BOLT's symbolic
+// execution engine: 64-bit symbolic expressions, path constraints, and a
+// small constraint solver that checks path feasibility and produces
+// concrete witnesses for replay (paper §3.1, §3.3).
+//
+// The paper's prototype uses a KLEE-derived engine with an SMT solver
+// (Z3/STP). NF stateless code induces constraints of modest shape —
+// packet-field comparisons against constants, equalities between symbols,
+// and range bounds on model-introduced symbols — so this package
+// implements interval propagation plus a bounded backtracking search,
+// which is complete for that fragment and conservative (never reports
+// UNSAT for a satisfiable set) beyond it.
+package symb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates binary operators. Comparison and logical operators yield
+// 0 or 1. All arithmetic is unsigned 64-bit with wraparound, matching the
+// IR's value domain.
+type Op int
+
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div // x/0 = 0, mirroring a guarded division in the IR
+	Mod // x%0 = x
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Ult
+	Ule
+	Ugt
+	Uge
+	LAnd
+	LOr
+)
+
+var opNames = map[Op]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+	Eq: "==", Ne: "!=", Ult: "<", Ule: "<=", Ugt: ">", Uge: ">=",
+	LAnd: "&&", LOr: "||",
+}
+
+// String returns the operator's source-level spelling.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsComparison reports whether the operator yields a boolean (0/1).
+func (o Op) IsComparison() bool {
+	switch o {
+	case Eq, Ne, Ult, Ule, Ugt, Uge, LAnd, LOr:
+		return true
+	}
+	return false
+}
+
+// Expr is a symbolic 64-bit expression. Implementations are immutable.
+type Expr interface {
+	// Eval computes the expression under a total binding of its symbols.
+	Eval(binding map[string]uint64) uint64
+	// String renders the expression legibly.
+	String() string
+	exprNode()
+}
+
+// Const is a literal value.
+type Const struct{ V uint64 }
+
+// Sym is a free symbolic variable, e.g. a packet field or a value
+// returned by a data-structure model.
+type Sym struct{ Name string }
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Not is logical negation: 1 if X evaluates to 0, else 0.
+type Not struct{ X Expr }
+
+func (Const) exprNode() {}
+func (Sym) exprNode()   {}
+func (Bin) exprNode()   {}
+func (Not) exprNode()   {}
+
+// Eval implements Expr.
+func (c Const) Eval(map[string]uint64) uint64 { return c.V }
+
+// Eval implements Expr. It panics on unbound symbols: a partial binding
+// reaching evaluation is a solver bug.
+func (s Sym) Eval(b map[string]uint64) uint64 {
+	v, ok := b[s.Name]
+	if !ok {
+		panic("symb: unbound symbol " + s.Name)
+	}
+	return v
+}
+
+// Eval implements Expr.
+func (e Bin) Eval(b map[string]uint64) uint64 {
+	l := e.L.Eval(b)
+	// Short-circuit logical operators like the IR interpreter does.
+	switch e.Op {
+	case LAnd:
+		if l == 0 {
+			return 0
+		}
+		return boolVal(e.R.Eval(b) != 0)
+	case LOr:
+		if l != 0 {
+			return 1
+		}
+		return boolVal(e.R.Eval(b) != 0)
+	}
+	r := e.R.Eval(b)
+	return ApplyOp(e.Op, l, r)
+}
+
+// Eval implements Expr.
+func (n Not) Eval(b map[string]uint64) uint64 { return boolVal(n.X.Eval(b) == 0) }
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ApplyOp computes a single binary operation on concrete values; it is the
+// shared semantics of both interpreters.
+func ApplyOp(op Op, l, r uint64) uint64 {
+	switch op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	case Div:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case Mod:
+		if r == 0 {
+			return l
+		}
+		return l % r
+	case And:
+		return l & r
+	case Or:
+		return l | r
+	case Xor:
+		return l ^ r
+	case Shl:
+		if r >= 64 {
+			return 0
+		}
+		return l << r
+	case Shr:
+		if r >= 64 {
+			return 0
+		}
+		return l >> r
+	case Eq:
+		return boolVal(l == r)
+	case Ne:
+		return boolVal(l != r)
+	case Ult:
+		return boolVal(l < r)
+	case Ule:
+		return boolVal(l <= r)
+	case Ugt:
+		return boolVal(l > r)
+	case Uge:
+		return boolVal(l >= r)
+	case LAnd:
+		return boolVal(l != 0 && r != 0)
+	case LOr:
+		return boolVal(l != 0 || r != 0)
+	default:
+		panic("symb: unknown op " + op.String())
+	}
+}
+
+// String implements Expr.
+func (c Const) String() string { return fmt.Sprintf("%d", c.V) }
+
+// String implements Expr.
+func (s Sym) String() string { return s.Name }
+
+// String implements Expr.
+func (e Bin) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String implements Expr.
+func (n Not) String() string { return "!" + n.X.String() }
+
+// C is shorthand for a constant expression.
+func C(v uint64) Expr { return Const{V: v} }
+
+// S is shorthand for a symbol expression.
+func S(name string) Expr { return Sym{Name: name} }
+
+// B builds a binary expression with constant folding and a few local
+// simplifications; it is the preferred constructor.
+func B(op Op, l, r Expr) Expr {
+	lc, lOK := l.(Const)
+	rc, rOK := r.(Const)
+	if lOK && rOK {
+		return Const{V: ApplyOp(op, lc.V, rc.V)}
+	}
+	switch op {
+	case Add:
+		if lOK && lc.V == 0 {
+			return r
+		}
+		if rOK && rc.V == 0 {
+			return l
+		}
+	case Sub, Shl, Shr, Or, Xor:
+		if rOK && rc.V == 0 {
+			return l
+		}
+	case Mul:
+		if lOK && lc.V == 1 {
+			return r
+		}
+		if rOK && rc.V == 1 {
+			return l
+		}
+		if (lOK && lc.V == 0) || (rOK && rc.V == 0) {
+			return Const{V: 0}
+		}
+	case LAnd:
+		if lOK {
+			if lc.V == 0 {
+				return Const{V: 0}
+			}
+			return truthy(r)
+		}
+		if rOK {
+			if rc.V == 0 {
+				return Const{V: 0}
+			}
+			return truthy(l)
+		}
+	case LOr:
+		if lOK {
+			if lc.V != 0 {
+				return Const{V: 1}
+			}
+			return truthy(r)
+		}
+		if rOK {
+			if rc.V != 0 {
+				return Const{V: 1}
+			}
+			return truthy(l)
+		}
+	case Eq:
+		if sameSym(l, r) {
+			return Const{V: 1}
+		}
+	case Ne, Ult, Ugt:
+		if sameSym(l, r) {
+			return Const{V: 0}
+		}
+	case Ule, Uge:
+		if sameSym(l, r) {
+			return Const{V: 1}
+		}
+	}
+	return Bin{Op: op, L: l, R: r}
+}
+
+// truthy coerces an expression to 0/1 without double-negating booleans.
+func truthy(e Expr) Expr {
+	if isBoolean(e) {
+		return e
+	}
+	return B(Ne, e, C(0))
+}
+
+func isBoolean(e Expr) bool {
+	switch x := e.(type) {
+	case Bin:
+		return x.Op.IsComparison()
+	case Not:
+		return true
+	case Const:
+		return x.V == 0 || x.V == 1
+	}
+	return false
+}
+
+func sameSym(l, r Expr) bool {
+	ls, ok1 := l.(Sym)
+	rs, ok2 := r.(Sym)
+	return ok1 && ok2 && ls.Name == rs.Name
+}
+
+// Negate returns the logical negation of a condition, pushing the
+// negation into comparisons where possible to keep constraints solvable
+// by interval propagation.
+func Negate(e Expr) Expr {
+	switch x := e.(type) {
+	case Const:
+		return Const{V: boolVal(x.V == 0)}
+	case Not:
+		return truthy(x.X)
+	case Bin:
+		switch x.Op {
+		case Eq:
+			return B(Ne, x.L, x.R)
+		case Ne:
+			return B(Eq, x.L, x.R)
+		case Ult:
+			return B(Uge, x.L, x.R)
+		case Ule:
+			return B(Ugt, x.L, x.R)
+		case Ugt:
+			return B(Ule, x.L, x.R)
+		case Uge:
+			return B(Ult, x.L, x.R)
+		case LAnd:
+			return B(LOr, Negate(x.L), Negate(x.R))
+		case LOr:
+			return B(LAnd, Negate(x.L), Negate(x.R))
+		}
+	}
+	return Not{X: e}
+}
+
+// Symbols returns the sorted set of symbol names appearing in the
+// expressions.
+func Symbols(exprs ...Expr) []string {
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Sym:
+			seen[x.Name] = true
+		case Bin:
+			walk(x.L)
+			walk(x.R)
+		case Not:
+			walk(x.X)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Substitute replaces symbols per the map, leaving unmapped symbols
+// intact. Used by chain composition to connect one NF's output packet
+// expression to the next NF's input symbols.
+func Substitute(e Expr, m map[string]Expr) Expr {
+	switch x := e.(type) {
+	case Const:
+		return x
+	case Sym:
+		if r, ok := m[x.Name]; ok {
+			return r
+		}
+		return x
+	case Bin:
+		return B(x.Op, Substitute(x.L, m), Substitute(x.R, m))
+	case Not:
+		sub := Substitute(x.X, m)
+		if c, ok := sub.(Const); ok {
+			return Const{V: boolVal(c.V == 0)}
+		}
+		return Not{X: sub}
+	default:
+		panic("symb: unknown expression type")
+	}
+}
+
+// RenameSymbols rewrites every symbol name through fn; used to namespace
+// the two NFs of a chain before joining their constraint sets.
+func RenameSymbols(e Expr, fn func(string) string) Expr {
+	m := make(map[string]Expr)
+	for _, n := range Symbols(e) {
+		m[n] = S(fn(n))
+	}
+	return Substitute(e, m)
+}
+
+// ConjString renders a constraint set legibly for contract output.
+func ConjString(constraints []Expr) string {
+	if len(constraints) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(constraints))
+	for i, c := range constraints {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,221 @@
+package symb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		l, r uint64
+		want uint64
+	}{
+		{Add, 3, 4, 7},
+		{Add, ^uint64(0), 1, 0}, // wraparound
+		{Sub, 3, 5, ^uint64(0) - 1},
+		{Mul, 6, 7, 42},
+		{Div, 7, 2, 3},
+		{Div, 7, 0, 0}, // guarded
+		{Mod, 7, 3, 1},
+		{Mod, 7, 0, 7},
+		{And, 0b1100, 0b1010, 0b1000},
+		{Or, 0b1100, 0b1010, 0b1110},
+		{Xor, 0b1100, 0b1010, 0b0110},
+		{Shl, 1, 8, 256},
+		{Shl, 1, 64, 0},
+		{Shr, 256, 8, 1},
+		{Shr, 1, 99, 0},
+		{Eq, 5, 5, 1},
+		{Eq, 5, 6, 0},
+		{Ne, 5, 6, 1},
+		{Ult, 5, 6, 1},
+		{Ult, 6, 5, 0},
+		{Ule, 5, 5, 1},
+		{Ugt, 6, 5, 1},
+		{Uge, 5, 5, 1},
+		{LAnd, 2, 3, 1},
+		{LAnd, 2, 0, 0},
+		{LOr, 0, 3, 1},
+		{LOr, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ApplyOp(c.op, c.l, c.r); got != c.want {
+			t.Errorf("ApplyOp(%v, %d, %d) = %d, want %d", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	// (x + 1) * 2 == 10  with x = 4
+	e := B(Eq, B(Mul, B(Add, S("x"), C(1)), C(2)), C(10))
+	if got := e.Eval(map[string]uint64{"x": 4}); got != 1 {
+		t.Errorf("eval = %d, want 1", got)
+	}
+	if got := e.Eval(map[string]uint64{"x": 5}); got != 0 {
+		t.Errorf("eval = %d, want 0", got)
+	}
+}
+
+func TestEvalUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound symbol should panic")
+		}
+	}()
+	S("ghost").Eval(map[string]uint64{})
+}
+
+func TestConstantFolding(t *testing.T) {
+	if e := B(Add, C(2), C(3)); e != (Const{V: 5}) {
+		t.Errorf("2+3 = %v", e)
+	}
+	if e := B(Add, S("x"), C(0)); e != (Sym{Name: "x"}) {
+		t.Errorf("x+0 = %v", e)
+	}
+	if e := B(Mul, S("x"), C(0)); e != (Const{V: 0}) {
+		t.Errorf("x*0 = %v", e)
+	}
+	if e := B(Mul, C(1), S("x")); e != (Sym{Name: "x"}) {
+		t.Errorf("1*x = %v", e)
+	}
+	if e := B(Eq, S("x"), S("x")); e != (Const{V: 1}) {
+		t.Errorf("x==x = %v", e)
+	}
+	if e := B(Ult, S("x"), S("x")); e != (Const{V: 0}) {
+		t.Errorf("x<x = %v", e)
+	}
+	if e := B(LAnd, C(0), S("x")); e != (Const{V: 0}) {
+		t.Errorf("0&&x = %v", e)
+	}
+	if e := B(LOr, C(7), S("x")); e != (Const{V: 1}) {
+		t.Errorf("7||x = %v", e)
+	}
+}
+
+func TestShortCircuitEval(t *testing.T) {
+	// The right side references an unbound symbol; short-circuiting must
+	// avoid evaluating it.
+	e := Bin{Op: LAnd, L: C(0), R: S("unbound")}
+	if got := e.Eval(map[string]uint64{}); got != 0 {
+		t.Errorf("0 && unbound = %d", got)
+	}
+	e2 := Bin{Op: LOr, L: C(1), R: S("unbound")}
+	if got := e2.Eval(map[string]uint64{}); got != 1 {
+		t.Errorf("1 || unbound = %d", got)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	b := map[string]uint64{"x": 7, "y": 3}
+	exprs := []Expr{
+		B(Eq, S("x"), C(7)),
+		B(Ne, S("x"), C(7)),
+		B(Ult, S("x"), S("y")),
+		B(Ule, S("x"), C(10)),
+		B(Ugt, S("y"), C(3)),
+		B(Uge, S("y"), C(3)),
+		B(LAnd, B(Eq, S("x"), C(7)), B(Eq, S("y"), C(3))),
+		B(LOr, B(Eq, S("x"), C(0)), B(Eq, S("y"), C(0))),
+		Not{X: S("x")},
+		S("x"),
+	}
+	for _, e := range exprs {
+		n := Negate(e)
+		ev, nv := e.Eval(b) != 0, n.Eval(b) != 0
+		if ev == nv {
+			t.Errorf("Negate(%s) = %s not a negation", e, n)
+		}
+	}
+}
+
+// Property: Negate is a semantic negation for random expressions and
+// random bindings.
+func TestNegateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomBoolExpr(r, 3)
+		b := map[string]uint64{"a": uint64(r.Intn(10)), "b": uint64(r.Intn(10))}
+		return (e.Eval(b) != 0) != (Negate(e).Eval(b) != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomBoolExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		ops := []Op{Eq, Ne, Ult, Ule, Ugt, Uge}
+		return B(ops[r.Intn(len(ops))], randomArith(r), randomArith(r))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return B(LAnd, randomBoolExpr(r, depth-1), randomBoolExpr(r, depth-1))
+	case 1:
+		return B(LOr, randomBoolExpr(r, depth-1), randomBoolExpr(r, depth-1))
+	default:
+		return randomBoolExpr(r, 0)
+	}
+}
+
+func randomArith(r *rand.Rand) Expr {
+	switch r.Intn(3) {
+	case 0:
+		return C(uint64(r.Intn(10)))
+	case 1:
+		return S([]string{"a", "b"}[r.Intn(2)])
+	default:
+		return Bin{Op: Add, L: S("a"), R: C(uint64(r.Intn(5)))}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	e := B(LAnd, B(Eq, S("b"), C(1)), Not{X: B(Add, S("a"), S("c"))})
+	got := Symbols(e)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Symbols = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Symbols[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	e := B(Add, S("x"), S("y"))
+	got := Substitute(e, map[string]Expr{"x": C(10)})
+	if got.Eval(map[string]uint64{"y": 5}) != 15 {
+		t.Errorf("Substitute = %v", got)
+	}
+	// Substitution that folds to a constant.
+	cond := B(Eq, S("x"), C(10))
+	folded := Substitute(cond, map[string]Expr{"x": C(10)})
+	if c, ok := folded.(Const); !ok || c.V != 1 {
+		t.Errorf("folded = %v", folded)
+	}
+}
+
+func TestRenameSymbols(t *testing.T) {
+	e := B(Add, S("x"), S("y"))
+	r := RenameSymbols(e, func(s string) string { return "nf1." + s })
+	syms := Symbols(r)
+	if len(syms) != 2 || syms[0] != "nf1.x" || syms[1] != "nf1.y" {
+		t.Errorf("renamed symbols = %v", syms)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := B(Eq, S("etherType"), C(2048))
+	if got := e.String(); got != "(etherType == 2048)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := ConjString([]Expr{e, B(Ult, S("l"), C(25))}); got != "(etherType == 2048) ∧ (l < 25)" {
+		t.Errorf("ConjString = %q", got)
+	}
+	if got := ConjString(nil); got != "true" {
+		t.Errorf("empty ConjString = %q", got)
+	}
+}

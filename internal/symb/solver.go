@@ -1,0 +1,676 @@
+package symb
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Domain is an inclusive value range for a symbol. The zero Domain is the
+// single value 0; Full is the unconstrained 64-bit domain.
+type Domain struct{ Lo, Hi uint64 }
+
+// Full is the unconstrained domain.
+var Full = Domain{Lo: 0, Hi: ^uint64(0)}
+
+// Byte, Word, DWord and QWord are the domains of the common packet-field
+// widths.
+var (
+	Byte  = Domain{0, 0xff}
+	Word  = Domain{0, 0xffff}
+	DWord = Domain{0, 0xffffffff}
+	QWord = Full
+)
+
+func (d Domain) contains(v uint64) bool { return v >= d.Lo && v <= d.Hi }
+
+func (d Domain) intersect(o Domain) (Domain, bool) {
+	if o.Lo > d.Lo {
+		d.Lo = o.Lo
+	}
+	if o.Hi < d.Hi {
+		d.Hi = o.Hi
+	}
+	return d, d.Lo <= d.Hi
+}
+
+// Result classifies a solver verdict.
+type Result int
+
+const (
+	// Unsat: the constraints are proved unsatisfiable.
+	Unsat Result = iota
+	// Sat: a witness was found.
+	Sat
+	// Unknown: the bounded search found no witness but could not prove
+	// unsatisfiability. Callers treat Unknown paths as feasible
+	// (conservative for contract soundness) but cannot replay them.
+	Unknown
+)
+
+// String names the verdict.
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver finds witnesses for conjunctions of constraints. The zero value
+// is ready to use with default limits.
+type Solver struct {
+	// MaxNodes bounds the backtracking search; 0 means DefaultMaxNodes.
+	MaxNodes int
+	// Samples is the number of pseudo-random candidate values tried per
+	// symbol beyond the structurally derived ones; 0 means DefaultSamples.
+	Samples int
+}
+
+// DefaultMaxNodes and DefaultSamples are the default search limits.
+const (
+	DefaultMaxNodes = 200000
+	DefaultSamples  = 48
+)
+
+// Solve searches for an assignment satisfying every constraint (each must
+// evaluate non-zero). domains bounds symbols (missing symbols get Full).
+// On Sat the returned model binds every symbol appearing in constraints
+// and every symbol listed in domains.
+func (s *Solver) Solve(constraints []Expr, domains map[string]Domain) (map[string]uint64, Result) {
+	st := &searchState{
+		maxNodes: s.MaxNodes,
+		samples:  s.Samples,
+	}
+	if st.maxNodes == 0 {
+		st.maxNodes = DefaultMaxNodes
+	}
+	if st.samples == 0 {
+		st.samples = DefaultSamples
+	}
+
+	// 1. Flatten conjunctions and fold trivial constraints.
+	var flat []Expr
+	var flatten func(e Expr) bool
+	flatten = func(e Expr) bool {
+		if b, ok := e.(Bin); ok && b.Op == LAnd {
+			return flatten(b.L) && flatten(b.R)
+		}
+		if c, ok := e.(Const); ok {
+			return c.V != 0
+		}
+		flat = append(flat, e)
+		return true
+	}
+	for _, c := range constraints {
+		if !flatten(c) {
+			return nil, Unsat
+		}
+	}
+
+	// 2. Union symbol equalities so equal symbols share one search
+	// variable, then substitute representatives everywhere.
+	uf := newUnionFind()
+	for _, c := range flat {
+		if b, ok := c.(Bin); ok && b.Op == Eq && sameKind(b.L, b.R) {
+			if ls, ok1 := b.L.(Sym); ok1 {
+				uf.union(ls.Name, b.R.(Sym).Name)
+			}
+		}
+	}
+	subst := make(map[string]Expr)
+	allSyms := Symbols(flat...)
+	for name := range domains {
+		allSyms = append(allSyms, name)
+	}
+	allSyms = dedupe(allSyms)
+	for _, n := range allSyms {
+		if rep := uf.find(n); rep != n {
+			subst[n] = S(rep)
+		}
+	}
+	if len(subst) > 0 {
+		for i, c := range flat {
+			flat[i] = Substitute(c, subst)
+		}
+	}
+
+	// 3. Initialise domains, merging via representatives.
+	dom := make(map[string]Domain)
+	excluded := make(map[string]map[uint64]bool)
+	for _, n := range allSyms {
+		rep := uf.find(n)
+		d, ok := dom[rep]
+		if !ok {
+			d = Full
+		}
+		if nd, has := domains[n]; has {
+			var okInt bool
+			d, okInt = d.intersect(nd)
+			if !okInt {
+				return nil, Unsat
+			}
+		}
+		dom[rep] = d
+	}
+	// Ensure every symbol in the constraints has a domain.
+	for _, n := range Symbols(flat...) {
+		if _, ok := dom[n]; !ok {
+			dom[n] = Full
+		}
+	}
+
+	// 4. Interval propagation to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range flat {
+			verdict, chg := propagate(c, dom, excluded)
+			if verdict == Unsat {
+				return nil, Unsat
+			}
+			changed = changed || chg
+		}
+	}
+
+	// 5. Backtracking search over the remaining variables.
+	vars := make([]string, 0, len(dom))
+	for n := range dom {
+		vars = append(vars, n)
+	}
+	// Order variables: singletons first, then narrow domains, to fail
+	// fast; names break ties for determinism.
+	sort.Slice(vars, func(i, j int) bool {
+		wi := dom[vars[i]].Hi - dom[vars[i]].Lo
+		wj := dom[vars[j]].Hi - dom[vars[j]].Lo
+		if wi != wj {
+			return wi < wj
+		}
+		return vars[i] < vars[j]
+	})
+
+	st.vars = vars
+	st.dom = dom
+	st.excluded = excluded
+	st.constraints = flat
+	st.candidates = buildCandidates(flat, dom, excluded, st.samples)
+	st.assignment = make(map[string]uint64, len(vars))
+	st.constraintSyms = make([][]string, len(flat))
+	for i, c := range flat {
+		st.constraintSyms[i] = Symbols(c)
+	}
+
+	if st.search(0) {
+		// Extend the model to the original (pre-substitution) symbols.
+		model := make(map[string]uint64, len(allSyms))
+		for _, n := range allSyms {
+			model[n] = st.assignment[uf.find(n)]
+		}
+		return model, Sat
+	}
+	if st.exhausted && st.complete && !st.truncated {
+		// Every candidate list covered its whole domain and the search
+		// ran to completion, so exhaustion is a proof of UNSAT. A
+		// node-budget cutoff (truncated) proves nothing — reporting
+		// Unsat then could prune feasible paths, which would be unsound.
+		return nil, Unsat
+	}
+	return nil, Unknown
+}
+
+// Feasible reports whether the constraints might be satisfiable (Sat or
+// Unknown). Symbolic execution uses it to prune provably dead paths while
+// keeping uncertain ones, which is the conservative direction.
+func (s *Solver) Feasible(constraints []Expr, domains map[string]Domain) bool {
+	_, r := s.Solve(constraints, domains)
+	return r != Unsat
+}
+
+// CheckModel reports whether the binding satisfies every constraint.
+func CheckModel(constraints []Expr, model map[string]uint64) bool {
+	for _, c := range constraints {
+		if c.Eval(model) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type searchState struct {
+	vars           []string
+	dom            map[string]Domain
+	excluded       map[string]map[uint64]bool
+	constraints    []Expr
+	constraintSyms [][]string
+	candidates     map[string][]uint64
+	assignment     map[string]uint64
+	maxNodes       int
+	samples        int
+	nodes          int
+	exhausted      bool
+	complete       bool
+	truncated      bool
+}
+
+func (st *searchState) search(i int) bool {
+	if st.nodes >= st.maxNodes {
+		st.truncated = true
+		return false
+	}
+	st.nodes++
+	if i == len(st.vars) {
+		return CheckModel(st.constraints, st.assignment)
+	}
+	v := st.vars[i]
+	for _, cand := range st.candidates[v] {
+		st.assignment[v] = cand
+		if st.partialOK(i) && st.search(i+1) {
+			return true
+		}
+	}
+	delete(st.assignment, v)
+	if i == 0 {
+		st.exhausted = true
+		st.complete = st.allCandidatesComplete()
+	}
+	return false
+}
+
+// partialOK evaluates every constraint whose symbols are all assigned
+// after the i-th variable got its value.
+func (st *searchState) partialOK(i int) bool {
+	assigned := make(map[string]bool, i+1)
+	for j := 0; j <= i; j++ {
+		assigned[st.vars[j]] = true
+	}
+	for ci, c := range st.constraints {
+		ready := true
+		uses := false
+		for _, s := range st.constraintSyms[ci] {
+			if s == st.vars[i] {
+				uses = true
+			}
+			if !assigned[s] {
+				ready = false
+				break
+			}
+		}
+		if ready && uses && c.Eval(st.assignment) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// allCandidatesComplete reports whether every variable's candidate list
+// covers its entire domain, in which case exhaustion proves UNSAT.
+func (st *searchState) allCandidatesComplete() bool {
+	for _, v := range st.vars {
+		d := st.dom[v]
+		width := d.Hi - d.Lo
+		if width+1 == 0 { // full 64-bit domain
+			return false
+		}
+		if uint64(len(st.candidates[v])) < width+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// enumWidth is the largest domain propagate will fully enumerate for
+// single-symbol constraints (masked-field comparisons and similar).
+const enumWidth = 4096
+
+// propagate narrows domains using one constraint. It recognises
+// comparisons between a symbol and a constant, symbol-symbol orderings,
+// and disequalities; single-symbol constraints over small domains are
+// decided exactly by enumeration; everything else is left to the search.
+func propagate(c Expr, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool) {
+	b, ok := c.(Bin)
+	if !ok {
+		return propagateEnum(c, dom, excluded)
+	}
+	if verdict, changed, handled := tryPropagateBin(b, dom, excluded); handled {
+		return verdict, changed
+	}
+	return propagateEnum(c, dom, excluded)
+}
+
+// propagateEnum decides a constraint that mentions exactly one symbol
+// with a small domain by trying every value, tightening the domain to
+// the satisfying range (or proving UNSAT).
+func propagateEnum(c Expr, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool) {
+	syms := Symbols(c)
+	if len(syms) != 1 {
+		return Unknown, false
+	}
+	name := syms[0]
+	d := dom[name]
+	width := d.Hi - d.Lo
+	if width >= enumWidth {
+		return Unknown, false
+	}
+	lo, hi := d.Hi, d.Lo
+	any := false
+	binding := map[string]uint64{}
+	for v := d.Lo; ; v++ {
+		if !excluded[name][v] {
+			binding[name] = v
+			if c.Eval(binding) != 0 {
+				any = true
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		if v == d.Hi {
+			break
+		}
+	}
+	if !any {
+		return Unsat, false
+	}
+	if lo > d.Lo || hi < d.Hi {
+		dom[name] = Domain{Lo: lo, Hi: hi}
+		return Unknown, true
+	}
+	return Unknown, false
+}
+
+// tryPropagateBin handles the structurally recognised comparison shapes;
+// handled is false when the constraint does not match any of them.
+func tryPropagateBin(b Bin, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool, bool) {
+	// Normalise: symbol on the left.
+	l, r := b.L, b.R
+	op := b.Op
+	if _, lc := l.(Const); lc {
+		l, r = r, l
+		op = flipOp(op)
+	}
+	ls, lIsSym := l.(Sym)
+	if !lIsSym {
+		return Unknown, false, false
+	}
+	if rc, rIsConst := r.(Const); rIsConst {
+		d := dom[ls.Name]
+		nd := d
+		switch op {
+		case Eq:
+			if !d.contains(rc.V) || excluded[ls.Name][rc.V] {
+				return Unsat, false, true
+			}
+			nd = Domain{rc.V, rc.V}
+		case Ne:
+			if excluded[ls.Name] == nil {
+				excluded[ls.Name] = make(map[uint64]bool)
+			}
+			changed := false
+			if !excluded[ls.Name][rc.V] {
+				excluded[ls.Name][rc.V] = true
+				changed = true
+			}
+			// Tighten bounds that became excluded.
+			for nd.Lo <= nd.Hi && excluded[ls.Name][nd.Lo] {
+				if nd.Lo == ^uint64(0) {
+					return Unsat, false, true
+				}
+				nd.Lo++
+				changed = true
+			}
+			for nd.Hi >= nd.Lo && excluded[ls.Name][nd.Hi] {
+				if nd.Hi == 0 {
+					return Unsat, false, true
+				}
+				nd.Hi--
+				changed = true
+			}
+			if nd.Lo > nd.Hi {
+				return Unsat, false, true
+			}
+			dom[ls.Name] = nd
+			return Unknown, changed, true
+		case Ult:
+			if rc.V == 0 {
+				return Unsat, false, true
+			}
+			if rc.V-1 < nd.Hi {
+				nd.Hi = rc.V - 1
+			}
+		case Ule:
+			if rc.V < nd.Hi {
+				nd.Hi = rc.V
+			}
+		case Ugt:
+			if rc.V == ^uint64(0) {
+				return Unsat, false, true
+			}
+			if rc.V+1 > nd.Lo {
+				nd.Lo = rc.V + 1
+			}
+		case Uge:
+			if rc.V > nd.Lo {
+				nd.Lo = rc.V
+			}
+		default:
+			return Unknown, false, false
+		}
+		if nd.Lo > nd.Hi {
+			return Unsat, false, true
+		}
+		if nd != d {
+			dom[ls.Name] = nd
+			return Unknown, true, true
+		}
+		return Unknown, false, true
+	}
+	if rs, rIsSym := r.(Sym); rIsSym {
+		// Symbol-symbol ordering: propagate bounds both ways.
+		dl, dr := dom[ls.Name], dom[rs.Name]
+		changed := false
+		switch op {
+		case Ult:
+			if dr.Hi == 0 {
+				return Unsat, false, true
+			}
+			changed = tightenHi(dom, ls.Name, dr.Hi-1) || changed
+			if dl.Lo == ^uint64(0) {
+				return Unsat, false, true
+			}
+			changed = tightenLo(dom, rs.Name, dl.Lo+1) || changed
+		case Ule:
+			changed = tightenHi(dom, ls.Name, dr.Hi) || changed
+			changed = tightenLo(dom, rs.Name, dl.Lo) || changed
+		case Ugt:
+			if dl.Hi == 0 {
+				return Unsat, false, true
+			}
+			changed = tightenLo(dom, ls.Name, dr.Lo+1) || changed
+			changed = tightenHi(dom, rs.Name, dl.Hi-1) || changed
+		case Uge:
+			changed = tightenLo(dom, ls.Name, dr.Lo) || changed
+			changed = tightenHi(dom, rs.Name, dl.Hi) || changed
+		case Eq:
+			nd, ok := dl.intersect(dr)
+			if !ok {
+				return Unsat, false, true
+			}
+			if nd != dl || nd != dr {
+				dom[ls.Name], dom[rs.Name] = nd, nd
+				changed = true
+			}
+		default:
+			return Unknown, false, false
+		}
+		if dom[ls.Name].Lo > dom[ls.Name].Hi || dom[rs.Name].Lo > dom[rs.Name].Hi {
+			return Unsat, false, true
+		}
+		return Unknown, changed, true
+	}
+	return Unknown, false, false
+}
+
+func tightenLo(dom map[string]Domain, name string, lo uint64) bool {
+	d := dom[name]
+	if lo > d.Lo {
+		d.Lo = lo
+		dom[name] = d
+		return true
+	}
+	return false
+}
+
+func tightenHi(dom map[string]Domain, name string, hi uint64) bool {
+	d := dom[name]
+	if hi < d.Hi {
+		d.Hi = hi
+		dom[name] = d
+		return true
+	}
+	return false
+}
+
+func flipOp(op Op) Op {
+	switch op {
+	case Ult:
+		return Ugt
+	case Ule:
+		return Uge
+	case Ugt:
+		return Ult
+	case Uge:
+		return Ule
+	default:
+		return op // Eq, Ne and bitwise ops are symmetric enough here
+	}
+}
+
+// buildCandidates assembles, per symbol, the concrete values the search
+// will try: domain endpoints, constants mentioned alongside the symbol
+// (and their neighbours), and deterministic pseudo-random samples.
+func buildCandidates(constraints []Expr, dom map[string]Domain, excluded map[string]map[uint64]bool, samples int) map[string][]uint64 {
+	mentioned := make(map[string][]uint64)
+	collect := func(e Expr) (consts []uint64, syms []string) {
+		var rec func(Expr)
+		rec = func(e Expr) {
+			switch x := e.(type) {
+			case Const:
+				consts = append(consts, x.V)
+			case Sym:
+				syms = append(syms, x.Name)
+			case Bin:
+				rec(x.L)
+				rec(x.R)
+			case Not:
+				rec(x.X)
+			}
+		}
+		rec(e)
+		return
+	}
+	for _, c := range constraints {
+		consts, syms := collect(c)
+		for _, s := range syms {
+			mentioned[s] = append(mentioned[s], consts...)
+		}
+	}
+
+	out := make(map[string][]uint64, len(dom))
+	for name, d := range dom {
+		seen := make(map[uint64]bool)
+		var cands []uint64
+		add := func(v uint64) {
+			if d.contains(v) && !excluded[name][v] && !seen[v] {
+				seen[v] = true
+				cands = append(cands, v)
+			}
+		}
+		add(d.Lo)
+		add(d.Hi)
+		add(d.Lo + (d.Hi-d.Lo)/2)
+		for _, v := range mentioned[name] {
+			add(v)
+			if v > 0 {
+				add(v - 1)
+			}
+			if v < ^uint64(0) {
+				add(v + 1)
+			}
+		}
+		// Small domains: enumerate fully so exhaustion implies UNSAT.
+		if width := d.Hi - d.Lo; width < 512 {
+			for v := d.Lo; ; v++ {
+				add(v)
+				if v == d.Hi {
+					break
+				}
+			}
+		} else {
+			rng := rand.New(rand.NewSource(int64(hashName(name))))
+			for i := 0; i < samples; i++ {
+				if width == ^uint64(0) { // full domain: width+1 overflows
+					add(rng.Uint64())
+				} else {
+					add(d.Lo + rng.Uint64()%(width+1))
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		out[name] = cands
+	}
+	return out
+}
+
+func hashName(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func sameKind(l, r Expr) bool {
+	_, ok1 := l.(Sym)
+	_, ok2 := r.(Sym)
+	return ok1 && ok2
+}
+
+func dedupe(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || ss[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type unionFind struct{ parent map[string]string }
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// Deterministic: smaller name becomes the representative.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}

@@ -1,0 +1,295 @@
+// Package traffic generates the workloads the evaluation replays — the
+// stand-in for the paper's MoonGen traffic generator and, for the
+// adversarial generators, for CASTAN [paper ref 32].
+//
+// All generators are deterministic given their seed, produce one packet
+// at a time with explicit timestamps (the paper replays "one packet at a
+// time, to avoid any queuing or pipelining effects"), and can be
+// exported to PCAP.
+package traffic
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/packet"
+	"gobolt/internal/pcap"
+)
+
+// Packet is one workload packet: wire bytes plus arrival metadata.
+type Packet struct {
+	Data   []byte
+	Time   uint64 // arrival time, ns
+	InPort uint64
+}
+
+// ToPCAP converts a workload to pcap records (for cmd/trafficgen and the
+// Distiller's file-based interface).
+func ToPCAP(pkts []Packet) []pcap.Record {
+	recs := make([]pcap.Record, len(pkts))
+	for i, p := range pkts {
+		recs[i] = pcap.Record{
+			Time: time.Unix(0, int64(p.Time)).UTC(),
+			Data: p.Data,
+		}
+	}
+	return recs
+}
+
+// FromPCAP converts pcap records into a workload arriving on inPort.
+func FromPCAP(recs []pcap.Record, inPort uint64) []Packet {
+	pkts := make([]Packet, len(recs))
+	for i, r := range recs {
+		pkts[i] = Packet{Data: r.Data, Time: uint64(r.Time.UnixNano()), InPort: inPort}
+	}
+	return pkts
+}
+
+// UDPFlowConfig drives the general-purpose flow workload generator.
+type UDPFlowConfig struct {
+	// Packets to generate.
+	Packets int
+	// Flows is the size of the flow population packets are drawn from.
+	Flows int
+	// NewFlowEvery inserts a brand-new flow every k packets (churn);
+	// 0 disables churn.
+	NewFlowEvery int
+	// StartNS and GapNS control timestamps (GapNS per packet).
+	StartNS, GapNS uint64
+	// InPort for every packet.
+	InPort uint64
+	// Seed for determinism.
+	Seed int64
+	// Proto defaults to UDP.
+	TCP bool
+	// RoundRobin draws flows in order instead of randomly, guaranteeing
+	// every flow in the population is visited (class-pure warmups).
+	RoundRobin bool
+}
+
+// UDPFlows generates uniform-random traffic over a flow population, the
+// paper's "uniform random test workload".
+func UDPFlows(cfg UDPFlowConfig) []Packet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.GapNS == 0 {
+		cfg.GapNS = 10_000 // 100 kpps
+	}
+	type flow struct {
+		src, dst [4]byte
+		sp, dp   uint16
+	}
+	newFlow := func() flow {
+		return flow{
+			src: [4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			dst: [4]byte{192, 168, byte(rng.Intn(256)), byte(rng.Intn(256))},
+			sp:  uint16(1024 + rng.Intn(60000)),
+			dp:  uint16(1 + rng.Intn(1024)),
+		}
+	}
+	flows := make([]flow, cfg.Flows)
+	for i := range flows {
+		flows[i] = newFlow()
+	}
+	var out []Packet
+	now := cfg.StartNS
+	for i := 0; i < cfg.Packets; i++ {
+		if cfg.NewFlowEvery > 0 && i%cfg.NewFlowEvery == 0 {
+			flows[rng.Intn(len(flows))] = newFlow()
+		}
+		f := flows[rng.Intn(len(flows))]
+		if cfg.RoundRobin {
+			f = flows[i%len(flows)]
+		}
+		b := packet.NewBuilder().Ethernet(
+			packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, packet.EtherTypeIPv4)
+		src := addr4(f.src)
+		dst := addr4(f.dst)
+		if cfg.TCP {
+			b = b.IPv4(src, dst, packet.ProtoTCP, 64, nil).TCP(f.sp, f.dp, 1, 1, packet.TCPAck)
+		} else {
+			b = b.IPv4(src, dst, packet.ProtoUDP, 64, nil).UDP(f.sp, f.dp)
+		}
+		out = append(out, Packet{Data: b.Bytes(), Time: now, InPort: cfg.InPort})
+		now += cfg.GapNS
+	}
+	return out
+}
+
+// BridgeConfig drives the L2 workload generator.
+type BridgeConfig struct {
+	Packets int
+	// MACs is the station population size.
+	MACs int
+	// BroadcastFraction in [0,1] of frames with the broadcast DST.
+	BroadcastFraction float64
+	// Ports the stations are spread over.
+	Ports          uint64
+	StartNS, GapNS uint64
+	Seed           int64
+	// RoundRobin pairs stations deterministically (src i, dst i+1), so a
+	// warmup pass visits every station.
+	RoundRobin bool
+}
+
+// BridgeFrames generates L2 learning-bridge traffic: random known
+// stations talking to each other, with an optional broadcast share.
+func BridgeFrames(cfg BridgeConfig) []Packet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.GapNS == 0 {
+		cfg.GapNS = 10_000
+	}
+	if cfg.Ports == 0 {
+		cfg.Ports = 4
+	}
+	macs := make([]packet.MAC, cfg.MACs)
+	for i := range macs {
+		macs[i] = packet.MAC{0x02, byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i), byte(rng.Intn(256))}
+	}
+	var out []Packet
+	now := cfg.StartNS
+	for i := 0; i < cfg.Packets; i++ {
+		src := macs[rng.Intn(len(macs))]
+		dst := macs[rng.Intn(len(macs))]
+		if cfg.RoundRobin {
+			src = macs[i%len(macs)]
+			dst = macs[(i+1)%len(macs)]
+		}
+		if rng.Float64() < cfg.BroadcastFraction {
+			dst = packet.Broadcast
+		}
+		frame := packet.NewBuilder().
+			Ethernet(dst, src, packet.EtherTypeIPv4).
+			IPv4(addr4([4]byte{10, 0, 0, 1}), addr4([4]byte{10, 0, 0, 2}), packet.ProtoUDP, 64, nil).
+			UDP(uint16(1000+i%100), 80).
+			Bytes()
+		out = append(out, Packet{Data: frame, Time: now, InPort: uint64(rng.Intn(int(cfg.Ports)))})
+		now += cfg.GapNS
+	}
+	return out
+}
+
+// LPMConfig drives the router workload generator.
+type LPMConfig struct {
+	Packets int
+	// Dsts lists destination addresses to draw from (e.g. addresses
+	// matching ≤24-bit prefixes for the LPM2 class, or >24-bit ones for
+	// LPM1 — the CASTAN-style constrained classes).
+	Dsts           []uint32
+	StartNS, GapNS uint64
+	Seed           int64
+}
+
+// LPMPackets generates IPv4 traffic towards the given destinations.
+func LPMPackets(cfg LPMConfig) []Packet {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.GapNS == 0 {
+		cfg.GapNS = 10_000
+	}
+	var out []Packet
+	now := cfg.StartNS
+	for i := 0; i < cfg.Packets; i++ {
+		dst := cfg.Dsts[rng.Intn(len(cfg.Dsts))]
+		frame := packet.NewBuilder().
+			Ethernet(packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, packet.EtherTypeIPv4).
+			IPv4(addr4([4]byte{10, 9, 9, 9}), addr4(u32bytes(dst)), packet.ProtoUDP, 64, nil).
+			UDP(5000, 53).
+			Bytes()
+		out = append(out, Packet{Data: frame, Time: now, InPort: 0})
+		now += cfg.GapNS
+	}
+	return out
+}
+
+// Heartbeat builds one LB backend heartbeat packet (UDP to the
+// heartbeat port, backend index in the low byte of the source address).
+func Heartbeat(backend uint64, hbPort uint16, t uint64) Packet {
+	frame := packet.NewBuilder().
+		Ethernet(packet.MAC{2, 0, 0, 0, 0, 9}, packet.MAC{2, 0, 0, 0, 1, byte(backend)}, packet.EtherTypeIPv4).
+		IPv4(addr4([4]byte{172, 16, 0, byte(backend)}), addr4([4]byte{172, 16, 0, 254}), packet.ProtoUDP, 64, nil).
+		UDP(4000, hbPort).
+		Bytes()
+	return Packet{Data: frame, Time: t, InPort: 1}
+}
+
+// NonIPv4 builds an invalid (ARP) frame — the paper's "invalid packets"
+// class.
+func NonIPv4(t, inPort uint64) Packet {
+	frame := packet.NewBuilder().
+		Ethernet(packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, packet.EtherTypeARP).
+		Payload(make([]byte, 28)).
+		Bytes()
+	return Packet{Data: frame, Time: t, InPort: inPort}
+}
+
+// WithOptions builds an IPv4 packet carrying n timestamp-option slots
+// (the §5.2 chain workload).
+func WithOptions(n int, t, inPort uint64) Packet {
+	var opts []byte
+	for i := 0; i < n; i++ {
+		opts = append(opts, 68, 4, 5, 0) // one 4-byte timestamp slot each
+	}
+	frame := packet.NewBuilder().
+		Ethernet(packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, packet.EtherTypeIPv4).
+		IPv4(addr4([4]byte{10, 1, 2, 3}), addr4([4]byte{192, 168, 1, 1}), packet.ProtoUDP, 64, opts).
+		UDP(1234, 80).
+		Bytes()
+	return Packet{Data: frame, Time: t, InPort: inPort}
+}
+
+// AdversarialLPM is the CASTAN-substitute for the LPM router: given
+// whitebox access to the DIR-24-8 table, it emits traffic whose every
+// packet takes the expensive two-read path (the paper's "unconstrained
+// traffic" class LPM1, which CASTAN generated). It returns nil when the
+// table has no extended slots to attack.
+func AdversarialLPM(table *dslib.Dir248, packets int, startNS, gapNS uint64, seed int64) []Packet {
+	slots := table.ExtendedSlots()
+	if len(slots) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dsts := make([]uint32, 0, packets)
+	for i := 0; i < packets; i++ {
+		slot := slots[rng.Intn(len(slots))]
+		dsts = append(dsts, slot<<8|uint32(rng.Intn(256)))
+	}
+	return LPMPackets(LPMConfig{
+		Packets: packets, Dsts: dsts, StartNS: startNS, GapNS: gapNS, Seed: seed,
+	})
+}
+
+// CollidingMACs is the CASTAN-substitute for the bridge: it brute-force
+// searches source MACs that fall into the same bucket of the target
+// table (knowing the hash algorithm, and — white-box worst case — the
+// current secret). With requireTag it additionally demands equal 16-bit
+// tags (full hash collisions, the c PCV); that search is only feasible
+// for small tables.
+func CollidingMACs(table *dslib.FlowTable, count int, requireTag bool, seed int64) []packet.MAC {
+	rng := rand.New(rand.NewSource(seed))
+	var out []packet.MAC
+	wantBucket, wantTag := -1, uint16(0)
+	for tries := 0; len(out) < count && tries < 200_000_000; tries++ {
+		raw := rng.Uint64() & 0xFFFF_FFFF_FFFF
+		bucket, tag := table.BucketOf([]uint64{raw})
+		if wantBucket < 0 {
+			wantBucket, wantTag = bucket, tag
+			out = append(out, packet.MACFromUint64(raw))
+			continue
+		}
+		if bucket != wantBucket {
+			continue
+		}
+		if requireTag && tag != wantTag {
+			continue
+		}
+		out = append(out, packet.MACFromUint64(raw))
+	}
+	return out
+}
+
+func addr4(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }
+
+func u32bytes(v uint32) [4]byte {
+	return [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}

@@ -1,0 +1,276 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/nfir"
+	"gobolt/internal/packet"
+	"gobolt/internal/pcap"
+	"gobolt/internal/perf"
+)
+
+func decodeAll(t *testing.T, pkts []Packet) []packet.Decoded {
+	t.Helper()
+	out := make([]packet.Decoded, len(pkts))
+	for i, p := range pkts {
+		if err := packet.Decode(p.Data, &out[i]); err != nil {
+			t.Fatalf("packet %d does not decode: %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestUDPFlowsWellFormed(t *testing.T) {
+	pkts := UDPFlows(UDPFlowConfig{Packets: 200, Flows: 16, Seed: 1, StartNS: 100, GapNS: 50})
+	if len(pkts) != 200 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	ds := decodeAll(t, pkts)
+	flows := map[[2]uint32]bool{}
+	for i, d := range ds {
+		if !d.Has(packet.LayerUDP) {
+			t.Fatalf("packet %d not UDP", i)
+		}
+		src := d.IP.Src.As4()
+		dst := d.IP.Dst.As4()
+		flows[[2]uint32{be32(src), be32(dst)}] = true
+	}
+	if len(flows) > 16 {
+		t.Errorf("flow population = %d, want ≤ 16", len(flows))
+	}
+	// Timestamps are monotone with the configured gap.
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Time != pkts[i-1].Time+50 {
+			t.Fatalf("gap broken at %d", i)
+		}
+	}
+}
+
+func be32(b [4]byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func TestUDPFlowsDeterministic(t *testing.T) {
+	a := UDPFlows(UDPFlowConfig{Packets: 50, Flows: 8, Seed: 42})
+	b := UDPFlows(UDPFlowConfig{Packets: 50, Flows: 8, Seed: 42})
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("packet %d differs across identical seeds", i)
+		}
+	}
+	c := UDPFlows(UDPFlowConfig{Packets: 50, Flows: 8, Seed: 43})
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Data, c[i].Data) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traffic")
+	}
+}
+
+func TestUDPFlowsRoundRobinCoversPopulation(t *testing.T) {
+	pkts := UDPFlows(UDPFlowConfig{Packets: 32, Flows: 32, RoundRobin: true, Seed: 7})
+	ds := decodeAll(t, pkts)
+	seen := map[[2]uint16]bool{}
+	for _, d := range ds {
+		seen[[2]uint16{d.UDP.SrcPort, d.UDP.DstPort}] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("round robin covered %d flows, want 32", len(seen))
+	}
+}
+
+func TestUDPFlowsChurn(t *testing.T) {
+	noChurn := UDPFlows(UDPFlowConfig{Packets: 500, Flows: 8, Seed: 3})
+	churn := UDPFlows(UDPFlowConfig{Packets: 500, Flows: 8, NewFlowEvery: 5, Seed: 3})
+	count := func(pkts []Packet) int {
+		seen := map[string]bool{}
+		for _, p := range pkts {
+			seen[string(p.Data[26:38])] = true
+		}
+		return len(seen)
+	}
+	if count(churn) <= count(noChurn) {
+		t.Errorf("churn should produce more distinct flows: %d vs %d", count(churn), count(noChurn))
+	}
+}
+
+func TestBridgeFramesClasses(t *testing.T) {
+	pkts := BridgeFrames(BridgeConfig{Packets: 300, MACs: 16, BroadcastFraction: 0.5, Ports: 4, Seed: 2})
+	ds := decodeAll(t, pkts)
+	var bcast int
+	for i, d := range ds {
+		if d.Eth.Dst == packet.Broadcast {
+			bcast++
+		}
+		if pkts[i].InPort > 3 {
+			t.Fatalf("packet %d in-port %d", i, pkts[i].InPort)
+		}
+	}
+	if bcast < 100 || bcast > 200 {
+		t.Errorf("broadcast fraction off: %d/300", bcast)
+	}
+
+	rr := BridgeFrames(BridgeConfig{Packets: 16, MACs: 16, Ports: 4, RoundRobin: true, Seed: 2})
+	srcs := map[packet.MAC]bool{}
+	for _, d := range decodeAll(t, rr) {
+		srcs[d.Eth.Src] = true
+	}
+	if len(srcs) != 16 {
+		t.Errorf("round robin covered %d stations, want 16", len(srcs))
+	}
+}
+
+func TestLPMPacketsTargetDsts(t *testing.T) {
+	dsts := []uint32{0x0A000001, 0xC0A80101}
+	pkts := LPMPackets(LPMConfig{Packets: 100, Dsts: dsts, Seed: 1})
+	for i, d := range decodeAll(t, pkts) {
+		got := be32(d.IP.Dst.As4())
+		if got != dsts[0] && got != dsts[1] {
+			t.Fatalf("packet %d dst %#x not in set", i, got)
+		}
+	}
+}
+
+func TestHeartbeatShape(t *testing.T) {
+	hb := Heartbeat(5, 9999, 1234)
+	var d packet.Decoded
+	if err := packet.Decode(hb.Data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.UDP.DstPort != 9999 {
+		t.Errorf("dst port = %d", d.UDP.DstPort)
+	}
+	if src := d.IP.Src.As4(); src[3] != 5 {
+		t.Errorf("backend id byte = %d", src[3])
+	}
+	if hb.InPort != 1 {
+		t.Errorf("in port = %d", hb.InPort)
+	}
+}
+
+func TestNonIPv4IsInvalid(t *testing.T) {
+	p := NonIPv4(1, 0)
+	var d packet.Decoded
+	if err := packet.Decode(p.Data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Has(packet.LayerIPv4) {
+		t.Error("NonIPv4 decodes as IPv4")
+	}
+}
+
+func TestWithOptionsCarriesOptions(t *testing.T) {
+	p := WithOptions(3, 1, 0)
+	var d packet.Decoded
+	if err := packet.Decode(p.Data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.IP.IHL != 8 { // 5 + 3 slots × 4B / 4
+		t.Errorf("IHL = %d, want 8", d.IP.IHL)
+	}
+	if d.IP.Options[0] != packet.IPOptTimestamp {
+		t.Errorf("first option = %d", d.IP.Options[0])
+	}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	pkts := UDPFlows(UDPFlowConfig{Packets: 30, Flows: 4, Seed: 9, StartNS: 1_000_000, GapNS: 1_000_000})
+	var buf bytes.Buffer
+	if err := pcap.WriteAll(&buf, ToPCAP(pkts)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pcap.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromPCAP(recs, 3)
+	if len(back) != len(pkts) {
+		t.Fatalf("round trip count %d", len(back))
+	}
+	for i := range back {
+		if !bytes.Equal(back[i].Data, pkts[i].Data) {
+			t.Fatalf("packet %d bytes differ", i)
+		}
+		if back[i].InPort != 3 {
+			t.Fatalf("packet %d in-port %d", i, back[i].InPort)
+		}
+		// Times survive at microsecond resolution.
+		if back[i].Time/1000 != pkts[i].Time/1000 {
+			t.Fatalf("packet %d time %d vs %d", i, back[i].Time, pkts[i].Time)
+		}
+	}
+}
+
+func TestCollidingMACsCollide(t *testing.T) {
+	env := nfir.NewEnv()
+	env.Meter = perf.NewMeter(nil)
+	table := dslib.NewFlowTable(env, dslib.FlowTableConfig{
+		Name: "mac", Capacity: 256, KeyWords: 1, TimeoutNS: 1, Costs: dslib.BridgeCosts(),
+	})
+	macs := CollidingMACs(table, 6, false, 11)
+	if len(macs) != 6 {
+		t.Fatalf("found %d colliding MACs", len(macs))
+	}
+	wantBucket, _ := table.BucketOf([]uint64{macs[0].Uint64()})
+	for i, m := range macs {
+		b, _ := table.BucketOf([]uint64{m.Uint64()})
+		if b != wantBucket {
+			t.Fatalf("mac %d in bucket %d, want %d", i, b, wantBucket)
+		}
+	}
+	// With requireTag on a tiny table, full-hash collisions are feasible.
+	small := dslib.NewFlowTable(env, dslib.FlowTableConfig{
+		Name: "tiny", Capacity: 4, KeyWords: 1, TimeoutNS: 1, Costs: dslib.BridgeCosts(),
+	})
+	tagged := CollidingMACs(small, 3, true, 12)
+	if len(tagged) != 3 {
+		t.Skipf("tag search found only %d (acceptable: probabilistic)", len(tagged))
+	}
+	_, wantTag := small.BucketOf([]uint64{tagged[0].Uint64()})
+	for _, m := range tagged {
+		if _, tag := small.BucketOf([]uint64{m.Uint64()}); tag != wantTag {
+			t.Fatal("tag collision violated")
+		}
+	}
+}
+
+func TestAdversarialLPMForcesLongPath(t *testing.T) {
+	env := nfir.NewEnv()
+	env.Meter = perf.NewMeter(nil)
+	table := dslib.NewDir248(env, 0, 16)
+	if err := table.AddRoute(0xC0A80180, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.AddRoute(0x0A000080, 26, 2); err != nil {
+		t.Fatal(err)
+	}
+	pkts := AdversarialLPM(table, 100, 1_000, 1_000, 3)
+	if len(pkts) != 100 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	for i, p := range pkts {
+		var d packet.Decoded
+		if err := packet.Decode(p.Data, &d); err != nil {
+			t.Fatal(err)
+		}
+		dst := be32(d.IP.Dst.As4())
+		// Every destination must land in an extended tbl24 slot.
+		slot := dst >> 8
+		if slot != 0xC0A801 && slot != 0x0A0000 {
+			t.Fatalf("packet %d dst %#x outside extended slots", i, dst)
+		}
+	}
+	// A table with only short routes yields no attack surface.
+	empty := dslib.NewDir248(env, 0, 4)
+	if err := empty.AddRoute(0x0A000000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := AdversarialLPM(empty, 10, 0, 0, 1); got != nil {
+		t.Error("short-only table should have no adversarial traffic")
+	}
+}
