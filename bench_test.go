@@ -7,6 +7,7 @@ package gobolt_test
 // tables at DefaultScale.
 
 import (
+	"context"
 	"testing"
 
 	"gobolt/internal/core"
@@ -14,6 +15,7 @@ import (
 	"gobolt/internal/experiments"
 	"gobolt/internal/hwmodel"
 	"gobolt/internal/nf"
+	"gobolt/internal/par"
 	"gobolt/internal/perf"
 	"gobolt/internal/symb"
 	"gobolt/internal/traffic"
@@ -77,7 +79,7 @@ func BenchmarkFigure2Distiller(b *testing.B) {
 
 func BenchmarkTable5ChainContracts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, _, _, err := experiments.ChainContracts(); err != nil {
+		if _, _, _, _, err := experiments.ChainContracts(experiments.QuickScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,6 +117,107 @@ func BenchmarkFigure5Allocators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AllocatorStudy(experiments.QuickScale()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pipeline parallelism and the contract cache. ---
+
+// benchGenerateNFs builds the multi-path NFs whose per-path solve and
+// replay work is what the worker pool parallelises.
+func benchGenerateNFs(b *testing.B) []*nf.Instance {
+	b.Helper()
+	const hour = uint64(3_600_000_000_000)
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: 4096, TimeoutNS: hour, GranularityNS: 1_000_000,
+	})
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: 4096, TimeoutNS: hour, GranularityNS: 1_000_000, RehashThreshold: 6,
+	})
+	lb, err := nf.NewLB(nf.LBConfig{
+		Backends: 16, RingSize: 4099, FlowCapacity: 4096,
+		TimeoutNS: hour, HeartbeatTimeoutNS: hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []*nf.Instance{nat.Instance, br.Instance, lb.Instance}
+}
+
+func benchmarkGenerate(b *testing.B, parallelism int, cache *core.ContractCache) {
+	insts := benchGenerateNFs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.NewGenerator()
+		g.Parallelism = parallelism
+		g.Cache = cache
+		for _, inst := range insts {
+			if _, err := g.Generate(inst.Prog, inst.Models); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerateSerial(b *testing.B)     { benchmarkGenerate(b, 1, nil) }
+func BenchmarkGenerateParallel4(b *testing.B)  { benchmarkGenerate(b, 4, nil) }
+func BenchmarkGenerateParallelGM(b *testing.B) { benchmarkGenerate(b, 0, nil) }
+
+// benchmarkGenerateFleet measures the harness-level fan-out: many
+// independent NF generations pushed through one worker pool, the shape
+// Census, ComposeMany, and the experiment harnesses use. This is where
+// the pool pays off — per-path parallelism inside one NF is bounded by
+// the serial exploration stage.
+func benchmarkGenerateFleet(b *testing.B, workers int) {
+	var insts []*nf.Instance
+	for i := 0; i < 4; i++ {
+		insts = append(insts, benchGenerateNFs(b)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.NewGenerator()
+		err := par.ForEach(context.Background(), workers, len(insts), func(j int) error {
+			_, err := g.Generate(insts[j].Prog, insts[j].Models)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFleetSerial(b *testing.B)    { benchmarkGenerateFleet(b, 1) }
+func BenchmarkGenerateFleetParallel4(b *testing.B) { benchmarkGenerateFleet(b, 4) }
+
+func BenchmarkGenerateCacheCold(b *testing.B) {
+	insts := benchGenerateNFs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.NewGenerator()
+		g.Cache = core.NewContractCache() // fresh cache: every generation misses
+		for _, inst := range insts {
+			if _, err := g.Generate(inst.Prog, inst.Models); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerateCacheWarm(b *testing.B) {
+	insts := benchGenerateNFs(b)
+	g := core.NewGenerator()
+	g.Cache = core.NewContractCache()
+	for _, inst := range insts { // warm the cache outside the timer
+		if _, err := g.Generate(inst.Prog, inst.Models); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, inst := range insts {
+			if _, err := g.Generate(inst.Prog, inst.Models); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -8,14 +8,16 @@
 //	bolt -nf nat|bridge|lb|lpm|example-lpm|firewall|static-router
 //	     [-metric instructions|memaccesses|cycles]
 //	     [-level nf|full]
-//	     [-paths] [-capacity N]
+//	     [-paths] [-capacity N] [-parallel N]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gobolt/internal/core"
 	"gobolt/internal/dpdk"
@@ -32,8 +34,13 @@ func main() {
 		paths    = flag.Bool("paths", false, "print every path instead of coalesced classes")
 		asJSON   = flag.Bool("json", false, "emit the contract as JSON for downstream tooling")
 		capacity = flag.Int("capacity", 4096, "table capacity for stateful NFs")
+		parallel = flag.Int("parallel", 0, "worker pool size for per-path analysis (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
+
+	// Interrupt cancels the generation; the pipeline reports how far it got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	inst, err := buildNF(*nfName, *capacity)
 	if err != nil {
@@ -44,10 +51,11 @@ func main() {
 		fatal(err)
 	}
 	g := core.NewGenerator()
+	g.Parallelism = *parallel
 	if *level == "full" {
 		g.Level = dpdk.FullStack
 	}
-	ct, err := g.Generate(inst.Prog, inst.Models)
+	ct, err := g.GenerateContext(ctx, inst.Prog, inst.Models)
 	if err != nil {
 		fatal(err)
 	}

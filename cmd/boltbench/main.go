@@ -5,7 +5,7 @@
 //
 //	boltbench [-exp all|figure1|table3|microbench|table4|figure2|
 //	                table5|figure3|table6|table7|figure4|figure5]
-//	          [-scale default|quick]
+//	          [-scale default|quick] [-parallel N] [-nocache]
 package main
 
 import (
@@ -15,13 +15,16 @@ import (
 	"strings"
 	"time"
 
+	"gobolt/internal/core"
 	"gobolt/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census)")
-		scale = flag.String("scale", "default", "experiment scale: default or quick")
+		exp      = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census)")
+		scale    = flag.String("scale", "default", "experiment scale: default or quick")
+		parallel = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
+		nocache  = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
 	)
 	flag.Parse()
 
@@ -29,6 +32,8 @@ func main() {
 	if *scale == "quick" {
 		sc = experiments.QuickScale()
 	}
+	sc.Parallelism = *parallel
+	sc.NoCache = *nocache
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	start := time.Now()
@@ -78,7 +83,7 @@ func main() {
 
 	if want("table5") || want("figure3") {
 		if want("table5") {
-			t5, _, _, _, err := experiments.ChainContracts()
+			t5, _, _, _, err := experiments.ChainContracts(sc)
 			if err != nil {
 				fatal(err)
 			}
@@ -157,7 +162,11 @@ func main() {
 		fmt.Print(experiments.RenderFigure5(scenarios))
 	}
 
-	fmt.Printf("\n(total %s)\n", time.Since(start).Round(time.Millisecond))
+	if !*nocache {
+		hits, misses, entries := core.SharedCache().Stats()
+		fmt.Printf("\n(contract cache: %d hits, %d misses, %d entries)\n", hits, misses, entries)
+	}
+	fmt.Printf("(total %s)\n", time.Since(start).Round(time.Millisecond))
 }
 
 func section(title string) {

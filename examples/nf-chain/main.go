@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	t5, _, _, _, err := experiments.ChainContracts()
+	t5, _, _, _, err := experiments.ChainContracts(experiments.Scale{Packets: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gobolt/internal/nfir"
+)
+
+// ContractCache is a content-addressed cache of generated contracts,
+// keyed by a hash of (program text, model fingerprints, Generator
+// configuration). The evaluation harness regenerates the same NF
+// contracts many times across experiments — figure1 alone builds the
+// same NAT four times — and a warm cache turns every repeat into a map
+// lookup.
+//
+// Soundness rests on two conditions:
+//
+//   - Programs render deterministically (nfir.Program.String) and every
+//     model in the set implements nfir.Fingerprinter, covering exactly
+//     the configuration its Outcomes depends on. If any model does not,
+//     the generation is simply uncacheable and runs the full pipeline.
+//   - Cached contracts and paths are returned shared, so callers must
+//     treat them as immutable. Everything in this repository already
+//     does: composition copies path contracts before rewriting them, and
+//     the experiment harnesses only read.
+//
+// A ContractCache is safe for concurrent use.
+type ContractCache struct {
+	mu     sync.Mutex
+	byKey  map[string]cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	ct    *Contract
+	paths []*nfir.Path
+}
+
+// NewContractCache returns an empty cache.
+func NewContractCache() *ContractCache {
+	return &ContractCache{byKey: make(map[string]cacheEntry)}
+}
+
+// sharedCache is the process-wide cache behind SharedCache.
+var sharedCache = NewContractCache()
+
+// SharedCache returns the process-wide contract cache. Distinct
+// Generators configured identically share hits through it, which is what
+// lets cmd/boltbench's experiments reuse each other's contracts.
+func SharedCache() *ContractCache { return sharedCache }
+
+// Stats reports cache traffic: hits, misses (lookups that ran the full
+// pipeline), and resident entries. Uncacheable generations count neither
+// as hit nor miss.
+func (c *ContractCache) Stats() (hits, misses uint64, entries int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.byKey)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *ContractCache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byKey = make(map[string]cacheEntry)
+	c.hits, c.misses = 0, 0
+}
+
+func (c *ContractCache) lookup(key string) (*Contract, []*nfir.Path, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if ok {
+		c.hits++
+		return e.ct, e.paths, true
+	}
+	c.misses++
+	return nil, nil, false
+}
+
+func (c *ContractCache) store(key string, ct *Contract, paths []*nfir.Path) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byKey[key] = cacheEntry{ct: ct, paths: paths}
+}
+
+// cacheKey derives the content address for one generation, or reports
+// the triple uncacheable: no cache attached, or some model does not
+// fingerprint itself.
+func (g *Generator) cacheKey(prog *nfir.Program, models map[string]nfir.Model) (string, bool) {
+	if g.Cache == nil {
+		return "", false
+	}
+	names := make([]string, 0, len(models))
+	for n := range models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	s := g.solver()
+	fmt.Fprintf(&b, "config level=%d padIC=%d padMA=%d maxPaths=%d skipReplay=%t solverNodes=%d solverSamples=%d\n",
+		g.Level, g.CallPadIC, g.CallPadMA, g.MaxPaths, g.SkipReplay, s.MaxNodes, s.Samples)
+	for _, n := range names {
+		fp, ok := models[n].(nfir.Fingerprinter)
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, "model %s %s\n", n, fp.ModelFingerprint())
+	}
+	b.WriteString("program\n")
+	b.WriteString(prog.String())
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), true
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+)
+
+func TestCacheHitReturnsIdenticalContract(t *testing.T) {
+	cache := NewContractCache()
+	gen := func() *Contract {
+		ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+		g := NewGenerator()
+		g.Cache = cache
+		ct, err := g.Generate(ex.Prog, ex.Models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	first := gen()
+	second := gen()
+	if first != second {
+		t.Error("second generation should return the cached *Contract")
+	}
+	hits, misses, entries := cache.Stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Errorf("stats = %d hits, %d misses, %d entries; want 1/1/1", hits, misses, entries)
+	}
+}
+
+func TestCacheKeySensitiveToConfig(t *testing.T) {
+	cache := NewContractCache()
+	ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	padded := NewGenerator()
+	padded.Cache = cache
+	bare := &Generator{Cache: cache}
+	a, err := padded.Generate(ex.Prog, ex.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bare.Generate(ex.Prog, ex.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different padding config must not share a cache entry")
+	}
+	aJS, _ := json.Marshal(a)
+	bJS, _ := json.Marshal(b)
+	if string(aJS) == string(bJS) {
+		t.Error("padded and unpadded contracts should differ")
+	}
+	if _, _, entries := cache.Stats(); entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+}
+
+// noFP hides the underlying model's ModelFingerprint: only the Model
+// interface's methods are promoted through the embedded interface value.
+type noFP struct{ nfir.Model }
+
+func TestCacheSkipsNonFingerprintingModels(t *testing.T) {
+	cache := NewContractCache()
+	gen := func() *Contract {
+		ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+		models := make(map[string]nfir.Model, len(ex.Models))
+		for n, m := range ex.Models {
+			models[n] = noFP{m}
+		}
+		g := NewGenerator()
+		g.Cache = cache
+		ct, err := g.Generate(ex.Prog, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	if gen() == gen() {
+		t.Error("uncacheable generation should run the pipeline each time")
+	}
+	hits, misses, entries := cache.Stats()
+	if hits != 0 || misses != 0 || entries != 0 {
+		t.Errorf("uncacheable runs should not touch the cache, got %d/%d/%d", hits, misses, entries)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	cache := NewContractCache()
+	ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
+	g := NewGenerator()
+	g.Cache = cache
+	if _, err := g.Generate(ex.Prog, ex.Models); err != nil {
+		t.Fatal(err)
+	}
+	cache.Reset()
+	hits, misses, entries := cache.Stats()
+	if hits != 0 || misses != 0 || entries != 0 {
+		t.Errorf("after Reset stats = %d/%d/%d, want zeros", hits, misses, entries)
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *ContractCache
+	if h, m, e := c.Stats(); h != 0 || m != 0 || e != 0 {
+		t.Error("nil cache stats should be zero")
+	}
+	c.Reset() // must not panic
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gobolt/internal/expr"
 	"gobolt/internal/nfir"
+	"gobolt/internal/par"
 	"gobolt/internal/perf"
 	"gobolt/internal/symb"
 )
@@ -19,14 +21,14 @@ import (
 // composite contracts of Table 5c.
 //
 // The composition needs b's symbolic paths (not just its contract), so
-// it takes the second NF's program and models and re-explores it.
+// it takes the second NF's program and models and generates it.
 func Compose(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, error) {
 	ct, _, err := ComposeWithPaths(g, aCt, aPaths, bProg, bModels)
 	return ct, err
 }
 
 // joinPair attempts to join a forwarding path of a with a path of b.
-func joinPair(pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, feas *symb.Solver) (*PathContract, bool) {
+func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, feas *symb.Solver) (*PathContract, bool) {
 	// Build b's symbol substitution: packet fields written by a map to
 	// a's output expressions; unwritten fields stay shared with a's
 	// input; everything else is namespaced.
@@ -90,7 +92,7 @@ func joinPair(pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Pa
 		}
 	}
 
-	if !feas.Feasible(constraints, domains) {
+	if !feas.FeasibleContext(ctx, constraints, domains) {
 		return nil, false
 	}
 
@@ -135,25 +137,41 @@ func joinEvents(a, b string) string {
 // a further NF — the §3.4 extension to longer chains, which "pieces
 // together compatible paths one at a time in sequence".
 func ComposeWithPaths(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
-	g.defaults()
-	bEngine := &nfir.Engine{Models: bModels, MaxPaths: g.MaxPaths}
-	bPaths, err := bEngine.Explore(bProg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: exploring %s for composition: %w", bProg.Name, err)
-	}
-	bCt, err := g.Generate(bProg, bModels)
+	return ComposeWithPathsContext(context.Background(), g, aCt, aPaths, bProg, bModels)
+}
+
+// ComposeWithPathsContext is ComposeWithPaths with cancellation. The
+// second NF is generated through the pipeline once (contract and paths
+// come from the same exploration, so they align by construction — and
+// the generation hits the contract cache when one is attached).
+func ComposeWithPathsContext(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
+	bCt, bPaths, err := g.GenerateWithPathsContext(ctx, bProg, bModels)
 	if err != nil {
 		return nil, nil, err
 	}
+	return composePrepared(ctx, g, aCt, aPaths, bProg.Name, bCt, bPaths)
+}
+
+// composePrepared joins an already-generated pair of stages. Splitting
+// this from the generation lets ComposeMany generate every stage
+// concurrently up front and then run the (cheap, order-dependent) joins
+// serially.
+func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bName string, bCt *Contract, bPaths []*nfir.Path) (*Contract, []*nfir.Path, error) {
 	if len(aCt.Paths) != len(aPaths) {
 		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", aCt.NF)
 	}
+	if len(bCt.Paths) != len(bPaths) {
+		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", bCt.NF)
+	}
 
-	out := &Contract{NF: aCt.NF + "+" + bProg.Name, Level: aCt.Level}
+	out := &Contract{NF: aCt.NF + "+" + bName, Level: aCt.Level}
 	var outPaths []*nfir.Path
 	feas := &symb.Solver{MaxNodes: 20000, Samples: 24}
 
 	for i, pa := range aCt.Paths {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("core: composing %s after %d/%d paths: %w", out.NF, i, len(aCt.Paths), err)
+		}
 		rawA := aPaths[i]
 		if pa.Action != nfir.ActionForward {
 			cp := *pa
@@ -164,7 +182,7 @@ func ComposeWithPaths(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *n
 			continue
 		}
 		for j, pb := range bCt.Paths {
-			joined, ok := joinPair(pa, rawA, pb, bPaths[j], feas)
+			joined, ok := joinPair(ctx, pa, rawA, pb, bPaths[j], feas)
 			if !ok {
 				continue
 			}
@@ -226,16 +244,36 @@ type ChainStage struct {
 
 // ComposeMany composes two or more stages into one contract.
 func ComposeMany(g *Generator, stages []ChainStage) (*Contract, error) {
+	return ComposeManyContext(context.Background(), g, stages)
+}
+
+// ComposeManyContext generates every stage's contract concurrently on
+// the generator's worker pool (the stages are independent NFs), then
+// folds the joins left to right serially — the fold order is what keeps
+// the composite deterministic.
+func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) (*Contract, error) {
 	if len(stages) < 2 {
 		return nil, fmt.Errorf("core: a chain needs at least two stages")
 	}
-	g.defaults()
-	ct, paths, err := g.GenerateWithPaths(stages[0].Prog, stages[0].Models)
-	if err != nil {
-		return nil, err
+	type stageGen struct {
+		ct    *Contract
+		paths []*nfir.Path
 	}
-	for _, st := range stages[1:] {
-		ct, paths, err = ComposeWithPaths(g, ct, paths, st.Prog, st.Models)
+	gens := make([]stageGen, len(stages))
+	err := par.ForEach(ctx, g.workers(), len(stages), func(i int) error {
+		ct, paths, err := g.GenerateWithPathsContext(ctx, stages[i].Prog, stages[i].Models)
+		if err != nil {
+			return err
+		}
+		gens[i] = stageGen{ct: ct, paths: paths}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating chain stages: %w", err)
+	}
+	ct, paths := gens[0].ct, gens[0].paths
+	for i, st := range stages[1:] {
+		ct, paths, err = composePrepared(ctx, g, ct, paths, st.Prog.Name, gens[i+1].ct, gens[i+1].paths)
 		if err != nil {
 			return nil, err
 		}

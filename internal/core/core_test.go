@@ -48,6 +48,39 @@ func TestExampleLPMReproducesTable1(t *testing.T) {
 	}
 }
 
+// TestZeroValueGeneratorVsNewGenerator pins down the configuration
+// footgun: a zero-value &Generator{} reproduces the paper's Table 1
+// exactly (analysis build == production build), while NewGenerator adds
+// the per-stateful-call analysis padding every production entry point
+// uses. Table 1's "4·l + 5" only appears under the zero-value config.
+func TestZeroValueGeneratorVsNewGenerator(t *testing.T) {
+	build := func() *nf.ExampleLPM { return nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4}) }
+	forwardIC := func(g *Generator) string {
+		ex := build()
+		ct, err := g.Generate(ex.Prog, ex.Models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ct.Paths {
+			if p.Action == nfir.ActionForward {
+				return p.Cost[perf.Instructions].String()
+			}
+		}
+		t.Fatal("no forward path")
+		return ""
+	}
+	if got := forwardIC(&Generator{}); got != "4·l + 5" {
+		t.Errorf("zero-value Generator forward IC = %s, want Table 1's 4·l + 5", got)
+	}
+	padded := forwardIC(NewGenerator())
+	if padded == "4·l + 5" {
+		t.Error("NewGenerator should pad stateful calls; got the unpadded Table 1 bound")
+	}
+	if padded != "4·l + 6" {
+		t.Errorf("NewGenerator forward IC = %s, want 4·l + 6 (one padded call)", padded)
+	}
+}
+
 func TestExampleLPMSoundAgainstExecution(t *testing.T) {
 	ex := nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4})
 	if err := ex.Trie.AddRoute(0x0A000000, 8, 1); err != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"gobolt/internal/nfir"
+	"gobolt/internal/par"
 	"gobolt/internal/symb"
 )
 
@@ -17,13 +19,19 @@ import (
 // path appears unchanged. Symbolic output ports fan out to every
 // feasible successor, each pairing carrying its own port constraint.
 func ComposeDAG(g *Generator, root ChainStage, successors map[uint64]ChainStage) (*Contract, error) {
-	g.defaults()
-	rootCt, rootPaths, err := g.GenerateWithPaths(root.Prog, root.Models)
+	return ComposeDAGContext(context.Background(), g, root, successors)
+}
+
+// ComposeDAGContext is ComposeDAG with cancellation; the root and every
+// successor generate concurrently on the generator's worker pool.
+func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, successors map[uint64]ChainStage) (*Contract, error) {
+	rootCt, rootPaths, err := g.GenerateWithPathsContext(ctx, root.Prog, root.Models)
 	if err != nil {
 		return nil, err
 	}
 
-	// Pre-generate each successor's contract and raw paths once.
+	// Pre-generate each successor's contract and raw paths once, in
+	// deterministic port order.
 	type succ struct {
 		port  uint64
 		ct    *Contract
@@ -34,14 +42,18 @@ func ComposeDAG(g *Generator, root ChainStage, successors map[uint64]ChainStage)
 		ports = append(ports, p)
 	}
 	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
-	var succs []succ
-	for _, p := range ports {
-		st := successors[p]
-		ct, paths, err := g.GenerateWithPaths(st.Prog, st.Models)
+	succs := make([]succ, len(ports))
+	err = par.ForEach(ctx, g.workers(), len(ports), func(i int) error {
+		st := successors[ports[i]]
+		ct, paths, err := g.GenerateWithPathsContext(ctx, st.Prog, st.Models)
 		if err != nil {
-			return nil, fmt.Errorf("core: successor on port %d: %w", p, err)
+			return fmt.Errorf("core: successor on port %d: %w", ports[i], err)
 		}
-		succs = append(succs, succ{port: p, ct: ct, paths: paths})
+		succs[i] = succ{port: ports[i], ct: ct, paths: paths}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &Contract{NF: rootCt.NF + "+dag", Level: rootCt.Level}
@@ -79,7 +91,7 @@ func ComposeDAG(g *Generator, root ChainStage, successors map[uint64]ChainStage)
 				continue
 			}
 			for j, pb := range s.ct.Paths {
-				joined, ok := joinPair(&narrowed, rawA, pb, s.paths[j], feas)
+				joined, ok := joinPair(ctx, &narrowed, rawA, pb, s.paths[j], feas)
 				if !ok {
 					continue
 				}

@@ -1,13 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"runtime"
 
 	"gobolt/internal/dpdk"
-	"gobolt/internal/expr"
-	"gobolt/internal/hwmodel"
 	"gobolt/internal/nfir"
-	"gobolt/internal/perf"
 	"gobolt/internal/symb"
 )
 
@@ -17,6 +15,11 @@ import (
 // validate the path's stateless cost, and assembles the contract by
 // combining the stateless cost with the data-structure contracts
 // selected by each path's outcomes.
+//
+// Generation runs as a staged pipeline (see pipeline.go): Explore →
+// AnalysePath → Solve → Replay → Assemble, with the per-path stages on a
+// bounded worker pool. A Generator is safe for concurrent use once
+// configured: Generate never mutates it.
 type Generator struct {
 	// Level selects NF-only or full-stack analysis (§3.5).
 	Level dpdk.AnalysisLevel
@@ -33,27 +36,63 @@ type Generator struct {
 	// SkipReplay disables the witness-replay validation step (it is on
 	// by default because it is BOLT's own consistency check).
 	SkipReplay bool
+	// Parallelism is the worker-pool width for the per-path stages
+	// (solve + replay) of the pipeline. 0 means runtime.GOMAXPROCS(0);
+	// 1 reproduces the serial generator exactly. The contract is
+	// byte-identical regardless of the setting — only wall-clock changes.
+	Parallelism int
+	// Cache, when set, short-circuits Generate for (program, models,
+	// config) triples it has seen before; see ContractCache for the
+	// soundness conditions. nil disables caching.
+	Cache *ContractCache
 }
 
 // NewGenerator returns a Generator with the default analysis-build
 // padding (1 IC per stateful call). A zero-valued Generator pads
 // nothing, which makes the analysis and production builds coincide —
 // useful for the stylised §2.1 example, whose published Table 1 assumes
-// exactly that.
+// exactly that. Every production entry point (cmd/bolt and all of
+// internal/experiments) uses the padded NewGenerator configuration;
+// core_test.go pins down the difference.
 func NewGenerator() *Generator {
 	return &Generator{CallPadIC: 1}
 }
 
-func (g *Generator) defaults() {
-	if g.Solver == nil {
-		g.Solver = &symb.Solver{}
+// defaultSolver backs Generators with a nil Solver. Solvers are
+// stateless between Solve calls, so sharing one is safe; keeping the
+// Generator unmutated is what makes concurrent Generate calls race-free.
+var defaultSolver = &symb.Solver{}
+
+func (g *Generator) solver() *symb.Solver {
+	if g.Solver != nil {
+		return g.Solver
 	}
+	return defaultSolver
+}
+
+// workers resolves the Parallelism option.
+func (g *Generator) workers() int {
+	if g.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if g.Parallelism < 1 {
+		return 1
+	}
+	return g.Parallelism
 }
 
 // Generate computes the performance contract of prog against the given
 // data-structure models.
 func (g *Generator) Generate(prog *nfir.Program, models map[string]nfir.Model) (*Contract, error) {
-	ct, _, err := g.GenerateWithPaths(prog, models)
+	ct, _, err := g.GenerateWithPathsContext(context.Background(), prog, models)
+	return ct, err
+}
+
+// GenerateContext is Generate with cancellation: a cancelled context
+// stops exploration and the per-path solves promptly, returning an error
+// that wraps ctx.Err() and reports partial progress.
+func (g *Generator) GenerateContext(ctx context.Context, prog *nfir.Program, models map[string]nfir.Model) (*Contract, error) {
+	ct, _, err := g.GenerateWithPathsContext(ctx, prog, models)
 	return ct, err
 }
 
@@ -61,187 +100,5 @@ func (g *Generator) Generate(prog *nfir.Program, models map[string]nfir.Model) (
 // with Contract.Paths; chain composition (§3.4) needs them to connect
 // output-packet expressions across NFs.
 func (g *Generator) GenerateWithPaths(prog *nfir.Program, models map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
-	g.defaults()
-	dsNames := make(map[string]bool, len(models))
-	for n := range models {
-		dsNames[n] = true
-	}
-	if errs := prog.Validate(dsNames); len(errs) > 0 {
-		return nil, nil, fmt.Errorf("core: %s fails validation: %v", prog.Name, errs[0])
-	}
-	engine := &nfir.Engine{Models: models, MaxPaths: g.MaxPaths}
-	paths, err := engine.Explore(prog)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: symbolic execution of %s: %w", prog.Name, err)
-	}
-	ct := &Contract{NF: prog.Name, Level: g.Level.String()}
-	for _, pa := range paths {
-		pc, err := g.analysePath(prog, pa)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: %s path %d: %w", prog.Name, pa.ID, err)
-		}
-		pc.ID = len(ct.Paths)
-		ct.Paths = append(ct.Paths, pc)
-	}
-	return ct, paths, nil
-}
-
-func (g *Generator) analysePath(prog *nfir.Program, pa *nfir.Path) (*PathContract, error) {
-	cost := map[perf.Metric]expr.Poly{
-		perf.Instructions: expr.Const(pa.StatelessIC),
-		perf.MemAccesses:  expr.Const(pa.StatelessMA),
-		perf.Cycles:       expr.Const(g.statelessCycles(pa)),
-	}
-	pcvs := make(map[string]expr.Range, len(pa.PCVRanges))
-	for v, r := range pa.PCVRanges {
-		pcvs[v] = r
-	}
-	// Data-structure contracts, selected by the path's outcomes
-	// (Algorithm 2 line 11), plus the per-call analysis-build padding.
-	padCycles := uint64(float64(g.CallPadIC)*hwmodel.WorstALU) +
-		uint64(float64(g.CallPadMA)*hwmodel.CyclesPerMemDRAM)
-	for _, ev := range pa.Events {
-		for m, p := range ev.Outcome.Cost {
-			cost[m] = cost[m].Add(p)
-		}
-		cost[perf.Instructions] = cost[perf.Instructions].Add(expr.Const(g.CallPadIC))
-		cost[perf.MemAccesses] = cost[perf.MemAccesses].Add(expr.Const(g.CallPadMA))
-		cost[perf.Cycles] = cost[perf.Cycles].Add(expr.Const(padCycles))
-	}
-	// Framework costs at full-stack level: RX on every path, TX or drop
-	// by terminal action (§3.5, "Including DPDK and NIC driver code").
-	if g.Level == dpdk.FullStack {
-		for m, p := range dpdk.RxCost() {
-			cost[m] = cost[m].Add(p)
-		}
-		tail := dpdk.DropCost()
-		if pa.Action == nfir.ActionForward {
-			tail = dpdk.TxCost()
-		}
-		for m, p := range tail {
-			cost[m] = cost[m].Add(p)
-		}
-	}
-
-	pc := &PathContract{
-		Action:      pa.Action,
-		Constraints: pa.Constraints,
-		Domains:     pa.Domains,
-		Events:      pa.EventSummary(),
-		Cost:        cost,
-		PCVRanges:   pcvs,
-	}
-
-	// Algorithm 2 line 6: concrete inputs for the path.
-	witness, res := g.Solver.Solve(pa.Constraints, pa.Domains)
-	if res == symb.Sat {
-		pc.Witness = witness
-		if !g.SkipReplay {
-			if err := g.replay(prog, pa, witness); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return pc, nil
-}
-
-// statelessCycles runs the path's stateless instruction mix through the
-// conservative hardware model: worst-case compute costs, DRAM for every
-// access not provably L1D-resident along this path.
-func (g *Generator) statelessCycles(pa *nfir.Path) uint64 {
-	model := hwmodel.NewConservative()
-	for class, n := range pa.Ops {
-		if class == perf.OpLoad || class == perf.OpStore {
-			continue
-		}
-		model.Op(perf.Access{Class: class, Count: n})
-	}
-	for _, acc := range pa.Accesses {
-		if !acc.Known {
-			model.ChargeUnknown()
-			continue
-		}
-		class := perf.OpLoad
-		if acc.Store {
-			class = perf.OpStore
-		}
-		model.Op(perf.Access{Class: class, Count: 1, Addr: acc.Addr, Size: acc.Size})
-	}
-	return model.Cycles()
-}
-
-// replay is Algorithm 2 line 7: execute the path's witness through the
-// model-linked build and check that the trace matches the symbolic
-// analysis — action, stateless instruction count, and memory accesses.
-func (g *Generator) replay(prog *nfir.Program, pa *nfir.Path, witness map[string]uint64) error {
-	env := nfir.NewEnv()
-	env.Meter = perf.NewMeter(nil)
-	pkt := make([]byte, nfir.MaxPacket)
-	for name, v := range witness {
-		if off, size, ok := nfir.ParseFieldSym(name); ok {
-			writeBE(pkt[off:], size, v)
-		}
-	}
-	pktLen := witness[nfir.SymPktLen]
-	if pktLen == 0 || pktLen > nfir.MaxPacket {
-		pktLen = nfir.MaxPacket
-	}
-	env.ResetPacket(pkt[:pktLen], witness[nfir.SymInPort], witness[nfir.SymNow])
-	stub := &replayDS{events: pa.Events, witness: witness}
-	for ds := range dsNames(pa) {
-		env.DS[ds] = stub
-	}
-	act, err := env.Run(prog)
-	if err != nil {
-		return fmt.Errorf("replay: %w", err)
-	}
-	if act.Kind != pa.Action {
-		return fmt.Errorf("replay diverged: action %v, symbolic %v", act.Kind, pa.Action)
-	}
-	if env.Meter.Instructions() != pa.StatelessIC || env.Meter.MemAccesses() != pa.StatelessMA {
-		return fmt.Errorf("replay cost mismatch: measured %d IC/%d MA, symbolic %d/%d",
-			env.Meter.Instructions(), env.Meter.MemAccesses(), pa.StatelessIC, pa.StatelessMA)
-	}
-	return nil
-}
-
-func dsNames(pa *nfir.Path) map[string]bool {
-	names := make(map[string]bool)
-	for _, ev := range pa.Events {
-		names[ev.DS] = true
-	}
-	return names
-}
-
-// replayDS replays the recorded model outcomes: each call returns the
-// witness's values for the outcome's result symbols and charges nothing
-// (the cost comes from the data-structure contract).
-type replayDS struct {
-	events  []nfir.CallEvent
-	witness map[string]uint64
-	idx     int
-}
-
-// Invoke implements nfir.ConcreteDS.
-func (r *replayDS) Invoke(method string, args []uint64, env *nfir.Env) ([]uint64, error) {
-	if r.idx >= len(r.events) {
-		return nil, fmt.Errorf("replay: unexpected call %s (only %d events)", method, len(r.events))
-	}
-	ev := r.events[r.idx]
-	r.idx++
-	if ev.Method != method {
-		return nil, fmt.Errorf("replay: call %s, recorded %s.%s", method, ev.DS, ev.Method)
-	}
-	out := make([]uint64, len(ev.Outcome.Results))
-	for i, res := range ev.Outcome.Results {
-		out[i] = res.Eval(r.witness)
-	}
-	return out, nil
-}
-
-func writeBE(b []byte, size int, v uint64) {
-	for i := size - 1; i >= 0; i-- {
-		b[i] = byte(v)
-		v >>= 8
-	}
+	return g.GenerateWithPathsContext(context.Background(), prog, models)
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"gobolt/internal/nf"
+	"gobolt/internal/perf"
+)
+
+// TestGenerateDeterministicAcrossParallelism is the tentpole acceptance
+// check: the contract must be byte-identical — JSON and rendered form —
+// whatever the worker count, because paths keep exploration order and
+// IDs are assigned in the serial Assemble stage.
+func TestGenerateDeterministicAcrossParallelism(t *testing.T) {
+	const hour = uint64(3_600_000_000_000)
+	cases := []struct {
+		name  string
+		build func() *nf.Instance
+	}{
+		{"nat", func() *nf.Instance {
+			return nf.NewNAT(nf.NATConfig{
+				ExternalIP: 0xC0A80001, Capacity: 512,
+				TimeoutNS: hour, GranularityNS: 1_000_000, Seed: 11,
+			}).Instance
+		}},
+		{"bridge", func() *nf.Instance {
+			return nf.NewBridge(nf.BridgeConfig{
+				Ports: 4, Capacity: 512,
+				TimeoutNS: hour, GranularityNS: 1_000_000, Seed: 21,
+			}).Instance
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var refJSON []byte
+			var refText string
+			for _, workers := range []int{1, 2, 8} {
+				inst := tc.build()
+				g := NewGenerator()
+				g.Parallelism = workers
+				ct, err := g.Generate(inst.Prog, inst.Models)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", workers, err)
+				}
+				js, err := json.Marshal(ct)
+				if err != nil {
+					t.Fatalf("parallelism %d: marshal: %v", workers, err)
+				}
+				text := ct.Render(perf.Instructions)
+				if workers == 1 {
+					refJSON, refText = js, text
+					continue
+				}
+				if string(js) != string(refJSON) {
+					t.Errorf("parallelism %d: JSON differs from serial", workers)
+				}
+				if text != refText {
+					t.Errorf("parallelism %d: rendered contract differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratePreCancelled: a cancelled context must abort promptly with
+// a wrapped context.Canceled, not produce a contract.
+func TestGeneratePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 1, Capacity: 4096, TimeoutNS: 3_600_000_000_000,
+	})
+	g := NewGenerator()
+	g.Parallelism = 4
+	start := time.Now()
+	ct, err := g.GenerateContext(ctx, nat.Prog, nat.Models)
+	if err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should wrap context.Canceled", err)
+	}
+	if ct != nil {
+		t.Error("cancelled generation must not return a contract")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled generation took %s, want prompt return", elapsed)
+	}
+}
+
+// TestComposeManyParallelMatchesSerial: chain composition through the
+// worker pool must reproduce the serial fold exactly.
+func TestComposeManyParallelMatchesSerial(t *testing.T) {
+	stages := func() []ChainStage {
+		fw := nf.NewFirewall(nf.FirewallConfig{})
+		sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+		return []ChainStage{
+			{Prog: fw.Prog, Models: fw.Models},
+			{Prog: sr.Prog, Models: sr.Models},
+		}
+	}
+	serial := NewGenerator()
+	serial.Parallelism = 1
+	want, err := ComposeMany(serial, stages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := NewGenerator()
+	pooled.Parallelism = 8
+	got, err := ComposeMany(pooled, stages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := json.Marshal(want)
+	gotJS, _ := json.Marshal(got)
+	if string(wantJS) != string(gotJS) {
+		t.Error("parallel ComposeMany differs from serial")
+	}
+}

@@ -1,0 +1,43 @@
+package distill
+
+import (
+	"context"
+	"fmt"
+
+	"gobolt/internal/dpdk"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/par"
+	"gobolt/internal/traffic"
+)
+
+// Job is one independent measurement run: an instance, its workload,
+// and the runner configuration. Jobs must not share an Instance — the
+// runner mutates the instance's environment and state.
+type Job struct {
+	Inst     *nf.Instance
+	Pkts     []traffic.Packet
+	Level    dpdk.AnalysisLevel
+	Detailed *hwmodel.Detailed
+}
+
+// RunMany measures independent jobs concurrently on a bounded worker
+// pool (parallelism 0 means one worker per CPU, 1 is serial). Each job
+// gets a private Runner, and results land in job order, so RunMany with
+// any parallelism returns exactly what serial Run calls would.
+func RunMany(ctx context.Context, parallelism int, jobs []Job) ([][]Record, error) {
+	out := make([][]Record, len(jobs))
+	err := par.ForEach(ctx, par.Workers(parallelism), len(jobs), func(i int) error {
+		r := &Runner{Level: jobs[i].Level, Detailed: jobs[i].Detailed}
+		recs, err := r.Run(jobs[i].Inst, jobs[i].Pkts)
+		if err != nil {
+			return fmt.Errorf("distill: job %d: %w", i, err)
+		}
+		out[i] = recs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package dslib
+
+import (
+	"fmt"
+	"strings"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/perf"
+)
+
+// This file implements nfir.Fingerprinter for every symbolic model in
+// the library, enabling the core contract cache. Each fingerprint covers
+// exactly the inputs its model's Outcomes reads — configuration and
+// expert-contract constants, never live state or addresses — so equal
+// fingerprints guarantee identical outcome sets. Bump a model's version
+// tag whenever its Outcomes gains a new dependency.
+
+// ModelFingerprint implements nfir.Fingerprinter. Outcomes depends on
+// the table configuration (capacity, buckets, timeouts, rehash
+// threshold, costs, value domain) and the config-derived hash cost.
+func (m ftModel) ModelFingerprint() string {
+	cfg := m.t.cfg
+	vd := "nil"
+	if cfg.ValueDomain != nil {
+		vd = fmt.Sprintf("%+v", *cfg.ValueDomain)
+	}
+	cfg.ValueDomain = nil // a pointer would print an address
+	return fmt.Sprintf("flowtable/v1 %+v valueDomain=%s hash=%+v", cfg, vd, m.t.ch.hashCost())
+}
+
+// ModelFingerprint implements nfir.Fingerprinter. Outcomes depends on
+// the map configuration, the hash cost, and the port allocator's expert
+// contract (its cost polynomials and PCVs).
+func (m natModel) ModelFingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "natmap/v1 %+v hash=%+v alloc=%T cap=%d",
+		m.n.cfg, m.n.ch.hashCost(), m.n.alloc, m.n.alloc.Capacity())
+	writeCostFingerprint(&b, "allocCost", m.n.alloc.AllocCost())
+	writeCostFingerprint(&b, "freeCost", m.n.alloc.FreeCost())
+	for _, p := range m.n.alloc.PCVs() {
+		fmt.Fprintf(&b, " pcv=%s[%d,%d]", p.Name, p.Range.Lo, p.Range.Hi)
+	}
+	return b.String()
+}
+
+// ModelFingerprint implements nfir.Fingerprinter. Outcomes depends only
+// on the backend count and ring size.
+func (m maglevModel) ModelFingerprint() string {
+	return fmt.Sprintf("maglev/v1 nb=%d m=%d", m.r.nb, m.r.m)
+}
+
+// ModelFingerprint implements nfir.Fingerprinter. Outcomes depends only
+// on the number of rules (the scan cost is linear in it).
+func (m rulesModel) ModelFingerprint() string {
+	return fmt.Sprintf("rules/v1 n=%d", len(m.r.rules))
+}
+
+// ModelFingerprint implements nfir.Fingerprinter; the model is
+// configuration-free.
+func (dirModel) ModelFingerprint() string { return "dir248/v1" }
+
+// ModelFingerprint implements nfir.Fingerprinter; the model is
+// configuration-free.
+func (patModel) ModelFingerprint() string { return "patricia/v1" }
+
+// ModelFingerprint implements nfir.Fingerprinter; the model is
+// configuration-free.
+func (optModel) ModelFingerprint() string { return "optproc/v1" }
+
+// writeCostFingerprint renders a contract cost map in fixed metric order.
+func writeCostFingerprint(b *strings.Builder, label string, cost map[perf.Metric]expr.Poly) {
+	fmt.Fprintf(b, " %s{", label)
+	for _, m := range perf.Metrics {
+		if p, ok := cost[m]; ok {
+			fmt.Fprintf(b, "%v=%s;", m, p.String())
+		}
+	}
+	b.WriteString("}")
+}

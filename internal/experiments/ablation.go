@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"gobolt/internal/core"
 	"gobolt/internal/distill"
 	"gobolt/internal/dslib"
 	"gobolt/internal/nf"
@@ -56,7 +55,7 @@ func AblationCoalescing(sc Scale) ([]AblationRow, error) {
 			Ports: 4, Capacity: sc.TableCapacity,
 			TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 21,
 		}, v.costs)
-		g := core.NewGenerator()
+		g := sc.Generator()
 		if !v.padding {
 			g.CallPadIC, g.CallPadMA = 0, 0
 		}

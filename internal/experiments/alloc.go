@@ -1,16 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
 	"strings"
 
-	"gobolt/internal/core"
 	"gobolt/internal/distill"
 	"gobolt/internal/hwmodel"
 	"gobolt/internal/nf"
 	"gobolt/internal/packet"
+	"gobolt/internal/par"
 	"gobolt/internal/perf"
 	"gobolt/internal/traffic"
 )
@@ -34,16 +35,22 @@ type AllocScenario struct {
 // AllocatorStudy runs the four scenarios: allocators A and B under low
 // churn (long-lived flows, high port occupancy — long scans for B) and
 // high churn (short-lived flows, low occupancy — B's cheap fast path).
+// Each scenario builds its own NAT, so the four run concurrently;
+// results keep the serial (A/low, A/high, B/low, B/high) order.
 func AllocatorStudy(sc Scale) ([]AllocScenario, error) {
-	var out []AllocScenario
-	for _, alloc := range []string{"A", "B"} {
-		for _, churn := range []string{"low", "high"} {
-			s, err := allocScenario(sc, alloc, churn)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, s)
+	type cell struct{ alloc, churn string }
+	cells := []cell{{"A", "low"}, {"A", "high"}, {"B", "low"}, {"B", "high"}}
+	out := make([]AllocScenario, len(cells))
+	err := par.ForEach(context.Background(), sc.workers(), len(cells), func(i int) error {
+		s, err := allocScenario(sc, cells[i].alloc, cells[i].churn)
+		if err != nil {
+			return err
 		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -70,7 +77,7 @@ func allocScenario(sc Scale, alloc, churn string) (AllocScenario, error) {
 		TimeoutNS: timeout, GranularityNS: 1_000_000,
 		PortCount: capacity, Seed: 9, Allocator: alloc,
 	})
-	ct, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+	ct, err := sc.Generator().Generate(nat.Prog, nat.Models)
 	if err != nil {
 		return AllocScenario{}, err
 	}

@@ -26,7 +26,7 @@ func Table4(sc Scale) ([]Table4Row, *core.Contract, error) {
 		TimeoutNS: hourNS, GranularityNS: 1_000_000,
 		RehashThreshold: 6, Seed: 77,
 	})
-	ct, err := core.NewGenerator().Generate(br.Prog, br.Models)
+	ct, err := sc.Generator().Generate(br.Prog, br.Models)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -82,7 +82,7 @@ func Figure2(sc Scale) ([]Figure2Point, error) {
 		RehashThreshold: uint64(sc.TableCapacity), // defence armed but out of reach
 		Seed:            77,
 	})
-	ct, err := core.NewGenerator().Generate(br.Prog, br.Models)
+	ct, err := sc.Generator().Generate(br.Prog, br.Models)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"gobolt/internal/core"
 	"gobolt/internal/nf"
+	"gobolt/internal/par"
 )
 
 // CensusRow reports how many feasible paths and coalesced input classes
@@ -61,17 +62,24 @@ func Census(sc Scale) ([]CensusRow, error) {
 			return lb.Instance, nil
 		}},
 	}
-	var out []CensusRow
-	for _, b := range builders {
+	// The seven NFs are independent, so their contracts generate
+	// concurrently; rows land in builder order.
+	out := make([]CensusRow, len(builders))
+	err := par.ForEach(context.Background(), sc.workers(), len(builders), func(i int) error {
+		b := builders[i]
 		inst, err := b.build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ct, err := core.NewGenerator().Generate(inst.Prog, inst.Models)
+		ct, err := sc.Generator().Generate(inst.Prog, inst.Models)
 		if err != nil {
-			return nil, fmt.Errorf("census %s: %w", b.name, err)
+			return fmt.Errorf("census %s: %w", b.name, err)
 		}
-		out = append(out, CensusRow{NF: b.name, Paths: len(ct.Paths), Classes: ct.NumClasses()})
+		out[i] = CensusRow{NF: b.name, Paths: len(ct.Paths), Classes: ct.NumClasses()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

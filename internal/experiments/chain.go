@@ -54,12 +54,12 @@ func buildChain() (*nf.Firewall, *nf.StaticRouter, error) {
 
 // ChainContracts generates the three contracts of Table 5, rendered as
 // (traffic type, instruction expression) rows.
-func ChainContracts() (*Table5, *core.Contract, *core.Contract, *core.Contract, error) {
+func ChainContracts(sc Scale) (*Table5, *core.Contract, *core.Contract, *core.Contract, error) {
 	fw, sr, err := buildChain()
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	g := core.NewGenerator()
+	g := sc.Generator()
 	fwCt, fwPaths, err := g.GenerateWithPaths(fw.Prog, fw.Models)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -112,7 +112,7 @@ func ChainContracts() (*Table5, *core.Contract, *core.Contract, *core.Contract, 
 // Figure3 compares the naive addition of the two contracts against the
 // composite contract, with chain measurements as ground truth.
 func Figure3(sc Scale) ([]Figure3Row, error) {
-	_, fwCt, srCt, comp, err := ChainContracts()
+	_, fwCt, srCt, comp, err := ChainContracts(sc)
 	if err != nil {
 		return nil, err
 	}

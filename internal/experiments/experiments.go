@@ -19,6 +19,7 @@ import (
 	"gobolt/internal/distill"
 	"gobolt/internal/hwmodel"
 	"gobolt/internal/nf"
+	"gobolt/internal/par"
 	"gobolt/internal/perf"
 	"gobolt/internal/traffic"
 )
@@ -36,7 +37,31 @@ type Scale struct {
 	Packets int
 	// Warmup packets before measurement.
 	Warmup int
+	// Parallelism bounds the worker pool for contract generation and the
+	// independent scenario runs: 0 means one worker per CPU, 1 reproduces
+	// the serial harness exactly.
+	Parallelism int
+	// NoCache disables the process-wide contract cache, forcing every
+	// generation through the full pipeline (used by the cold benchmarks).
+	NoCache bool
 }
+
+// Generator returns the production generator configured for this scale:
+// the padded NewGenerator defaults plus the scale's worker pool and —
+// unless NoCache is set — the process-wide contract cache, so the many
+// experiments that regenerate the same NF share one pipeline run.
+func (sc Scale) Generator() *core.Generator {
+	g := core.NewGenerator()
+	g.Parallelism = sc.Parallelism
+	if !sc.NoCache {
+		g.Cache = core.SharedCache()
+	}
+	return g
+}
+
+// workers resolves Parallelism the same way core.Generator does, for the
+// harness-level fan-out over independent scenarios.
+func (sc Scale) workers() int { return par.Workers(sc.Parallelism) }
 
 // DefaultScale is used by cmd/boltbench and the benchmarks.
 func DefaultScale() Scale {

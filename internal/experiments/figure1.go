@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"gobolt/internal/distill"
 	"gobolt/internal/nf"
 	"gobolt/internal/nfir"
+	"gobolt/internal/par"
 	"gobolt/internal/traffic"
 )
 
@@ -36,29 +38,24 @@ const hourNS = uint64(3_600_000_000_000)
 
 // Figure1 runs the 14 NF/packet-class scenarios of §5.1 and returns
 // their predicted-vs-measured rows (IC and MA in Figure 1, cycles in
-// Table 3 — the same runs produce both).
+// Table 3 — the same runs produce both). The four NF families are
+// independent (each scenario builds a fresh instance), so they run
+// concurrently on the scale's worker pool; rows keep the serial order.
 func Figure1(sc Scale) ([]ClassResult, error) {
+	families := []func(Scale) ([]ClassResult, error){
+		natScenarios, bridgeScenarios, lbScenarios, lpmScenarios,
+	}
+	rows := make([][]ClassResult, len(families))
+	err := par.ForEach(context.Background(), sc.workers(), len(families), func(i int) error {
+		rs, err := families[i](sc)
+		rows[i] = rs
+		return err
+	})
 	var out []ClassResult
-	add := func(rs []ClassResult, err error) error {
-		if err != nil {
-			return err
-		}
+	for _, rs := range rows {
 		out = append(out, rs...)
-		return nil
 	}
-	if err := add(natScenarios(sc)); err != nil {
-		return out, err
-	}
-	if err := add(bridgeScenarios(sc)); err != nil {
-		return out, err
-	}
-	if err := add(lbScenarios(sc)); err != nil {
-		return out, err
-	}
-	if err := add(lpmScenarios(sc)); err != nil {
-		return out, err
-	}
-	return out, nil
+	return out, err
 }
 
 // classFlows sizes the steady-state flow population so the working set
@@ -85,7 +82,7 @@ func natScenarios(sc Scale) ([]ClassResult, error) {
 			ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
 			TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 11,
 		})
-		ct, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+		ct, err := sc.Generator().Generate(nat.Prog, nat.Models)
 		return nat, ct, err
 	}
 	var out []ClassResult
@@ -179,7 +176,7 @@ func bridgeScenarios(sc Scale) ([]ClassResult, error) {
 			Ports: 4, Capacity: sc.TableCapacity,
 			TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 21,
 		})
-		ct, err := core.NewGenerator().Generate(br.Prog, br.Models)
+		ct, err := sc.Generator().Generate(br.Prog, br.Models)
 		return br, ct, err
 	}
 	var out []ClassResult
@@ -260,7 +257,7 @@ func lbScenarios(sc Scale) ([]ClassResult, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		ct, err := core.NewGenerator().Generate(lb.Prog, lb.Models)
+		ct, err := sc.Generator().Generate(lb.Prog, lb.Models)
 		return lb, ct, err
 	}
 	heartbeatAll := func(t uint64) []traffic.Packet {
@@ -412,7 +409,7 @@ func lpmScenarios(sc Scale) ([]ClassResult, error) {
 				return nil, nil, err
 			}
 		}
-		ct, err := core.NewGenerator().Generate(r.Prog, r.Models)
+		ct, err := sc.Generator().Generate(r.Prog, r.Models)
 		return r, ct, err
 	}
 	var out []ClassResult

@@ -38,11 +38,11 @@ func FullStack(sc Scale) ([]FullStackRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		nfCt, err := core.NewGenerator().Generate(r.Prog, r.Models)
+		nfCt, err := sc.Generator().Generate(r.Prog, r.Models)
 		if err != nil {
 			return nil, err
 		}
-		g := core.NewGenerator()
+		g := sc.Generator()
 		g.Level = dpdk.FullStack
 		fullCt, err := g.Generate(r.Prog, r.Models)
 		if err != nil {
@@ -71,11 +71,11 @@ func FullStack(sc Scale) ([]FullStackRow, error) {
 			ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
 			TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 11,
 		})
-		nfCt, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+		nfCt, err := sc.Generator().Generate(nat.Prog, nat.Models)
 		if err != nil {
 			return nil, err
 		}
-		g := core.NewGenerator()
+		g := sc.Generator()
 		g.Level = dpdk.FullStack
 		fullCt, err := g.Generate(nat.Prog, nat.Models)
 		if err != nil {

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"gobolt/internal/distill"
+	"gobolt/internal/nf"
+	"gobolt/internal/traffic"
+)
+
+// TestContractsDeterministicAcrossParallelism generates every NF the
+// experiments use at worker counts 1, 2, and 8 and requires the JSON
+// contract to be byte-identical — the acceptance criterion for the
+// parallel pipeline. Caching is disabled so each run exercises the full
+// pipeline rather than returning the same pointer.
+func TestContractsDeterministicAcrossParallelism(t *testing.T) {
+	sc := QuickScale()
+	builders := []struct {
+		name  string
+		build func() (*nf.Instance, error)
+	}{
+		{"example-lpm", func() (*nf.Instance, error) {
+			return nf.NewExampleLPM(nf.ExampleLPMConfig{Ports: 4}).Instance, nil
+		}},
+		{"lpm-router", func() (*nf.Instance, error) {
+			return nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16}).Instance, nil
+		}},
+		{"firewall", func() (*nf.Instance, error) {
+			return nf.NewFirewall(nf.FirewallConfig{}).Instance, nil
+		}},
+		{"static-router", func() (*nf.Instance, error) {
+			return nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4}).Instance, nil
+		}},
+		{"bridge", func() (*nf.Instance, error) {
+			return nf.NewBridge(nf.BridgeConfig{
+				Ports: 4, Capacity: sc.TableCapacity, TimeoutNS: hourNS,
+				RehashThreshold: 6,
+			}).Instance, nil
+		}},
+		{"nat", func() (*nf.Instance, error) {
+			return nf.NewNAT(nf.NATConfig{
+				ExternalIP: 1, Capacity: sc.TableCapacity, TimeoutNS: hourNS,
+			}).Instance, nil
+		}},
+		{"lb", func() (*nf.Instance, error) {
+			lb, err := nf.NewLB(nf.LBConfig{
+				Backends: 16, RingSize: 4099, FlowCapacity: sc.TableCapacity,
+				TimeoutNS: hourNS, HeartbeatTimeoutNS: hourNS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return lb.Instance, nil
+		}},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			var ref []byte
+			for _, workers := range []int{1, 2, 8} {
+				inst, err := b.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := sc
+				s.Parallelism = workers
+				s.NoCache = true
+				ct, err := s.Generator().Generate(inst.Prog, inst.Models)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", workers, err)
+				}
+				js, err := json.Marshal(ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					ref = js
+				} else if string(js) != string(ref) {
+					t.Errorf("parallelism %d: contract differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestRunManyMatchesSerialRuns: the concurrent measurement pool must
+// return exactly what per-job serial Run calls produce, in job order.
+func TestRunManyMatchesSerialRuns(t *testing.T) {
+	mkJob := func(seed int64) distill.Job {
+		br := nf.NewBridge(nf.BridgeConfig{
+			Ports: 4, Capacity: 256, TimeoutNS: hourNS, GranularityNS: 1_000_000,
+		})
+		pkts := traffic.BridgeFrames(traffic.BridgeConfig{
+			Packets: 64, MACs: 16, Ports: 4, StartNS: 1_000, GapNS: 1_000, Seed: seed,
+		})
+		return distill.Job{Inst: br.Instance, Pkts: pkts}
+	}
+	serial := make([][]distill.Record, 3)
+	for i := range serial {
+		job := mkJob(int64(i + 1))
+		recs, err := (&distill.Runner{}).Run(job.Inst, job.Pkts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = recs
+	}
+	jobs := []distill.Job{mkJob(1), mkJob(2), mkJob(3)}
+	parallel, err := distill.RunMany(context.Background(), 3, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if len(parallel[i]) != len(serial[i]) {
+			t.Fatalf("job %d: %d records vs %d serial", i, len(parallel[i]), len(serial[i]))
+		}
+		for j := range serial[i] {
+			if parallel[i][j].IC != serial[i][j].IC || parallel[i][j].MA != serial[i][j].MA {
+				t.Fatalf("job %d record %d: parallel %+v vs serial %+v",
+					i, j, parallel[i][j], serial[i][j])
+			}
+		}
+	}
+}

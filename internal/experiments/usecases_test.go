@@ -71,7 +71,7 @@ func TestFigure2DistillerAnalysis(t *testing.T) {
 }
 
 func TestTable5AndFigure3Chain(t *testing.T) {
-	t5, _, _, _, err := ChainContracts()
+	t5, _, _, _, err := ChainContracts(QuickScale())
 	if err != nil {
 		t.Fatal(err)
 	}

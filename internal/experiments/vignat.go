@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,7 +20,7 @@ func Table6(sc Scale) ([][2]string, error) {
 		ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
 		TimeoutNS: hourNS, GranularityNS: 1_000_000, Seed: 3,
 	})
-	ct, err := core.NewGenerator().Generate(nat.Prog, nat.Models)
+	ct, err := sc.Generator().Generate(nat.Prog, nat.Models)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +78,10 @@ func Figure4(sc Scale) (secondGran, milliGran *VigNATStudy, err error) {
 		coarse  = 100_000_000 // "second-granularity" analog: 100 ms quanta
 		fine    = 1_000_000   // the fix: 1 ms quanta
 	)
-	run := func(gran uint64) (*VigNATStudy, error) {
+	// The two granularities are independent NAT instances over the same
+	// workload shape, so they measure concurrently via distill.RunMany.
+	jobs := make([]distill.Job, 0, 2)
+	for _, gran := range []uint64{coarse, fine} {
 		nat := nf.NewNAT(nf.NATConfig{
 			ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
 			TimeoutNS: timeout, GranularityNS: gran, Seed: 3,
@@ -86,11 +90,13 @@ func Figure4(sc Scale) (secondGran, milliGran *VigNATStudy, err error) {
 			Packets: sc.Packets * 8, Flows: 256, NewFlowEvery: 4,
 			StartNS: 1_000_000, GapNS: gap, Seed: 17, InPort: nf.NATPortInternal,
 		})
-		det := hwmodel.NewDetailed()
-		recs, err := (&distill.Runner{Detailed: det}).Run(nat.Instance, pkts)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, distill.Job{Inst: nat.Instance, Pkts: pkts, Detailed: hwmodel.NewDetailed()})
+	}
+	results, err := distill.RunMany(context.Background(), sc.workers(), jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	summarise := func(recs []distill.Record) *VigNATStudy {
 		warm := len(recs) / 4 // let the flow table and expiry reach steady state
 		rep := &distill.Report{Records: recs[warm:]}
 		cycles := rep.Series(perf.Cycles)
@@ -99,17 +105,9 @@ func Figure4(sc Scale) (secondGran, milliGran *VigNATStudy, err error) {
 			LatencyCCDF:     distill.CCDF(cycles),
 			Median:          distill.Quantile(cycles, 0.5),
 			Tail:            distill.Quantile(cycles, 0.999),
-		}, nil
+		}
 	}
-	secondGran, err = run(coarse)
-	if err != nil {
-		return nil, nil, err
-	}
-	milliGran, err = run(fine)
-	if err != nil {
-		return nil, nil, err
-	}
-	return secondGran, milliGran, nil
+	return summarise(results[0]), summarise(results[1]), nil
 }
 
 // RenderTable6 prints the VigNAT contract.

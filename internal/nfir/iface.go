@@ -86,6 +86,17 @@ type Model interface {
 	Outcomes(method string, args []symb.Expr, fresh FreshFn) []Outcome
 }
 
+// Fingerprinter is an optional extension of Model for contract caching:
+// ModelFingerprint returns a deterministic string covering exactly the
+// configuration that Outcomes depends on (and nothing address- or
+// state-dependent), so two models with equal fingerprints produce
+// identical outcome sets for every method. Models that cannot promise
+// this simply do not implement the interface, which makes any generation
+// using them uncacheable rather than unsound.
+type Fingerprinter interface {
+	ModelFingerprint() string
+}
+
 // DS bundles the three artefacts the library provides per data structure
 // (paper §3.2): the concrete implementation, the symbolic model, and —
 // folded into the model's outcomes — the expert-written contract.

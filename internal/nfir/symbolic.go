@@ -1,6 +1,7 @@
 package nfir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -103,6 +104,7 @@ type Engine struct {
 
 	freshCtr int
 	paths    []*Path
+	ctx      context.Context
 }
 
 // DefaultMaxPaths bounds exploration; the paper reports NFs with several
@@ -164,6 +166,17 @@ func (st *symState) exec(class perf.OpClass, n uint64) {
 
 // Explore runs the symbolic execution and returns all feasible paths.
 func (en *Engine) Explore(p *Program) ([]*Path, error) {
+	return en.ExploreContext(context.Background(), p)
+}
+
+// ExploreContext is Explore with cancellation: every path fork checks the
+// context, so a runaway exploration stops promptly with a wrapped
+// context error that reports how many paths had been completed.
+func (en *Engine) ExploreContext(ctx context.Context, p *Program) ([]*Path, error) {
+	en.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("nfir: exploring %s: %w", p.Name, err)
+	}
 	if en.Feasibility == nil {
 		en.Feasibility = &symb.Solver{MaxNodes: 4000, Samples: 8}
 	}
@@ -231,7 +244,7 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 					return next(st)
 				}
 				cs := append(append([]symb.Expr(nil), st.constraints...), cond)
-				if en.Feasibility.Feasible(cs, st.domains) {
+				if en.Feasibility.FeasibleContext(en.ctx, cs, st.domains) {
 					return fmt.Errorf("while loop feasible beyond MaxIter=%d", maxIter)
 				}
 				return next(st)
@@ -268,7 +281,7 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 				branch.domains[name] = d
 			}
 			if len(out.Constraints) > 0 &&
-				!en.Feasibility.Feasible(branch.constraints, branch.domains) {
+				!en.Feasibility.FeasibleContext(en.ctx, branch.constraints, branch.domains) {
 				continue
 			}
 			if len(out.Results) < len(x.Dsts) {
@@ -365,6 +378,9 @@ func (en *Engine) fork(st *symState, cond symb.Expr, thenK, elseK contFn, maxPat
 		}
 		return elseK(st)
 	}
+	if err := en.ctx.Err(); err != nil {
+		return fmt.Errorf("exploration cancelled after %d paths: %w", len(en.paths), err)
+	}
 	if len(en.paths) >= maxPaths {
 		return fmt.Errorf("exceeded MaxPaths=%d", maxPaths)
 	}
@@ -373,12 +389,12 @@ func (en *Engine) fork(st *symState, cond symb.Expr, thenK, elseK contFn, maxPat
 	fSt := st
 	fSt.constraints = append(fSt.constraints, symb.Negate(cond))
 
-	if en.Feasibility.Feasible(tSt.constraints, tSt.domains) {
+	if en.Feasibility.FeasibleContext(en.ctx, tSt.constraints, tSt.domains) {
 		if err := thenK(tSt); err != nil {
 			return err
 		}
 	}
-	if en.Feasibility.Feasible(fSt.constraints, fSt.domains) {
+	if en.Feasibility.FeasibleContext(en.ctx, fSt.constraints, fSt.domains) {
 		return elseK(fSt)
 	}
 	return nil

@@ -1,0 +1,95 @@
+// Package par provides the bounded deterministic-order parallelism
+// primitive the contract pipeline runs on: a parallel for over an index
+// range. Results are communicated through slices the caller indexes by
+// the loop variable, so output order never depends on scheduling.
+package par
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a parallelism setting: values below 1 mean "one
+// worker" so that the zero value of any config degrades to serial
+// execution rather than a deadlocked pool.
+func Workers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(0) … fn(n-1), using up to workers goroutines. With
+// workers <= 1 it is a plain inline loop — byte-for-byte the serial
+// semantics, including stopping at the first error. With more workers,
+// items are dispatched dynamically; on error or context cancellation the
+// remaining items are abandoned (in-flight calls finish).
+//
+// The reported error is deterministic regardless of scheduling: the
+// item error with the smallest index wins, and only if no item failed is
+// a context error reported (wrapped with how many items completed, the
+// partial-progress report for cancelled generations).
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if Workers(workers) == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cancelled after %d/%d items: %w", i, n, err)
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstI  = n // smallest failed index
+		itemErr error
+		stopped atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, itemErr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if itemErr != nil {
+		return itemErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cancelled after %d/%d items: %w", done.Load(), n, err)
+	}
+	return nil
+}

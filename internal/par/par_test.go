@@ -1,0 +1,87 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		hits := make([]atomic.Int32, 64)
+		err := ForEach(context.Background(), workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSmallestErrorWins(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 32, func(i int) error {
+			if i == 5 || i == 20 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 5 failed" {
+			t.Fatalf("workers=%d: got %v, want item 5's error", workers, err)
+		}
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 16, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d items", ran.Load())
+	}
+}
+
+func TestForEachMidwayCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 4, 1000, func(i int) error {
+		if i == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 7: 7} {
+		if got := Workers(in); got != want {
+			t.Fatalf("Workers(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package symb
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSolveContextPreCancelledReturnsUnknown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var s Solver
+	model, res := s.SolveContext(ctx, []Expr{B(Eq, S("x"), C(7))}, map[string]Domain{"x": Word})
+	if res != Unknown {
+		t.Errorf("result = %v, want Unknown for cancelled context", res)
+	}
+	if model != nil {
+		t.Errorf("model = %v, want nil", model)
+	}
+}
+
+// FeasibleContext must stay conservative under cancellation: an
+// interrupted search can never prove Unsat, so the path stays feasible.
+func TestFeasibleContextConservativeOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var s Solver
+	contradiction := []Expr{
+		B(Eq, S("x"), C(1)),
+		B(Eq, S("x"), C(2)),
+	}
+	if !s.FeasibleContext(ctx, contradiction, map[string]Domain{"x": Word}) {
+		t.Error("cancelled feasibility check must not report Unsat")
+	}
+	if s.Feasible(contradiction, map[string]Domain{"x": Word}) {
+		t.Error("uncancelled solver should refute the contradiction")
+	}
+}
+
+func TestSolveContextMatchesSolve(t *testing.T) {
+	cs := []Expr{B(Eq, S("etherType"), C(0x0800)), B(Ult, S("port"), C(4))}
+	dom := map[string]Domain{"etherType": Word, "port": Byte}
+	var s1, s2 Solver
+	m1, r1 := s1.Solve(cs, dom)
+	m2, r2 := s2.SolveContext(context.Background(), cs, dom)
+	if r1 != r2 {
+		t.Fatalf("results differ: %v vs %v", r1, r2)
+	}
+	for k, v := range m1 {
+		if m2[k] != v {
+			t.Errorf("witness %s: %d vs %d (solver must stay deterministic)", k, v, m2[k])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package symb
 
 import (
+	"context"
 	"hash/fnv"
 	"math/rand"
 	"sort"
@@ -81,7 +82,20 @@ const (
 // On Sat the returned model binds every symbol appearing in constraints
 // and every symbol listed in domains.
 func (s *Solver) Solve(constraints []Expr, domains map[string]Domain) (map[string]uint64, Result) {
+	return s.SolveContext(context.Background(), constraints, domains)
+}
+
+// SolveContext is Solve with cancellation: the backtracking search polls
+// ctx periodically and returns Unknown once it is cancelled (Unknown is
+// the sound verdict for an interrupted search — the constraints were
+// neither satisfied nor refuted). Callers that need to distinguish
+// cancellation from an ordinary budget exhaustion check ctx.Err().
+func (s *Solver) SolveContext(ctx context.Context, constraints []Expr, domains map[string]Domain) (map[string]uint64, Result) {
+	if ctx.Err() != nil {
+		return nil, Unknown
+	}
 	st := &searchState{
+		ctx:      ctx,
 		maxNodes: s.MaxNodes,
 		samples:  s.Samples,
 	}
@@ -228,6 +242,14 @@ func (s *Solver) Feasible(constraints []Expr, domains map[string]Domain) bool {
 	return r != Unsat
 }
 
+// FeasibleContext is Feasible with cancellation; a cancelled check
+// reports feasible (the conservative direction), so exploration keeps the
+// path and the caller notices the cancellation via ctx.Err().
+func (s *Solver) FeasibleContext(ctx context.Context, constraints []Expr, domains map[string]Domain) bool {
+	_, r := s.SolveContext(ctx, constraints, domains)
+	return r != Unsat
+}
+
 // CheckModel reports whether the binding satisfies every constraint.
 func CheckModel(constraints []Expr, model map[string]uint64) bool {
 	for _, c := range constraints {
@@ -239,6 +261,7 @@ func CheckModel(constraints []Expr, model map[string]uint64) bool {
 }
 
 type searchState struct {
+	ctx            context.Context
 	vars           []string
 	dom            map[string]Domain
 	excluded       map[string]map[uint64]bool
@@ -254,9 +277,17 @@ type searchState struct {
 	truncated      bool
 }
 
+// ctxPollInterval is how many search nodes pass between context checks;
+// a power of two keeps the check a cheap mask.
+const ctxPollInterval = 1024
+
 func (st *searchState) search(i int) bool {
 	if st.nodes >= st.maxNodes {
 		st.truncated = true
+		return false
+	}
+	if st.ctx != nil && st.nodes&(ctxPollInterval-1) == 0 && st.ctx.Err() != nil {
+		st.truncated = true // cancelled: result must be Unknown, not Unsat
 		return false
 	}
 	st.nodes++
