@@ -9,6 +9,7 @@
 //	     [-metric instructions|memaccesses|cycles]
 //	     [-level nf|full]
 //	     [-paths] [-capacity N] [-parallel N]
+//	     [-feas-nodes N] [-feas-samples N]
 package main
 
 import (
@@ -35,6 +36,10 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the contract as JSON for downstream tooling")
 		capacity = flag.Int("capacity", 4096, "table capacity for stateful NFs")
 		parallel = flag.Int("parallel", 0, "worker pool size for per-path analysis (0 = one per CPU, 1 = serial)")
+		feasNodes = flag.Int("feas-nodes", 0,
+			"search-node budget for the branch-pruning feasibility solver (0 = default; larger can only prune more provably dead paths)")
+		feasSamples = flag.Int("feas-samples", 0,
+			"random candidate samples per symbol for the feasibility solver (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,8 @@ func main() {
 	}
 	g := core.NewGenerator()
 	g.Parallelism = *parallel
+	g.FeasibilityMaxNodes = *feasNodes
+	g.FeasibilitySamples = *feasSamples
 	if *level == "full" {
 		g.Level = dpdk.FullStack
 	}

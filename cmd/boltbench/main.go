@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census)")
-		scale    = flag.String("scale", "default", "experiment scale: default or quick")
-		parallel = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
-		nocache  = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
+		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench)")
+		scale     = flag.String("scale", "default", "experiment scale: default or quick")
+		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
+		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
+		benchjson = flag.String("benchjson", "", "with -exp solverbench: also write the result as JSON to this path (e.g. BENCH_solver.json)")
 	)
 	flag.Parse()
 
@@ -160,6 +161,24 @@ func main() {
 		}
 		section("Figures 5–7 — port-allocator choice (A vs B, low vs high churn)")
 		fmt.Print(experiments.RenderFigure5(scenarios))
+	}
+
+	// solverbench is opt-in only (not part of -exp all): it times ~10
+	// cold generations per mode and its wall time would dominate the
+	// evaluation run.
+	if *exp == "solverbench" {
+		res, err := experiments.SolverBench(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Solver ablation — incremental engine vs from-scratch solving")
+		fmt.Print(experiments.RenderSolverBench(res))
+		if *benchjson != "" {
+			if err := experiments.WriteSolverBenchJSON(*benchjson, res); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(wrote %s)\n", *benchjson)
+		}
 	}
 
 	if !*nocache {

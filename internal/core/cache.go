@@ -111,8 +111,9 @@ func (g *Generator) cacheKey(prog *nfir.Program, models map[string]nfir.Model) (
 
 	var b strings.Builder
 	s := g.solver()
-	fmt.Fprintf(&b, "config level=%d padIC=%d padMA=%d maxPaths=%d skipReplay=%t solverNodes=%d solverSamples=%d\n",
-		g.Level, g.CallPadIC, g.CallPadMA, g.MaxPaths, g.SkipReplay, s.MaxNodes, s.Samples)
+	fmt.Fprintf(&b, "config level=%d padIC=%d padMA=%d maxPaths=%d skipReplay=%t solverNodes=%d solverSamples=%d feasNodes=%d feasSamples=%d noInc=%t\n",
+		g.Level, g.CallPadIC, g.CallPadMA, g.MaxPaths, g.SkipReplay, s.MaxNodes, s.Samples,
+		g.FeasibilityMaxNodes, g.FeasibilitySamples, g.NoIncremental)
 	for _, n := range names {
 		fp, ok := models[n].(nfir.Fingerprinter)
 		if !ok {

@@ -33,6 +33,20 @@ type Generator struct {
 	MaxPaths int
 	// Solver produces path witnesses; nil gets a default.
 	Solver *symb.Solver
+	// FeasibilityMaxNodes / FeasibilitySamples configure the bounded
+	// solver that prunes dead branches during exploration. Zero keeps the
+	// nfir defaults (DefaultFeasibilityMaxNodes/DefaultFeasibilitySamples);
+	// deep NFs whose branches need more search to refute can raise them
+	// without editing source. Larger budgets can only prune more provably
+	// dead paths, never drop feasible ones.
+	FeasibilityMaxNodes int
+	FeasibilitySamples  int
+	// NoIncremental restores the pre-incremental solver wholesale:
+	// exploration carries no sessions and every feasibility check and
+	// witness solve runs the reference tree-walking implementation from
+	// scratch. Contracts are identical either way; the knob exists for
+	// the solver-ablation benchmark (experiments.SolverBench).
+	NoIncremental bool
 	// SkipReplay disables the witness-replay validation step (it is on
 	// by default because it is BOLT's own consistency check).
 	SkipReplay bool
@@ -64,10 +78,34 @@ func NewGenerator() *Generator {
 var defaultSolver = &symb.Solver{}
 
 func (g *Generator) solver() *symb.Solver {
-	if g.Solver != nil {
-		return g.Solver
+	s := g.Solver
+	if s == nil {
+		s = defaultSolver
 	}
-	return defaultSolver
+	if g.NoIncremental && !s.Reference {
+		return &symb.Solver{MaxNodes: s.MaxNodes, Samples: s.Samples, Reference: true}
+	}
+	return s
+}
+
+// feasibilitySolver resolves the exploration-pruning budget; nil keeps
+// the nfir engine's default.
+func (g *Generator) feasibilitySolver() *symb.Solver {
+	if g.FeasibilityMaxNodes == 0 && g.FeasibilitySamples == 0 && !g.NoIncremental {
+		return nil
+	}
+	s := &symb.Solver{
+		MaxNodes:  g.FeasibilityMaxNodes,
+		Samples:   g.FeasibilitySamples,
+		Reference: g.NoIncremental,
+	}
+	if s.MaxNodes == 0 {
+		s.MaxNodes = nfir.DefaultFeasibilityMaxNodes
+	}
+	if s.Samples == 0 {
+		s.Samples = nfir.DefaultFeasibilitySamples
+	}
+	return s
 }
 
 // workers resolves the Parallelism option.

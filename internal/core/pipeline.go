@@ -79,7 +79,12 @@ func (g *Generator) GenerateWithPathsContext(ctx context.Context, prog *nfir.Pro
 // explorePaths is the Explore stage: symbolic execution of the stateless
 // code against the models (Algorithm 2, lines 2–3).
 func (g *Generator) explorePaths(ctx context.Context, prog *nfir.Program, models map[string]nfir.Model) ([]*nfir.Path, error) {
-	engine := &nfir.Engine{Models: models, MaxPaths: g.MaxPaths}
+	engine := &nfir.Engine{
+		Models:        models,
+		MaxPaths:      g.MaxPaths,
+		Feasibility:   g.feasibilitySolver(),
+		NoIncremental: g.NoIncremental,
+	}
 	paths, err := engine.ExploreContext(ctx, prog)
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolic execution of %s: %w", prog.Name, err)
@@ -151,7 +156,17 @@ func (g *Generator) assembleCost(pa *nfir.Path) *PathContract {
 // solver's sampling is seeded by symbol name), so the outcome does not
 // depend on which worker runs it.
 func (g *Generator) solvePath(ctx context.Context, prog *nfir.Program, pa *nfir.Path, pc *PathContract) error {
-	witness, res := g.solver().SolveContext(ctx, pa.Constraints, pa.Domains)
+	var witness map[string]uint64
+	var res symb.Result
+	if pa.Session != nil {
+		// Reuse the prepared solver state exploration accumulated for
+		// this path (flattening, union-find, propagation already done);
+		// verdict and witness are identical to the from-scratch solve.
+		witness, res = pa.Session.SolveContext(ctx, g.solver())
+		pa.Session = nil // solved: release the session (and keep it out of the contract cache)
+	} else {
+		witness, res = g.solver().SolveContext(ctx, pa.Constraints, pa.Domains)
+	}
 	if res != symb.Sat {
 		// A cancelled solve reports Unknown; surface the cancellation
 		// rather than silently emitting a witness-less path the serial

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/symb"
+)
+
+// SolverBenchResult quantifies the incremental solver engine on the
+// solver-heaviest workload in the repository: cold-cache contract
+// generation of NAT + bridge + LB. Baseline re-prepares every constraint
+// set from scratch (the pre-incremental engine, reachable through the
+// NoIncremental ablation knob); Incremental is the production
+// configuration — sessions forked per branch, prefix-memoized
+// feasibility, compiled constraint programs.
+type SolverBenchResult struct {
+	// Workload names the NFs generated per run.
+	Workload string `json:"workload"`
+	// Runs is how many timed repetitions each mode ran; the reported
+	// times are the per-mode minimum (least-noise estimate).
+	Runs int `json:"runs"`
+	// BaselineNS / IncrementalNS are wall-clock nanoseconds for one full
+	// cold-cache generation of the workload in each mode.
+	BaselineNS    uint64 `json:"baseline_ns"`
+	IncrementalNS uint64 `json:"incremental_ns"`
+	// Speedup is BaselineNS / IncrementalNS.
+	Speedup float64 `json:"speedup"`
+	// Paths is the total path count across the workload's contracts, the
+	// same in both modes.
+	Paths int `json:"paths"`
+	// Per-branch feasibility check on a representative path-constraint
+	// shape, nanoseconds per check: re-preparing the whole set from
+	// scratch, forking a prepared session and asserting one constraint,
+	// and reconverging on a memoized set.
+	FeasFromScratchNS uint64 `json:"feas_from_scratch_ns"`
+	FeasIncrementalNS uint64 `json:"feas_incremental_ns"`
+	FeasMemoHitNS     uint64 `json:"feas_memo_hit_ns"`
+	// FeasSpeedup is FeasFromScratchNS / FeasIncrementalNS.
+	FeasSpeedup float64 `json:"feas_speedup"`
+}
+
+// solverBenchNFs builds the workload: the three stateful NFs whose
+// exploration issues the most feasibility checks and whose paths carry
+// the largest constraint sets.
+func solverBenchNFs(capacity int) ([]*nf.Instance, error) {
+	const hour = uint64(3_600_000_000_000)
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: capacity,
+		TimeoutNS: hour, GranularityNS: 1_000_000,
+	})
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: capacity,
+		TimeoutNS: hour, GranularityNS: 1_000_000, RehashThreshold: 6,
+	})
+	lb, err := nf.NewLB(nf.LBConfig{
+		Backends: 16, RingSize: 4099, BackendIPBase: 0xAC100000,
+		FlowCapacity: capacity, TimeoutNS: hour, GranularityNS: 1_000_000,
+		HeartbeatTimeoutNS: hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*nf.Instance{nat.Instance, br.Instance, lb.Instance}, nil
+}
+
+// SolverBench times cold-cache generation of the workload with the
+// incremental engine off and on. Caching is disabled in both modes so
+// every run pays the full pipeline; contracts are verified identical
+// across modes before any timing is trusted.
+func SolverBench(sc Scale) (SolverBenchResult, error) {
+	insts, err := solverBenchNFs(sc.TableCapacity)
+	if err != nil {
+		return SolverBenchResult{}, err
+	}
+	res := SolverBenchResult{
+		Workload: "nat+bridge+lb",
+		Runs:     5,
+	}
+
+	generate := func(noInc bool) (time.Duration, int, []string, error) {
+		g := core.NewGenerator()
+		g.Parallelism = sc.Parallelism
+		g.NoIncremental = noInc
+		paths := 0
+		var rendered []string
+		start := time.Now()
+		for _, inst := range insts {
+			ct, err := g.Generate(inst.Prog, inst.Models)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			paths += len(ct.Paths)
+			js, err := json.Marshal(ct)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			rendered = append(rendered, string(js))
+		}
+		return time.Since(start), paths, rendered, nil
+	}
+
+	// Warm-up run per mode (JIT-free, but page cache / branch predictors
+	// settle), with the contract-identity check riding along.
+	_, basePaths, baseCT, err := generate(true)
+	if err != nil {
+		return res, fmt.Errorf("solverbench baseline: %w", err)
+	}
+	_, incPaths, incCT, err := generate(false)
+	if err != nil {
+		return res, fmt.Errorf("solverbench incremental: %w", err)
+	}
+	if basePaths != incPaths {
+		return res, fmt.Errorf("solverbench: path counts diverge (%d baseline, %d incremental)", basePaths, incPaths)
+	}
+	for i := range baseCT {
+		if baseCT[i] != incCT[i] {
+			return res, fmt.Errorf("solverbench: contract %d differs between modes", i)
+		}
+	}
+	res.Paths = incPaths
+
+	min := func(noInc bool) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < res.Runs; i++ {
+			d, _, _, err := generate(noInc)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	base, err := min(true)
+	if err != nil {
+		return res, err
+	}
+	inc, err := min(false)
+	if err != nil {
+		return res, err
+	}
+	res.BaselineNS = uint64(base.Nanoseconds())
+	res.IncrementalNS = uint64(inc.Nanoseconds())
+	if inc > 0 {
+		res.Speedup = float64(base) / float64(inc)
+	}
+	res.FeasFromScratchNS, res.FeasIncrementalNS, res.FeasMemoHitNS = feasibilityMicro()
+	if res.FeasIncrementalNS > 0 {
+		res.FeasSpeedup = float64(res.FeasFromScratchNS) / float64(res.FeasIncrementalNS)
+	}
+	return res, nil
+}
+
+// feasibilityMicro times one branch-shaped feasibility check in the
+// three regimes the exploration engine hits: a from-scratch solve on
+// the reference (pre-incremental) implementation, an incremental
+// fork+assert, and a memo-table reconvergence. It mirrors
+// internal/symb's benchmarks but runs standalone so boltbench can record
+// the numbers without the testing harness.
+func feasibilityMicro() (fromScratch, incremental, memoHit uint64) {
+	cs := []symb.Expr{
+		symb.B(symb.Eq, symb.S("pkt_12_2"), symb.C(0x0800)),
+		symb.B(symb.Ne, symb.S("pkt_23_1"), symb.C(6)),
+		symb.B(symb.Eq, symb.S("pkt_23_1"), symb.C(17)),
+		symb.B(symb.Ult, symb.S("in_port"), symb.C(2)),
+	}
+	dom := map[string]symb.Domain{
+		"pkt_12_2": symb.Word, "pkt_23_1": symb.Byte, "in_port": symb.Byte,
+	}
+	sv := &symb.Solver{MaxNodes: nfir.DefaultFeasibilityMaxNodes, Samples: nfir.DefaultFeasibilitySamples}
+	ref := &symb.Solver{MaxNodes: sv.MaxNodes, Samples: sv.Samples, Reference: true}
+	ctx := context.Background()
+	const iters = 2000
+
+	// fresh yields a per-iteration unique disequality on the already
+	// pinned Word symbol: it leaves the search work unchanged but gives
+	// every iteration a distinct constraint set, so the memo cannot
+	// answer and the incremental machinery itself is measured.
+	fresh := func(i int) symb.Expr {
+		v := uint64(i) + 1
+		if v >= 0x0800 {
+			v++ // never contradict pkt_12_2 == 0x0800
+		}
+		return symb.B(symb.Ne, symb.S("pkt_12_2"), symb.C(v))
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		ref.FeasibleContext(ctx, append(cs[:len(cs):len(cs)], fresh(i)), dom)
+	}
+	fromScratch = uint64(time.Since(start).Nanoseconds() / iters)
+
+	eng := symb.NewIncremental()
+	parent := eng.NewSession()
+	for n, d := range dom {
+		parent.SetDomain(n, d)
+	}
+	for _, c := range cs {
+		parent.Assert(c)
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		child := parent.Fork()
+		child.Assert(fresh(i))
+		child.FeasibleContext(ctx, sv)
+	}
+	incremental = uint64(time.Since(start).Nanoseconds() / iters)
+
+	// Memo reconvergence: identical set re-checked, as when sibling
+	// branches collapse to the same constraints.
+	full := parent.Fork()
+	full.Assert(fresh(0))
+	full.FeasibleContext(ctx, sv) // populate the memo
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		c := parent.Fork()
+		c.Assert(fresh(0))
+		c.FeasibleContext(ctx, sv)
+	}
+	memoHit = uint64(time.Since(start).Nanoseconds() / iters)
+	return fromScratch, incremental, memoHit
+}
+
+// RenderSolverBench prints the ablation as a small table.
+func RenderSolverBench(r SolverBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %14s %10s\n", "cold generation ("+r.Workload+")", "wall time", "speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 60))
+	fmt.Fprintf(&b, "%-34s %14s %10s\n", "from-scratch solver (baseline)",
+		time.Duration(r.BaselineNS).Round(10*time.Microsecond), "1.00x")
+	fmt.Fprintf(&b, "%-34s %14s %9.2fx\n", "incremental engine",
+		time.Duration(r.IncrementalNS).Round(10*time.Microsecond), r.Speedup)
+	fmt.Fprintf(&b, "(%d paths per run, min of %d runs per mode, contracts verified identical)\n\n",
+		r.Paths, r.Runs)
+	fmt.Fprintf(&b, "%-34s %14s %10s\n", "per-branch feasibility check", "ns/check", "speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 60))
+	fmt.Fprintf(&b, "%-34s %14d %10s\n", "from-scratch solve", r.FeasFromScratchNS, "1.00x")
+	fmt.Fprintf(&b, "%-34s %14d %9.2fx\n", "session fork + assert", r.FeasIncrementalNS, r.FeasSpeedup)
+	if r.FeasMemoHitNS > 0 {
+		fmt.Fprintf(&b, "%-34s %14d %9.2fx\n", "memo reconvergence", r.FeasMemoHitNS,
+			float64(r.FeasFromScratchNS)/float64(r.FeasMemoHitNS))
+	}
+	return b.String()
+}
+
+// WriteSolverBenchJSON records the result for tracking across commits.
+func WriteSolverBenchJSON(path string, r SolverBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

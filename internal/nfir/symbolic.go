@@ -83,6 +83,11 @@ type Path struct {
 	// PktWrites maps packet fields rewritten by the NF to their symbolic
 	// values (chain composition connects these to the next NF's inputs).
 	PktWrites map[uint64]PktWrite
+	// Session is the incremental solver state accumulated while exploring
+	// this path (constraints flattened, compiled and propagated). Witness
+	// solving reuses it instead of re-preparing Constraints/Domains from
+	// scratch; it is nil for paths built outside exploration.
+	Session *symb.Session
 }
 
 // PktWrite is one rewritten packet field.
@@ -99,13 +104,30 @@ type Engine struct {
 	// MaxPaths aborts runaway exploration; 0 means DefaultMaxPaths.
 	MaxPaths int
 	// Feasibility is the solver used to prune dead branches; nil gets a
-	// bounded default. Unknown verdicts keep the path (conservative).
+	// bounded default (DefaultFeasibilityMaxNodes/DefaultFeasibilitySamples).
+	// Unknown verdicts keep the path (conservative).
 	Feasibility *symb.Solver
+	// NoIncremental disables the incremental solver engine: every
+	// feasibility check re-prepares the full constraint set and paths
+	// carry no Session. Verdicts and paths are identical either way; the
+	// knob exists for the solver-ablation benchmark (see
+	// experiments.SolverBench), not for production use.
+	NoIncremental bool
 
 	freshCtr int
 	paths    []*Path
 	ctx      context.Context
+	inc      *symb.Incremental
 }
+
+// DefaultFeasibilityMaxNodes and DefaultFeasibilitySamples are the search
+// budget of the branch-pruning solver when Feasibility is nil. They are
+// deliberately small: pruning only needs to refute obviously dead
+// branches, and Unknown keeps the branch anyway.
+const (
+	DefaultFeasibilityMaxNodes = 4000
+	DefaultFeasibilitySamples  = 8
+)
 
 // DefaultMaxPaths bounds exploration; the paper reports NFs with several
 // hundred to a few thousand paths.
@@ -122,6 +144,26 @@ type symState struct {
 	ops         map[perf.OpClass]uint64
 	accesses    []SymAccess
 	pcvs        map[string]expr.Range
+	// sess mirrors constraints+domains as incrementally maintained solver
+	// state, so each feasibility check costs only the newly added
+	// constraint instead of re-preparing the whole set.
+	sess *symb.Session
+}
+
+// addConstraint appends a path constraint, keeping the solver session in
+// sync with the constraints slice.
+func (st *symState) addConstraint(c symb.Expr) {
+	st.constraints = append(st.constraints, c)
+	st.sess.Assert(c)
+}
+
+// setDomain bounds a symbol, keeping the solver session in sync. Every
+// domain is introduced exactly once (packet fields are guarded by
+// st.fields, fresh symbols are globally unique), so the session's
+// intersect semantics coincide with the map write.
+func (st *symState) setDomain(name string, d symb.Domain) {
+	st.domains[name] = d
+	st.sess.SetDomain(name, d)
 }
 
 func (st *symState) clone() *symState {
@@ -137,6 +179,7 @@ func (st *symState) clone() *symState {
 		ops:         make(map[perf.OpClass]uint64, len(st.ops)),
 		accesses:    append([]SymAccess(nil), st.accesses...),
 		pcvs:        make(map[string]expr.Range, len(st.pcvs)),
+		sess:        st.sess.Fork(),
 	}
 	for k, v := range st.locals {
 		cp.locals[k] = v
@@ -178,7 +221,13 @@ func (en *Engine) ExploreContext(ctx context.Context, p *Program) ([]*Path, erro
 		return nil, fmt.Errorf("nfir: exploring %s: %w", p.Name, err)
 	}
 	if en.Feasibility == nil {
-		en.Feasibility = &symb.Solver{MaxNodes: 4000, Samples: 8}
+		en.Feasibility = &symb.Solver{
+			MaxNodes: DefaultFeasibilityMaxNodes,
+			Samples:  DefaultFeasibilitySamples,
+		}
+	}
+	if !en.NoIncremental {
+		en.inc = symb.NewIncremental()
 	}
 	maxPaths := en.MaxPaths
 	if maxPaths == 0 {
@@ -193,9 +242,12 @@ func (en *Engine) ExploreContext(ctx context.Context, p *Program) ([]*Path, erro
 		ops:     make(map[perf.OpClass]uint64),
 		pcvs:    make(map[string]expr.Range),
 	}
-	st.domains[SymPktLen] = symb.Domain{Lo: 0, Hi: MaxPacket}
+	if en.inc != nil {
+		st.sess = en.inc.NewSession()
+	}
+	st.setDomain(SymPktLen, symb.Domain{Lo: 0, Hi: MaxPacket})
 	if p.NumPorts > 0 {
-		st.domains[SymInPort] = symb.Domain{Lo: 0, Hi: p.NumPorts - 1}
+		st.setDomain(SymInPort, symb.Domain{Lo: 0, Hi: p.NumPorts - 1})
 	}
 	err := en.run(st, p.Body, func(*symState) error {
 		return fmt.Errorf("nfir: %s: path fell off the end without Forward/Drop", p.Name)
@@ -243,8 +295,16 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 				if c, ok := cond.(symb.Const); ok && c.V == 0 {
 					return next(st)
 				}
-				cs := append(append([]symb.Expr(nil), st.constraints...), cond)
-				if en.Feasibility.FeasibleContext(en.ctx, cs, st.domains) {
+				stillFeasible := false
+				if st.sess != nil {
+					probe := st.sess.Fork()
+					probe.Assert(cond)
+					stillFeasible = probe.FeasibleContext(en.ctx, en.Feasibility)
+				} else {
+					cs := append(append([]symb.Expr(nil), st.constraints...), cond)
+					stillFeasible = en.Feasibility.FeasibleContext(en.ctx, cs, st.domains)
+				}
+				if stillFeasible {
 					return fmt.Errorf("while loop feasible beyond MaxIter=%d", maxIter)
 				}
 				return next(st)
@@ -276,12 +336,13 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 			if i < len(outcomes)-1 {
 				branch = st.clone()
 			}
-			branch.constraints = append(branch.constraints, out.Constraints...)
-			for name, d := range out.Domains {
-				branch.domains[name] = d
+			for _, c := range out.Constraints {
+				branch.addConstraint(c)
 			}
-			if len(out.Constraints) > 0 &&
-				!en.Feasibility.FeasibleContext(en.ctx, branch.constraints, branch.domains) {
+			for name, d := range out.Domains {
+				branch.setDomain(name, d)
+			}
+			if len(out.Constraints) > 0 && !en.feasible(branch) {
 				continue
 			}
 			if len(out.Results) < len(x.Dsts) {
@@ -331,6 +392,7 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 			return fmt.Errorf("packet store at symbolic offset is not supported")
 		}
 		st.accesses = append(st.accesses, SymAccess{Known: true, Addr: pktBaseAddr + off.V, Size: uint8(x.Size), Store: true})
+		val = truncStore(st, val, x.Size)
 		st.fields[fieldKey{off.V, x.Size}] = val
 		st.writes[off.V] = PktWrite{Size: x.Size, Val: val}
 		return next(st)
@@ -364,12 +426,47 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 	}
 }
 
+// truncStore narrows a value to the width of the packet slot it is
+// stored into, matching the concrete machine (a size-byte store keeps
+// only the low size*8 bits). The expression is left untouched when it
+// provably fits — a constant in range, or a symbol whose domain is
+// within the store width — so the common matched-width stores keep
+// their legacy constraint shape.
+func truncStore(st *symState, val symb.Expr, size int) symb.Expr {
+	if size >= 8 {
+		return val
+	}
+	mask := uint64(1)<<(8*size) - 1
+	switch v := val.(type) {
+	case symb.Const:
+		if v.V <= mask {
+			return val
+		}
+		return symb.C(v.V & mask)
+	case symb.Sym:
+		if d, ok := st.domains[v.Name]; ok && d.Hi <= mask {
+			return val
+		}
+	}
+	return symb.B(symb.And, val, symb.C(mask))
+}
+
 // pktBaseAddr and txDescAddr mirror the concrete Env defaults so replayed
 // traces and symbolic access lists agree.
 const (
 	pktBaseAddr = 0x10_0000
 	txDescAddr  = 0x20_0000
 )
+
+// feasible reports whether st's constraint set might still be
+// satisfiable: through the state's incremental session normally, or with
+// a from-scratch solve under the NoIncremental ablation.
+func (en *Engine) feasible(st *symState) bool {
+	if st.sess != nil {
+		return st.sess.FeasibleContext(en.ctx, en.Feasibility)
+	}
+	return en.Feasibility.FeasibleContext(en.ctx, st.constraints, st.domains)
+}
 
 func (en *Engine) fork(st *symState, cond symb.Expr, thenK, elseK contFn, maxPaths int) error {
 	if c, ok := cond.(symb.Const); ok {
@@ -385,16 +482,16 @@ func (en *Engine) fork(st *symState, cond symb.Expr, thenK, elseK contFn, maxPat
 		return fmt.Errorf("exceeded MaxPaths=%d", maxPaths)
 	}
 	tSt := st.clone()
-	tSt.constraints = append(tSt.constraints, cond)
+	tSt.addConstraint(cond)
 	fSt := st
-	fSt.constraints = append(fSt.constraints, symb.Negate(cond))
+	fSt.addConstraint(symb.Negate(cond))
 
-	if en.Feasibility.FeasibleContext(en.ctx, tSt.constraints, tSt.domains) {
+	if en.feasible(tSt) {
 		if err := thenK(tSt); err != nil {
 			return err
 		}
 	}
-	if en.Feasibility.FeasibleContext(en.ctx, fSt.constraints, fSt.domains) {
+	if en.feasible(fSt) {
 		return elseK(fSt)
 	}
 	return nil
@@ -414,6 +511,7 @@ func (en *Engine) finish(st *symState, action ActionKind, port symb.Expr) {
 		Accesses:    st.accesses,
 		PCVRanges:   st.pcvs,
 		PktWrites:   st.writes,
+		Session:     st.sess,
 	}
 	en.paths = append(en.paths, p)
 }
@@ -471,7 +569,7 @@ func (en *Engine) evalSym(st *symState, x Expr) symb.Expr {
 				return v
 			}
 			name := FieldSymName(off.V, ex.Size)
-			st.domains[name] = widthDomain(ex.Size)
+			st.setDomain(name, widthDomain(ex.Size))
 			sym := symb.S(name)
 			st.fields[key] = sym
 			return sym
@@ -479,7 +577,7 @@ func (en *Engine) evalSym(st *symState, x Expr) symb.Expr {
 		// Symbolic offset: unconstrained fresh read.
 		st.accesses = append(st.accesses, SymAccess{Known: false, Size: uint8(ex.Size)})
 		s := en.fresh("pktload")
-		st.domains[s.Name] = widthDomain(ex.Size)
+		st.setDomain(s.Name, widthDomain(ex.Size))
 		return s
 	case MemLoad:
 		addrE := en.evalSym(st, ex.Addr)
@@ -492,7 +590,7 @@ func (en *Engine) evalSym(st *symState, x Expr) symb.Expr {
 			st.accesses = append(st.accesses, SymAccess{Known: false, Size: uint8(ex.Size)})
 		}
 		s := en.fresh("memload")
-		st.domains[s.Name] = widthDomain(ex.Size)
+		st.setDomain(s.Name, widthDomain(ex.Size))
 		return s
 	default:
 		panic(fmt.Sprintf("nfir: unknown expression %T", x))

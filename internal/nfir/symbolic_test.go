@@ -335,3 +335,76 @@ func TestEventSummaryAndInputSymbols(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a narrow PktStore must truncate a wider symbolic value to
+// the slot width, exactly as the concrete machine keeps only the low
+// Size bytes. Before the fix, storing a 4-byte load into a 1-byte slot
+// recorded the unmasked value, so a read-after-write branched on the
+// full 32-bit quantity and diverged from concrete execution.
+func TestPktStoreTruncatesWideValue(t *testing.T) {
+	p := &Program{
+		Name: "trunc-store",
+		Body: []Stmt{
+			PktStore{Off: C(10), Size: 1, Val: Field(25, 4)},
+			IfElse(Lt(Field(10, 1), C(220)),
+				[]Stmt{Fwd(C(0))},
+				[]Stmt{Drop()},
+			),
+		},
+	}
+	paths := explore(t, p, nil)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	src := FieldSymName(25, 4)
+	for _, pa := range paths {
+		// Bind the source field to 0x200: the low byte is 0 (< 220), the
+		// unmasked value is 512 (>= 220). Only the masked constraint puts
+		// this binding on the Forward path.
+		takesForward := symb.CheckModel(pa.Constraints, map[string]uint64{src: 0x200})
+		switch pa.Action {
+		case ActionForward:
+			if !takesForward {
+				t.Errorf("forward path constraint %s ignores store truncation", symb.ConjString(pa.Constraints))
+			}
+		case ActionDrop:
+			if takesForward {
+				t.Errorf("drop path constraint %s ignores store truncation", symb.ConjString(pa.Constraints))
+			}
+		}
+		// The rewritten field recorded for chain composition must be the
+		// truncated expression as well.
+		w, ok := pa.PktWrites[10]
+		if !ok || w.Size != 1 {
+			t.Fatalf("missing 1-byte PktWrite at offset 10: %+v", pa.PktWrites)
+		}
+		if got := w.Val.Eval(map[string]uint64{src: 0x200}); got != 0 {
+			t.Errorf("stored value = %d under src=0x200, want 0 (low byte)", got)
+		}
+	}
+}
+
+// A value that provably fits the slot must be stored untouched — no
+// gratuitous mask wrapping (legacy constraint shapes depend on it).
+func TestPktStoreKeepsFittingValue(t *testing.T) {
+	p := &Program{
+		Name: "fit-store",
+		Body: []Stmt{
+			PktStore{Off: C(10), Size: 1, Val: Field(25, 1)}, // 1-byte load fits
+			IfElse(Lt(Field(10, 1), C(220)),
+				[]Stmt{Fwd(C(0))},
+				[]Stmt{Drop()},
+			),
+		},
+	}
+	paths := explore(t, p, nil)
+	for _, pa := range paths {
+		if pa.Action != ActionForward {
+			continue
+		}
+		want := "(" + FieldSymName(25, 1) + " < 220)"
+		if got := symb.ConjString(pa.Constraints); got != want {
+			t.Errorf("constraint = %s, want %s (unmasked)", got, want)
+		}
+	}
+}

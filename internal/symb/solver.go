@@ -3,8 +3,9 @@ package symb
 import (
 	"context"
 	"hash/fnv"
-	"math/rand"
+	"maps"
 	"sort"
+	"sync"
 )
 
 // Domain is an inclusive value range for a symbol. The zero Domain is the
@@ -69,6 +70,12 @@ type Solver struct {
 	// Samples is the number of pseudo-random candidate values tried per
 	// symbol beyond the structurally derived ones; 0 means DefaultSamples.
 	Samples int
+	// Reference switches Solve to the pre-incremental tree-walking
+	// implementation (reference.go): same verdicts and witnesses, no
+	// compilation, no state reuse. It is the baseline of the solver
+	// ablation (experiments.SolverBench) and the oracle for differential
+	// tests; production code leaves it false.
+	Reference bool
 }
 
 // DefaultMaxNodes and DefaultSamples are the default search limits.
@@ -76,6 +83,20 @@ const (
 	DefaultMaxNodes = 200000
 	DefaultSamples  = 48
 )
+
+func (s *Solver) maxNodes() int {
+	if s.MaxNodes == 0 {
+		return DefaultMaxNodes
+	}
+	return s.MaxNodes
+}
+
+func (s *Solver) sampleCount() int {
+	if s.Samples == 0 {
+		return DefaultSamples
+	}
+	return s.Samples
+}
 
 // Solve searches for an assignment satisfying every constraint (each must
 // evaluate non-zero). domains bounds symbols (missing symbols get Full).
@@ -94,144 +115,12 @@ func (s *Solver) SolveContext(ctx context.Context, constraints []Expr, domains m
 	if ctx.Err() != nil {
 		return nil, Unknown
 	}
-	st := &searchState{
-		ctx:      ctx,
-		maxNodes: s.MaxNodes,
-		samples:  s.Samples,
+	if s.Reference {
+		return referenceSolve(constraints, domains, s.maxNodes(), s.sampleCount())
 	}
-	if st.maxNodes == 0 {
-		st.maxNodes = DefaultMaxNodes
-	}
-	if st.samples == 0 {
-		st.samples = DefaultSamples
-	}
-
-	// 1. Flatten conjunctions and fold trivial constraints.
-	var flat []Expr
-	var flatten func(e Expr) bool
-	flatten = func(e Expr) bool {
-		if b, ok := e.(Bin); ok && b.Op == LAnd {
-			return flatten(b.L) && flatten(b.R)
-		}
-		if c, ok := e.(Const); ok {
-			return c.V != 0
-		}
-		flat = append(flat, e)
-		return true
-	}
-	for _, c := range constraints {
-		if !flatten(c) {
-			return nil, Unsat
-		}
-	}
-
-	// 2. Union symbol equalities so equal symbols share one search
-	// variable, then substitute representatives everywhere.
-	uf := newUnionFind()
-	for _, c := range flat {
-		if b, ok := c.(Bin); ok && b.Op == Eq && sameKind(b.L, b.R) {
-			if ls, ok1 := b.L.(Sym); ok1 {
-				uf.union(ls.Name, b.R.(Sym).Name)
-			}
-		}
-	}
-	subst := make(map[string]Expr)
-	allSyms := Symbols(flat...)
-	for name := range domains {
-		allSyms = append(allSyms, name)
-	}
-	allSyms = dedupe(allSyms)
-	for _, n := range allSyms {
-		if rep := uf.find(n); rep != n {
-			subst[n] = S(rep)
-		}
-	}
-	if len(subst) > 0 {
-		for i, c := range flat {
-			flat[i] = Substitute(c, subst)
-		}
-	}
-
-	// 3. Initialise domains, merging via representatives.
-	dom := make(map[string]Domain)
-	excluded := make(map[string]map[uint64]bool)
-	for _, n := range allSyms {
-		rep := uf.find(n)
-		d, ok := dom[rep]
-		if !ok {
-			d = Full
-		}
-		if nd, has := domains[n]; has {
-			var okInt bool
-			d, okInt = d.intersect(nd)
-			if !okInt {
-				return nil, Unsat
-			}
-		}
-		dom[rep] = d
-	}
-	// Ensure every symbol in the constraints has a domain.
-	for _, n := range Symbols(flat...) {
-		if _, ok := dom[n]; !ok {
-			dom[n] = Full
-		}
-	}
-
-	// 4. Interval propagation to fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for _, c := range flat {
-			verdict, chg := propagate(c, dom, excluded)
-			if verdict == Unsat {
-				return nil, Unsat
-			}
-			changed = changed || chg
-		}
-	}
-
-	// 5. Backtracking search over the remaining variables.
-	vars := make([]string, 0, len(dom))
-	for n := range dom {
-		vars = append(vars, n)
-	}
-	// Order variables: singletons first, then narrow domains, to fail
-	// fast; names break ties for determinism.
-	sort.Slice(vars, func(i, j int) bool {
-		wi := dom[vars[i]].Hi - dom[vars[i]].Lo
-		wj := dom[vars[j]].Hi - dom[vars[j]].Lo
-		if wi != wj {
-			return wi < wj
-		}
-		return vars[i] < vars[j]
-	})
-
-	st.vars = vars
-	st.dom = dom
-	st.excluded = excluded
-	st.constraints = flat
-	st.candidates = buildCandidates(flat, dom, excluded, st.samples)
-	st.assignment = make(map[string]uint64, len(vars))
-	st.constraintSyms = make([][]string, len(flat))
-	for i, c := range flat {
-		st.constraintSyms[i] = Symbols(c)
-	}
-
-	if st.search(0) {
-		// Extend the model to the original (pre-substitution) symbols.
-		model := make(map[string]uint64, len(allSyms))
-		for _, n := range allSyms {
-			model[n] = st.assignment[uf.find(n)]
-		}
-		return model, Sat
-	}
-	if st.exhausted && st.complete && !st.truncated {
-		// Every candidate list covered its whole domain and the search
-		// ran to completion, so exhaustion is a proof of UNSAT. A
-		// node-budget cutoff (truncated) proves nothing — reporting
-		// Unsat then could prune feasible paths, which would be unsound.
-		return nil, Unsat
-	}
-	return nil, Unknown
+	p := prepare(constraints, domains)
+	model, res, _ := solvePrepared(ctx, p, s.maxNodes(), s.sampleCount())
+	return model, res
 }
 
 // Feasible reports whether the constraints might be satisfiable (Sat or
@@ -260,371 +149,159 @@ func CheckModel(constraints []Expr, model map[string]uint64) bool {
 	return true
 }
 
-type searchState struct {
-	ctx            context.Context
-	vars           []string
-	dom            map[string]Domain
-	excluded       map[string]map[uint64]bool
-	constraints    []Expr
-	constraintSyms [][]string
-	candidates     map[string][]uint64
-	assignment     map[string]uint64
-	maxNodes       int
-	samples        int
-	nodes          int
-	exhausted      bool
-	complete       bool
-	truncated      bool
+// solveStats reports how a search ended, for memoization: nodes is the
+// node count consumed, truncated whether the node budget (or a
+// cancellation) cut the search short — a truncated verdict proves
+// nothing and must never be upgraded to Unsat.
+type solveStats struct {
+	nodes     int
+	truncated bool
 }
 
-// ctxPollInterval is how many search nodes pass between context checks;
-// a power of two keeps the check a cheap mask.
-const ctxPollInterval = 1024
-
-func (st *searchState) search(i int) bool {
-	if st.nodes >= st.maxNodes {
-		st.truncated = true
-		return false
+// solvePrepared runs the backtracking search over a prepared state.
+// The result is a pure function of (prepared state, maxNodes, samples):
+// variable order, candidate sets and node accounting are deterministic,
+// which is what makes both memoization and incremental reuse sound.
+func solvePrepared(ctx context.Context, p *prepared, maxNodes, samples int) (map[string]uint64, Result, solveStats) {
+	if p.unsat {
+		return nil, Unsat, solveStats{}
 	}
-	if st.ctx != nil && st.nodes&(ctxPollInterval-1) == 0 && st.ctx.Err() != nil {
-		st.truncated = true // cancelled: result must be Unknown, not Unsat
-		return false
-	}
-	st.nodes++
-	if i == len(st.vars) {
-		return CheckModel(st.constraints, st.assignment)
-	}
-	v := st.vars[i]
-	for _, cand := range st.candidates[v] {
-		st.assignment[v] = cand
-		if st.partialOK(i) && st.search(i+1) {
-			return true
+	sc := scratchPool.Get().(*scratch)
+	defer func() {
+		sc.p, sc.ctx = nil, nil // don't pin solver state from the pool
+		scratchPool.Put(sc)
+	}()
+	sc.init(p, samples)
+	sc.ctx = ctx
+	sc.maxNodes = maxNodes
+	if sc.search(0) {
+		// Extend the model to the original (pre-substitution) symbols.
+		model := make(map[string]uint64, len(p.names))
+		for _, n := range p.names {
+			model[n] = sc.vals[p.symtab[p.uf.find(n)]]
 		}
+		return model, Sat, solveStats{nodes: sc.nodes}
 	}
-	delete(st.assignment, v)
-	if i == 0 {
-		st.exhausted = true
-		st.complete = st.allCandidatesComplete()
+	if sc.exhausted && sc.complete && !sc.truncated {
+		// Every candidate list covered its whole domain and the search
+		// ran to completion, so exhaustion is a proof of UNSAT. A
+		// node-budget cutoff (truncated) proves nothing — reporting
+		// Unsat then could prune feasible paths, which would be unsound.
+		return nil, Unsat, solveStats{nodes: sc.nodes}
 	}
-	return false
+	return nil, Unknown, solveStats{nodes: sc.nodes, truncated: sc.truncated}
 }
 
-// partialOK evaluates every constraint whose symbols are all assigned
-// after the i-th variable got its value.
-func (st *searchState) partialOK(i int) bool {
-	assigned := make(map[string]bool, i+1)
-	for j := 0; j <= i; j++ {
-		assigned[st.vars[j]] = true
-	}
-	for ci, c := range st.constraints {
-		ready := true
-		uses := false
-		for _, s := range st.constraintSyms[ci] {
-			if s == st.vars[i] {
-				uses = true
-			}
-			if !assigned[s] {
-				ready = false
-				break
-			}
-		}
-		if ready && uses && c.Eval(st.assignment) == 0 {
-			return false
-		}
-	}
-	return true
+// scratch is the reusable search workspace: variable order, per-variable
+// candidate lists, per-depth constraint watch lists, and the slot-indexed
+// assignment vector. Pooled so steady-state solving allocates nothing
+// beyond the Sat model itself.
+type scratch struct {
+	p     *prepared
+	ctx   context.Context
+	order []int32     // search position -> slot
+	pos   []int32     // slot -> search position
+	cands [][]uint64  // search position -> sorted candidate values
+	watch [][]int32   // search position -> constraints fully bound there
+	vals  []uint64    // slot -> assigned value
+	stack []uint64    // shared evaluation stack
+	seen  map[uint64]bool
+
+	maxNodes  int
+	nodes     int
+	exhausted bool
+	complete  bool
+	truncated bool
 }
 
-// allCandidatesComplete reports whether every variable's candidate list
-// covers its entire domain, in which case exhaustion proves UNSAT.
-func (st *searchState) allCandidatesComplete() bool {
-	for _, v := range st.vars {
-		d := st.dom[v]
-		width := d.Hi - d.Lo
-		if width+1 == 0 { // full 64-bit domain
-			return false
-		}
-		if uint64(len(st.candidates[v])) < width+1 {
-			return false
-		}
-	}
-	return true
-}
+var scratchPool = sync.Pool{New: func() any { return &scratch{seen: make(map[uint64]bool)} }}
 
-// enumWidth is the largest domain propagate will fully enumerate for
-// single-symbol constraints (masked-field comparisons and similar).
-const enumWidth = 4096
+// init rebuilds the workspace for one solve of p, reusing prior
+// capacity. The variable order is the legacy one — narrow domains first
+// to fail fast, names breaking ties for determinism.
+func (sc *scratch) init(p *prepared, samples int) {
+	n := len(p.slotName)
+	sc.p = p
+	sc.nodes = 0
+	sc.exhausted = false
+	sc.complete = false
+	sc.truncated = false
+	sc.order = resizeI32(sc.order, n)
+	sc.pos = resizeI32(sc.pos, n)
+	sc.vals = resizeU64(sc.vals, n)
+	if cap(sc.stack) < p.maxStack {
+		sc.stack = make([]uint64, p.maxStack)
+	} else {
+		sc.stack = sc.stack[:p.maxStack]
+	}
+	for i := range sc.order {
+		sc.order[i] = int32(i)
+	}
+	sort.Slice(sc.order, func(i, j int) bool {
+		a, b := sc.order[i], sc.order[j]
+		wa := p.dom[a].Hi - p.dom[a].Lo
+		wb := p.dom[b].Hi - p.dom[b].Lo
+		if wa != wb {
+			return wa < wb
+		}
+		return p.slotName[a] < p.slotName[b]
+	})
+	for i, s := range sc.order {
+		sc.pos[s] = int32(i)
+	}
 
-// propagate narrows domains using one constraint. It recognises
-// comparisons between a symbol and a constant, symbol-symbol orderings,
-// and disequalities; single-symbol constraints over small domains are
-// decided exactly by enumeration; everything else is left to the search.
-func propagate(c Expr, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool) {
-	b, ok := c.(Bin)
-	if !ok {
-		return propagateEnum(c, dom, excluded)
+	// Candidate lists, reusing each position's backing array.
+	if cap(sc.cands) < n {
+		sc.cands = append(sc.cands[:cap(sc.cands)], make([][]uint64, n-cap(sc.cands))...)
 	}
-	if verdict, changed, handled := tryPropagateBin(b, dom, excluded); handled {
-		return verdict, changed
+	sc.cands = sc.cands[:n]
+	for i, s := range sc.order {
+		sc.cands[i] = sc.buildCandidates(s, sc.cands[i][:0], samples)
 	}
-	return propagateEnum(c, dom, excluded)
-}
 
-// propagateEnum decides a constraint that mentions exactly one symbol
-// with a small domain by trying every value, tightening the domain to
-// the satisfying range (or proving UNSAT).
-func propagateEnum(c Expr, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool) {
-	syms := Symbols(c)
-	if len(syms) != 1 {
-		return Unknown, false
+	// Watch lists: each constraint is checked exactly when the last of
+	// its symbols (deepest search position) gets a value — the same
+	// schedule the legacy per-node "all assigned and uses current var"
+	// scan produced, computed once instead of per node.
+	if cap(sc.watch) < n {
+		sc.watch = append(sc.watch[:cap(sc.watch)], make([][]int32, n-cap(sc.watch))...)
 	}
-	name := syms[0]
-	d := dom[name]
-	width := d.Hi - d.Lo
-	if width >= enumWidth {
-		return Unknown, false
+	sc.watch = sc.watch[:n]
+	for i := range sc.watch {
+		sc.watch[i] = sc.watch[i][:0]
 	}
-	lo, hi := d.Hi, d.Lo
-	any := false
-	binding := map[string]uint64{}
-	for v := d.Lo; ; v++ {
-		if !excluded[name][v] {
-			binding[name] = v
-			if c.Eval(binding) != 0 {
-				any = true
-				if v < lo {
-					lo = v
-				}
-				if v > hi {
-					hi = v
-				}
+	for ci, slots := range p.csyms {
+		w := int32(0)
+		for _, s := range slots {
+			if sc.pos[s] > w {
+				w = sc.pos[s]
 			}
 		}
-		if v == d.Hi {
-			break
-		}
-	}
-	if !any {
-		return Unsat, false
-	}
-	if lo > d.Lo || hi < d.Hi {
-		dom[name] = Domain{Lo: lo, Hi: hi}
-		return Unknown, true
-	}
-	return Unknown, false
-}
-
-// tryPropagateBin handles the structurally recognised comparison shapes;
-// handled is false when the constraint does not match any of them.
-func tryPropagateBin(b Bin, dom map[string]Domain, excluded map[string]map[uint64]bool) (Result, bool, bool) {
-	// Normalise: symbol on the left.
-	l, r := b.L, b.R
-	op := b.Op
-	if _, lc := l.(Const); lc {
-		l, r = r, l
-		op = flipOp(op)
-	}
-	ls, lIsSym := l.(Sym)
-	if !lIsSym {
-		return Unknown, false, false
-	}
-	if rc, rIsConst := r.(Const); rIsConst {
-		d := dom[ls.Name]
-		nd := d
-		switch op {
-		case Eq:
-			if !d.contains(rc.V) || excluded[ls.Name][rc.V] {
-				return Unsat, false, true
-			}
-			nd = Domain{rc.V, rc.V}
-		case Ne:
-			if excluded[ls.Name] == nil {
-				excluded[ls.Name] = make(map[uint64]bool)
-			}
-			changed := false
-			if !excluded[ls.Name][rc.V] {
-				excluded[ls.Name][rc.V] = true
-				changed = true
-			}
-			// Tighten bounds that became excluded.
-			for nd.Lo <= nd.Hi && excluded[ls.Name][nd.Lo] {
-				if nd.Lo == ^uint64(0) {
-					return Unsat, false, true
-				}
-				nd.Lo++
-				changed = true
-			}
-			for nd.Hi >= nd.Lo && excluded[ls.Name][nd.Hi] {
-				if nd.Hi == 0 {
-					return Unsat, false, true
-				}
-				nd.Hi--
-				changed = true
-			}
-			if nd.Lo > nd.Hi {
-				return Unsat, false, true
-			}
-			dom[ls.Name] = nd
-			return Unknown, changed, true
-		case Ult:
-			if rc.V == 0 {
-				return Unsat, false, true
-			}
-			if rc.V-1 < nd.Hi {
-				nd.Hi = rc.V - 1
-			}
-		case Ule:
-			if rc.V < nd.Hi {
-				nd.Hi = rc.V
-			}
-		case Ugt:
-			if rc.V == ^uint64(0) {
-				return Unsat, false, true
-			}
-			if rc.V+1 > nd.Lo {
-				nd.Lo = rc.V + 1
-			}
-		case Uge:
-			if rc.V > nd.Lo {
-				nd.Lo = rc.V
-			}
-		default:
-			return Unknown, false, false
-		}
-		if nd.Lo > nd.Hi {
-			return Unsat, false, true
-		}
-		if nd != d {
-			dom[ls.Name] = nd
-			return Unknown, true, true
-		}
-		return Unknown, false, true
-	}
-	if rs, rIsSym := r.(Sym); rIsSym {
-		// Symbol-symbol ordering: propagate bounds both ways.
-		dl, dr := dom[ls.Name], dom[rs.Name]
-		changed := false
-		switch op {
-		case Ult:
-			if dr.Hi == 0 {
-				return Unsat, false, true
-			}
-			changed = tightenHi(dom, ls.Name, dr.Hi-1) || changed
-			if dl.Lo == ^uint64(0) {
-				return Unsat, false, true
-			}
-			changed = tightenLo(dom, rs.Name, dl.Lo+1) || changed
-		case Ule:
-			changed = tightenHi(dom, ls.Name, dr.Hi) || changed
-			changed = tightenLo(dom, rs.Name, dl.Lo) || changed
-		case Ugt:
-			if dl.Hi == 0 {
-				return Unsat, false, true
-			}
-			changed = tightenLo(dom, ls.Name, dr.Lo+1) || changed
-			changed = tightenHi(dom, rs.Name, dl.Hi-1) || changed
-		case Uge:
-			changed = tightenLo(dom, ls.Name, dr.Lo) || changed
-			changed = tightenHi(dom, rs.Name, dl.Hi) || changed
-		case Eq:
-			nd, ok := dl.intersect(dr)
-			if !ok {
-				return Unsat, false, true
-			}
-			if nd != dl || nd != dr {
-				dom[ls.Name], dom[rs.Name] = nd, nd
-				changed = true
-			}
-		default:
-			return Unknown, false, false
-		}
-		if dom[ls.Name].Lo > dom[ls.Name].Hi || dom[rs.Name].Lo > dom[rs.Name].Hi {
-			return Unsat, false, true
-		}
-		return Unknown, changed, true
-	}
-	return Unknown, false, false
-}
-
-func tightenLo(dom map[string]Domain, name string, lo uint64) bool {
-	d := dom[name]
-	if lo > d.Lo {
-		d.Lo = lo
-		dom[name] = d
-		return true
-	}
-	return false
-}
-
-func tightenHi(dom map[string]Domain, name string, hi uint64) bool {
-	d := dom[name]
-	if hi < d.Hi {
-		d.Hi = hi
-		dom[name] = d
-		return true
-	}
-	return false
-}
-
-func flipOp(op Op) Op {
-	switch op {
-	case Ult:
-		return Ugt
-	case Ule:
-		return Uge
-	case Ugt:
-		return Ult
-	case Uge:
-		return Ule
-	default:
-		return op // Eq, Ne and bitwise ops are symmetric enough here
+		sc.watch[w] = append(sc.watch[w], int32(ci))
 	}
 }
 
-// buildCandidates assembles, per symbol, the concrete values the search
-// will try: domain endpoints, constants mentioned alongside the symbol
-// (and their neighbours), and deterministic pseudo-random samples.
-func buildCandidates(constraints []Expr, dom map[string]Domain, excluded map[string]map[uint64]bool, samples int) map[string][]uint64 {
-	mentioned := make(map[string][]uint64)
-	collect := func(e Expr) (consts []uint64, syms []string) {
-		var rec func(Expr)
-		rec = func(e Expr) {
-			switch x := e.(type) {
-			case Const:
-				consts = append(consts, x.V)
-			case Sym:
-				syms = append(syms, x.Name)
-			case Bin:
-				rec(x.L)
-				rec(x.R)
-			case Not:
-				rec(x.X)
-			}
-		}
-		rec(e)
-		return
-	}
-	for _, c := range constraints {
-		consts, syms := collect(c)
-		for _, s := range syms {
-			mentioned[s] = append(mentioned[s], consts...)
+// buildCandidates assembles the concrete values the search tries for one
+// slot: domain endpoints and midpoint, constants mentioned alongside the
+// symbol (and their neighbours), full enumeration for small domains, and
+// deterministic pseudo-random samples (process-cached raw streams) for
+// large ones. Sorted ascending; identical to the legacy candidate sets.
+func (sc *scratch) buildCandidates(s int32, out []uint64, samples int) []uint64 {
+	p := sc.p
+	d := p.dom[s]
+	excl := p.excluded[s]
+	clear(sc.seen)
+	add := func(v uint64) {
+		if d.contains(v) && !excl[v] && !sc.seen[v] {
+			sc.seen[v] = true
+			out = append(out, v)
 		}
 	}
-
-	out := make(map[string][]uint64, len(dom))
-	for name, d := range dom {
-		seen := make(map[uint64]bool)
-		var cands []uint64
-		add := func(v uint64) {
-			if d.contains(v) && !excluded[name][v] && !seen[v] {
-				seen[v] = true
-				cands = append(cands, v)
-			}
-		}
-		add(d.Lo)
-		add(d.Hi)
-		add(d.Lo + (d.Hi-d.Lo)/2)
-		for _, v := range mentioned[name] {
+	add(d.Lo)
+	add(d.Hi)
+	add(d.Lo + (d.Hi-d.Lo)/2)
+	for _, ci := range p.symCons[s] {
+		for _, v := range p.cconsts[ci] {
 			add(v)
 			if v > 0 {
 				add(v - 1)
@@ -633,28 +310,102 @@ func buildCandidates(constraints []Expr, dom map[string]Domain, excluded map[str
 				add(v + 1)
 			}
 		}
-		// Small domains: enumerate fully so exhaustion implies UNSAT.
-		if width := d.Hi - d.Lo; width < 512 {
-			for v := d.Lo; ; v++ {
-				add(v)
-				if v == d.Hi {
-					break
-				}
-			}
-		} else {
-			rng := rand.New(rand.NewSource(int64(hashName(name))))
-			for i := 0; i < samples; i++ {
-				if width == ^uint64(0) { // full domain: width+1 overflows
-					add(rng.Uint64())
-				} else {
-					add(d.Lo + rng.Uint64()%(width+1))
-				}
+	}
+	// Small domains: enumerate fully so exhaustion implies UNSAT.
+	if width := d.Hi - d.Lo; width < 512 {
+		for v := d.Lo; ; v++ {
+			add(v)
+			if v == d.Hi {
+				break
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-		out[name] = cands
+	} else {
+		for _, raw := range rawSamples(p.slotName[s], samples) {
+			if width == ^uint64(0) { // full domain: width+1 overflows
+				add(raw)
+			} else {
+				add(d.Lo + raw%(width+1))
+			}
+		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// ctxPollInterval is how many search nodes pass between context checks;
+// a power of two keeps the check a cheap mask.
+const ctxPollInterval = 1024
+
+func (sc *scratch) search(i int) bool {
+	if sc.nodes >= sc.maxNodes {
+		sc.truncated = true
+		return false
+	}
+	if sc.ctx != nil && sc.nodes&(ctxPollInterval-1) == 0 && sc.ctx.Err() != nil {
+		sc.truncated = true // cancelled: result must be Unknown, not Unsat
+		return false
+	}
+	sc.nodes++
+	if i == len(sc.order) {
+		// Every constraint was already checked at the depth where its
+		// last symbol was bound, so reaching a leaf is a witness.
+		return true
+	}
+	s := sc.order[i]
+	for _, cand := range sc.cands[i] {
+		sc.vals[s] = cand
+		if sc.watchOK(i) && sc.search(i+1) {
+			return true
+		}
+	}
+	if i == 0 {
+		sc.exhausted = true
+		sc.complete = sc.allCandidatesComplete()
+	}
+	return false
+}
+
+// watchOK evaluates the compiled constraints whose deepest symbol is the
+// i-th search variable; shallower slots are already bound and deeper
+// slots are never referenced by these constraints.
+func (sc *scratch) watchOK(i int) bool {
+	p := sc.p
+	for _, ci := range sc.watch[i] {
+		if evalProgram(&p.progs[ci], p.consts, sc.vals, sc.stack) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// allCandidatesComplete reports whether every variable's candidate list
+// covers its entire domain, in which case exhaustion proves UNSAT.
+func (sc *scratch) allCandidatesComplete() bool {
+	for i, s := range sc.order {
+		d := sc.p.dom[s]
+		width := d.Hi - d.Lo
+		if width+1 == 0 { // full 64-bit domain
+			return false
+		}
+		if uint64(len(sc.cands[i])) < width+1 {
+			return false
+		}
+	}
+	return true
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
 }
 
 func hashName(s string) uint32 {
@@ -669,20 +420,11 @@ func sameKind(l, r Expr) bool {
 	return ok1 && ok2
 }
 
-func dedupe(ss []string) []string {
-	sort.Strings(ss)
-	out := ss[:0]
-	for i, s := range ss {
-		if i == 0 || ss[i-1] != s {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
 type unionFind struct{ parent map[string]string }
 
 func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) clone() *unionFind { return &unionFind{parent: maps.Clone(u.parent)} }
 
 func (u *unionFind) find(x string) string {
 	p, ok := u.parent[x]
