@@ -129,18 +129,7 @@ func buildNF(name string, capacity int) (*nf.Instance, error) {
 	}
 }
 
-func parseMetric(s string) (perf.Metric, error) {
-	switch s {
-	case "instructions", "ic":
-		return perf.Instructions, nil
-	case "memaccesses", "ma":
-		return perf.MemAccesses, nil
-	case "cycles":
-		return perf.Cycles, nil
-	default:
-		return 0, fmt.Errorf("unknown metric %q", s)
-	}
-}
+func parseMetric(s string) (perf.Metric, error) { return perf.ParseMetric(s) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bolt:", err)

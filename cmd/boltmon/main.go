@@ -1,0 +1,178 @@
+// Command boltmon is the online contract monitor (§5.2 run live): it
+// replays a generated workload or a pcap through a monitored NF,
+// classifying every packet to its contract path, checking observed cost
+// against the predicted bound, and paging when predictions exceed the
+// provisioned budget — the operator's early warning that adversarial
+// traffic is steering the NF towards a performance cliff.
+//
+// Usage:
+//
+//	boltmon -trace attack   -expect alert   # §5.2: collision attack must page
+//	boltmon -trace benign   -expect quiet   # equal-rate benign burst must not
+//	boltmon -trace uniform                  # watch a uniform workload
+//	boltmon -pcap trace.pcap [-inport P]    # watch a captured trace
+//	boltmon -benchjson BENCH_monitor.json   # monitored-vs-bare overhead
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"gobolt/internal/experiments"
+	"gobolt/internal/monitor"
+	"gobolt/internal/pcap"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+func main() {
+	var (
+		scale     = flag.String("scale", "default", "experiment scale: default or quick")
+		trace     = flag.String("trace", "attack", "trace to replay: attack, benign, uniform")
+		pcapPath  = flag.String("pcap", "", "replay this pcap through the monitored bridge instead of a generated trace")
+		inPort    = flag.Uint64("inport", 0, "arrival port for pcap packets")
+		packets   = flag.Int("packets", 0, "override the scale's per-class packet count")
+		parallel  = flag.Int("parallel", 0, "contract-generation worker pool (0 = one per CPU, 1 = serial)")
+		budget    = flag.Uint64("budget", 0, "explicit overload budget (default: calibrated from benign traffic)")
+		trigger   = flag.Int("trigger", 3, "consecutive over-budget packets before paging")
+		clearN    = flag.Int("clear", 8, "consecutive calm packets before un-paging")
+		metric    = flag.String("metric", "instructions", "budgeted metric: instructions, memaccesses, cycles")
+		expect    = flag.String("expect", "", "exit nonzero unless the outcome matched: alert or quiet")
+		benchjson = flag.String("benchjson", "", "run the monitor overhead benchmark and write its JSON here")
+		benchruns = flag.Int("benchruns", 3, "benchmark passes per mode (best-of)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sc := experiments.DefaultScale()
+	if *scale == "quick" {
+		sc = experiments.QuickScale()
+	}
+	sc.Parallelism = *parallel
+	if *packets > 0 {
+		sc.Packets = *packets
+	}
+
+	if *benchjson != "" {
+		res, err := experiments.MonitorBench(sc, *benchruns)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderMonitorBench(res))
+		if err := experiments.WriteMonitorBenchJSON(*benchjson, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(wrote %s)\n", *benchjson)
+		return
+	}
+
+	m, err := perf.ParseMetric(*metric)
+	if err != nil {
+		fatal(err)
+	}
+	mcfg := monitor.Config{Metric: m, Budget: *budget, Trigger: *trigger, Clear: *clearN}
+
+	var alerted bool
+	switch {
+	case *pcapPath != "" || *trace == "uniform":
+		alerted, err = watch(ctx, sc, mcfg, *pcapPath, *inPort)
+	case *trace == "attack" || *trace == "benign":
+		res, aerr := experiments.AttackDetection(sc)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		fmt.Print(experiments.RenderAttackDetection(res))
+		if *trace == "attack" {
+			alerted = res.Detected()
+		} else {
+			alerted = res.BenignOverloads > 0 || res.Violations > 0
+		}
+	default:
+		err = fmt.Errorf("unknown trace %q", *trace)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *expect {
+	case "":
+	case "alert":
+		if !alerted {
+			fatal(fmt.Errorf("expected an alert, none fired"))
+		}
+		fmt.Println("expectation met: alerted")
+	case "quiet":
+		if alerted {
+			fatal(fmt.Errorf("expected quiet, but the monitor alerted"))
+		}
+		fmt.Println("expectation met: quiet")
+	default:
+		fatal(fmt.Errorf("unknown -expect %q (want alert or quiet)", *expect))
+	}
+}
+
+// watch replays a uniform workload or a pcap through a monitored
+// bridge, calibrating a budget from benign traffic when none was given.
+func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, pcapPath string, inPort uint64) (bool, error) {
+	br, ct, err := experiments.AttackBridge(sc)
+	if err != nil {
+		return false, err
+	}
+	if mcfg.Budget == 0 {
+		benign := traffic.BridgeFrames(traffic.BridgeConfig{
+			Packets: sc.Packets, MACs: sc.TableCapacity / 4, Ports: 4,
+			StartNS: 1_000, GapNS: 1_000, Seed: 41,
+		})
+		calBr, calCt, err := experiments.AttackBridge(sc)
+		if err != nil {
+			return false, err
+		}
+		mcfg.Budget, err = monitor.Calibrate(ctx, calCt, mcfg, calBr.Instance, benign, 1.25)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("calibrated budget: %d %s/pkt\n", mcfg.Budget, mcfg.Metric)
+	}
+	mon, err := monitor.New(ct, mcfg)
+	if err != nil {
+		return false, err
+	}
+	var pkts []traffic.Packet
+	if pcapPath != "" {
+		f, err := os.Open(pcapPath)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		recs, err := pcap.ReadAll(f)
+		if err != nil {
+			return false, err
+		}
+		pkts = traffic.FromPCAP(recs, inPort)
+	} else {
+		pkts = traffic.BridgeFrames(traffic.BridgeConfig{
+			Packets: sc.Packets * 4, MACs: sc.TableCapacity / 4, Ports: 4,
+			StartNS: 1_000, GapNS: 1_000, Seed: 13,
+		})
+	}
+	if _, err := mon.Run(ctx, br.Instance, pkts); err != nil {
+		return false, err
+	}
+	fmt.Print(mon.Report())
+	for _, a := range mon.Alerts() {
+		if a.Kind == monitor.AlertOverload || a.Kind == monitor.AlertViolation {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boltmon:", err)
+	os.Exit(1)
+}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gobolt/internal/distill"
 	"gobolt/internal/dpdk"
@@ -32,6 +34,10 @@ func main() {
 		sens     = flag.String("sensitivity", "", "group packets by this PCV and report max/mean IC per value (§4 sensitivity analysis)")
 	)
 	flag.Parse()
+
+	// Ctrl-C stops a long replay at the next packet boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	inst, err := buildNF(*nfName, *capacity)
 	if err != nil {
@@ -65,10 +71,12 @@ func main() {
 		}
 	}
 
-	rep, err := distill.Distill(inst, pkts, dpdk.NFOnly)
+	runner := &distill.Runner{Level: dpdk.NFOnly}
+	recs, err := runner.RunContext(ctx, inst, pkts)
 	if err != nil {
 		fatal(err)
 	}
+	rep := &distill.Report{Records: recs}
 
 	fmt.Printf("Distiller report: %s over %d packets\n\n", *nfName, len(rep.Records))
 	fmt.Printf("Distilled PCV maxima: %v\n\n", rep.MaxPCVs())

@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/nf"
+	"gobolt/internal/traffic"
+)
+
+func TestFieldValue(t *testing.T) {
+	cases := []struct {
+		pkt  []byte
+		off  uint64
+		size int
+		want uint64
+	}{
+		{[]byte{0x01, 0x02, 0x03, 0x04}, 0, 4, 0x01020304},
+		{[]byte{0x01, 0x02, 0x03, 0x04}, 2, 2, 0x0304},
+		// Reads past the packet's end zero-extend, matching the concrete
+		// interpreter's zero-padded buffer.
+		{[]byte{0x12, 0x34}, 1, 2, 0x3400},
+		{nil, 0, 4, 0},
+		{[]byte{0xff}, 0, 1, 0xff},
+	}
+	for _, c := range cases {
+		if got := core.FieldValue(c.pkt, c.off, c.size); got != c.want {
+			t.Errorf("FieldValue(%x, %d, %d) = %#x, want %#x", c.pkt, c.off, c.size, got, c.want)
+		}
+	}
+}
+
+// TestClassifierRejectsCompositions: a path with stateful events but no
+// call trace (chain compositions, hand-built contracts) cannot be
+// classified online; NewClassifier must refuse it rather than mismatch.
+func TestClassifierRejectsCompositions(t *testing.T) {
+	ct := &core.Contract{Paths: []*core.PathContract{{ID: 0, Events: "mac.put:new"}}}
+	if _, err := core.NewClassifier(ct); err == nil {
+		t.Fatal("NewClassifier accepted a path with events but no trace")
+	}
+}
+
+// TestClassifierLPMLongPath is the regression test for outcome-label
+// evidence: the DIR-24-8 short and long outcomes both return one port
+// value, so without the concrete structure's self-reported label every
+// two-read adversarial packet would fall into the cheaper short-path
+// class and the monitor would raise false violations.
+func TestClassifierLPMLongPath(t *testing.T) {
+	r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
+	if err := r.Table.AddRoute(0x0A000000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table.AddRoute(0xC0A80180, 25, 2); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := core.NewGenerator().Generate(r.Prog, r.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := core.NewClassifier(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := traffic.AdversarialLPM(r.Table, 8, 1_000, 1_000, 3)
+	if len(pkts) == 0 {
+		t.Fatal("route table has no extended slots; nothing adversarial to send")
+	}
+	runner := &distill.Runner{}
+	var calls []core.CallRecord
+	restore := core.AttachRecorder(r.Env, &calls)
+	defer restore()
+	for i, p := range pkts {
+		calls = calls[:0]
+		recs, err := runner.Run(r.Instance, []traffic.Packet{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := &core.PacketObservation{
+			Pkt: p.Data, InPort: p.InPort, Time: p.Time,
+			PktLen: uint64(len(p.Data)), Action: recs[0].Action.Kind, Calls: calls,
+		}
+		path, ok := cls.Classify(obs)
+		if !ok {
+			t.Fatalf("adversarial packet %d unclassified", i)
+		}
+		if !strings.Contains(path.Class(), "lpm.get:long") {
+			t.Fatalf("adversarial two-read packet %d classified as %q; outcome-label evidence lost", i, path.Class())
+		}
+	}
+}

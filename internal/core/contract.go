@@ -35,6 +35,12 @@ type PathContract struct {
 	Domains map[string]symb.Domain
 	// Events summarises the stateful calls ("flows.get:hit …").
 	Events string
+	// Trace lists the path's stateful calls as exploration recorded them
+	// (data structure, method, chosen outcome, result symbols). The
+	// online classifier (classify.go) needs it to match a concrete run's
+	// call sequence against the path; it is nil for composed contracts,
+	// whose joined paths no longer correspond to one call sequence.
+	Trace []nfir.CallEvent
 	// Cost is the path's performance expression per metric.
 	Cost map[perf.Metric]expr.Poly
 	// PCVRanges bound the PCVs appearing in Cost.

@@ -145,6 +145,7 @@ func (g *Generator) assembleCost(pa *nfir.Path) *PathContract {
 		Constraints: pa.Constraints,
 		Domains:     pa.Domains,
 		Events:      pa.EventSummary(),
+		Trace:       pa.Events,
 		Cost:        cost,
 		PCVRanges:   pcvs,
 	}

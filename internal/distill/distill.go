@@ -6,6 +6,7 @@
 package distill
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,12 +37,23 @@ type Runner struct {
 	// Detailed, when set, plays the testbed's hardware: caches stay warm
 	// across packets and per-packet cycles are recorded.
 	Detailed *hwmodel.Detailed
+	// Observer, when set, sees each packet's record the moment it is
+	// measured, before the next packet runs — the online monitor's tap.
+	// The record is the same value appended to the returned slice.
+	Observer func(i int, pkt traffic.Packet, rec *Record)
 }
 
 // Run processes the workload through the instance's production build.
 // The instance keeps its state across calls, so warmup and measurement
 // phases can be separate Run invocations.
 func (r *Runner) Run(inst *nf.Instance, pkts []traffic.Packet) ([]Record, error) {
+	return r.RunContext(context.Background(), inst, pkts)
+}
+
+// RunContext is Run with cancellation between packets: a long replay
+// stops at the next packet boundary when ctx is done, returning the
+// records measured so far alongside the context's error.
+func (r *Runner) RunContext(ctx context.Context, inst *nf.Instance, pkts []traffic.Packet) ([]Record, error) {
 	var sink perf.TraceSink
 	if r.Detailed != nil {
 		sink = r.Detailed
@@ -51,6 +63,9 @@ func (r *Runner) Run(inst *nf.Instance, pkts []traffic.Packet) ([]Record, error)
 
 	out := make([]Record, 0, len(pkts))
 	for i, p := range pkts {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("distill: interrupted before packet %d: %w", i, err)
+		}
 		inst.Env.ResetPacket(p.Data, p.InPort, p.Time)
 		before := meter.Snapshot()
 		var cyclesBefore uint64
@@ -92,6 +107,9 @@ func (r *Runner) Run(inst *nf.Instance, pkts []traffic.Packet) ([]Record, error)
 			rec.PCVs[k] = v
 		}
 		out = append(out, rec)
+		if r.Observer != nil {
+			r.Observer(i, p, &out[len(out)-1])
+		}
 	}
 	return out, nil
 }

@@ -137,6 +137,9 @@ func (r *MaglevRing) Invoke(method string, args []uint64, env *nfir.Env) ([]uint
 		b := r.table[slot]
 		charge(env, maglevAliveChk, []uint64{r.hbAddr + uint64(b)*8}, true)
 		if r.isAlive(b, now) {
+			// direct and fallback both return (backend, 1): the branch is
+			// invisible in the results, so report it explicitly.
+			env.ObserveOutcome("direct")
 			return []uint64{uint64(b), 1}, nil
 		}
 		// Fallback: probe successive ring slots for an alive backend.
@@ -148,10 +151,12 @@ func (r *MaglevRing) Invoke(method string, args []uint64, env *nfir.Env) ([]uint
 			charge(env, maglevFallStep, []uint64{r.ringAddr + s*8, r.hbAddr + uint64(cand)*8}, true)
 			if r.isAlive(cand, now) {
 				env.ObservePCVMax(PCVBackendProbes, probes)
+				env.ObserveOutcome("fallback")
 				return []uint64{uint64(cand), 1}, nil
 			}
 		}
 		env.ObservePCVMax(PCVBackendProbes, probes)
+		env.ObserveOutcome("none")
 		return []uint64{0, 0}, nil
 
 	case "heartbeat":

@@ -18,10 +18,8 @@ import (
 	"gobolt/internal/core"
 	"gobolt/internal/distill"
 	"gobolt/internal/hwmodel"
-	"gobolt/internal/nf"
 	"gobolt/internal/par"
 	"gobolt/internal/perf"
-	"gobolt/internal/traffic"
 )
 
 // Scale sizes the experiments. The paper's testbed used tables of tens
@@ -108,26 +106,26 @@ func overPct(pred, meas uint64) float64 {
 	return 100 * (float64(pred) - float64(meas)) / float64(meas)
 }
 
-// measureClass runs one packet class against an instance and compares
-// it with the contract: the prediction is the contract's worst matching
-// path evaluated at the Distiller-observed PCVs; the measurement is the
-// worst packet observed. It errors if any packet beats the bound
-// (soundness violation).
-func measureClass(
-	name string,
-	inst *nf.Instance,
-	ct *core.Contract,
-	warmup, measure []traffic.Packet,
-	filter func(*core.PathContract) bool,
-) (ClassResult, error) {
+// measureScenario runs one packet class against its instance and
+// compares it with the contract: the prediction is the contract's worst
+// matching path evaluated at the Distiller-observed PCVs; the
+// measurement is the worst packet observed. It errors if any packet
+// beats the bound (soundness violation).
+func measureScenario(s Scenario) (ClassResult, error) {
+	name, ct, filter := s.Name, s.Contract, s.Filter
 	det := hwmodel.NewDetailed()
 	runner := &distill.Runner{Detailed: det}
-	if len(warmup) > 0 {
-		if _, err := runner.Run(inst, warmup); err != nil {
+	if len(s.Warmup) > 0 {
+		if _, err := runner.Run(s.Instance, s.Warmup); err != nil {
 			return ClassResult{}, fmt.Errorf("%s warmup: %w", name, err)
 		}
 	}
-	recs, err := runner.Run(inst, measure)
+	if s.Prepare != nil {
+		if err := s.Prepare(); err != nil {
+			return ClassResult{}, fmt.Errorf("%s prepare: %w", name, err)
+		}
+	}
+	recs, err := runner.Run(s.Instance, s.Measure)
 	if err != nil {
 		return ClassResult{}, fmt.Errorf("%s: %w", name, err)
 	}

@@ -1,0 +1,78 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// varPow is one variable factor of a compiled term: which slot of the
+// value vector, raised to which power.
+type varPow struct {
+	idx int
+	pow int
+}
+
+type compiledTerm struct {
+	coef    uint64
+	factors []varPow
+}
+
+// CompiledPoly is a Poly lowered onto a fixed variable order: evaluation
+// reads a flat value vector and touches neither maps nor monomial
+// strings. The online monitor compiles each contract path's bound once
+// and evaluates it on every packet.
+type CompiledPoly struct {
+	c     uint64
+	terms []compiledTerm
+}
+
+// Compile lowers the polynomial onto the variable order vars. Every
+// variable the polynomial mentions must appear in vars; Eval then takes
+// the variables' values in exactly this order.
+func (p Poly) Compile(vars []string) (*CompiledPoly, error) {
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	cp := &CompiledPoly{}
+	for _, m := range p.Monos() {
+		coef := p.Coef(m)
+		if m == ConstMono {
+			cp.c += coef
+			continue
+		}
+		pows := m.Powers()
+		names := make([]string, 0, len(pows))
+		for v := range pows {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		t := compiledTerm{coef: coef, factors: make([]varPow, 0, len(names))}
+		for _, v := range names {
+			i, ok := idx[v]
+			if !ok {
+				return nil, fmt.Errorf("expr: compile: variable %q not in the value-vector order", v)
+			}
+			t.factors = append(t.factors, varPow{idx: i, pow: pows[v]})
+		}
+		cp.terms = append(cp.terms, t)
+	}
+	return cp, nil
+}
+
+// Eval computes the polynomial at the value vector whose order Compile
+// fixed. Arithmetic wraps exactly like Poly.Eval.
+func (cp *CompiledPoly) Eval(vals []uint64) uint64 {
+	total := cp.c
+	for _, t := range cp.terms {
+		v := t.coef
+		for _, f := range t.factors {
+			x := vals[f.idx]
+			for k := 0; k < f.pow; k++ {
+				v *= x
+			}
+		}
+		total += v
+	}
+	return total
+}

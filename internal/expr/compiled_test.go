@@ -1,0 +1,38 @@
+package expr
+
+import "testing"
+
+func TestCompiledPolyMatchesEval(t *testing.T) {
+	// 7 + 3e + 2et + 5c² — constants, linear, product, and power terms.
+	p := Const(7).
+		Add(Var("e").Scale(3)).
+		Add(Var("e").MulVar("t").Scale(2)).
+		Add(Var("c").MulVar("c").Scale(5))
+	vars := []string{"b", "c", "e", "t"} // superset, monitor-style order
+	cp, err := p.Compile(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []map[string]uint64{
+		{"b": 0, "c": 0, "e": 0, "t": 0},
+		{"b": 9, "c": 1, "e": 2, "t": 3},
+		{"b": 0, "c": 250, "e": 512, "t": 512},
+		{"b": 1, "c": 0, "e": 1 << 30, "t": 1 << 30}, // wrap like Poly.Eval
+	}
+	for _, binding := range cases {
+		vals := make([]uint64, len(vars))
+		for i, v := range vars {
+			vals[i] = binding[v]
+		}
+		if got, want := cp.Eval(vals), p.Eval(binding); got != want {
+			t.Errorf("binding %v: compiled %d, tree %d", binding, got, want)
+		}
+	}
+}
+
+func TestCompileRejectsUncoveredVariable(t *testing.T) {
+	p := Var("e").MulVar("t")
+	if _, err := p.Compile([]string{"e"}); err == nil {
+		t.Fatal("Compile accepted an order missing variable t")
+	}
+}

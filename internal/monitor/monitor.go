@@ -1,0 +1,510 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gobolt/internal/core"
+	"gobolt/internal/distill"
+	"gobolt/internal/dpdk"
+	"gobolt/internal/expr"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// AlertKind distinguishes what a fired alert means.
+type AlertKind int
+
+const (
+	// AlertViolation: a packet's measured cost exceeded the bound its own
+	// contract path predicts at the observed PCVs — the contract's
+	// soundness promise is broken (a modelling bug or the wrong contract
+	// for the deployed build). Fired immediately, no hysteresis.
+	AlertViolation AlertKind = iota
+	// AlertOverload: the contract-predicted bound for the traffic being
+	// received exceeds the provisioned budget — the §5.2 signal that
+	// adversarial traffic is pushing the NF towards a performance cliff,
+	// raised from the *prediction*, before throughput actually collapses.
+	// Debounced by hysteresis.
+	AlertOverload
+	// AlertCleared: a previously raised overload page returned to quiet.
+	AlertCleared
+	// AlertUnclassified: a packet matched no contract path (traffic the
+	// contract does not cover). Reported once, then counted.
+	AlertUnclassified
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertViolation:
+		return "VIOLATION"
+	case AlertOverload:
+		return "OVERLOAD"
+	case AlertCleared:
+		return "cleared"
+	case AlertUnclassified:
+		return "unclassified"
+	}
+	return "?"
+}
+
+// Alert is one monitor event. Violation and overload alerts carry the
+// observed PCVs and the predicted bound, so the report is reproducible
+// offline: feed the PCVs to PathContract.BoundAt and the same numbers
+// come out.
+type Alert struct {
+	Kind AlertKind
+	// PacketIndex counts packets across the monitor's lifetime.
+	PacketIndex int
+	// Time is the packet's arrival timestamp (ns).
+	Time uint64
+	// Class and PathID name the triggering contract path.
+	Class  string
+	PathID int
+	Metric perf.Metric
+	// Observed is the packet's measured cost; Predicted the contract
+	// bound at the observed PCVs; Budget the provisioned threshold
+	// (overload alerts only).
+	Observed, Predicted, Budget uint64
+	// PCVs are the Distiller-observed PCV values for the packet.
+	PCVs map[string]uint64
+	// Window is the class's recent observed-cost history, oldest first.
+	Window []uint64
+}
+
+func (a Alert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] pkt %d t=%d class %q path %d %s",
+		a.Kind, a.PacketIndex, a.Time, a.Class, a.PathID, a.Metric)
+	switch a.Kind {
+	case AlertViolation:
+		fmt.Fprintf(&b, " observed %d > predicted %d", a.Observed, a.Predicted)
+	case AlertOverload:
+		fmt.Fprintf(&b, " predicted %d > budget %d (observed %d)", a.Predicted, a.Budget, a.Observed)
+	case AlertCleared:
+		fmt.Fprintf(&b, " predicted %d <= budget %d", a.Predicted, a.Budget)
+	}
+	if len(a.PCVs) > 0 {
+		fmt.Fprintf(&b, " pcvs %s", renderPCVs(a.PCVs))
+	}
+	return b.String()
+}
+
+// Config tunes a Monitor.
+type Config struct {
+	// Metric is the budgeted metric (default Instructions — deterministic
+	// and hardware-independent, the paper's headline metric).
+	Metric perf.Metric
+	// Budget is the overload threshold on the *predicted* bound; 0
+	// disables overload alerting (violation detection stays on).
+	Budget uint64
+	// ClockHz and TargetPPS derive a cycle budget when Budget is zero:
+	// the per-packet cycles one core must not exceed to sustain
+	// TargetPPS — Contract.Provision solved for cycles. Setting them
+	// forces Metric to Cycles and Detailed on.
+	ClockHz, TargetPPS float64
+	// Trigger and Clear set the overload hysteresis: Trigger consecutive
+	// over-budget packets page (default 3), Clear consecutive calm
+	// packets un-page (default 8).
+	Trigger, Clear int
+	// RingSize bounds the per-class recent-sample window (default 32).
+	RingSize int
+	// Quantile is the per-class tail sketch's target (default 0.99).
+	Quantile float64
+	// Level selects NF-only or full-stack measurement for Run.
+	Level dpdk.AnalysisLevel
+	// Detailed attaches the detailed hardware model so cycles are
+	// measured and checked.
+	Detailed bool
+	// OnAlert, when set, sees every alert as it fires (the pluggable
+	// pager hook); alerts are also retained on the monitor.
+	OnAlert func(Alert)
+	// OnClassify, when set, sees every packet's classification (path is
+	// nil when no contract path matched) — the differential-test and
+	// debugging tap. The observation is reused between packets; copy
+	// anything retained past the call.
+	OnClassify func(obs *core.PacketObservation, path *core.PathContract)
+}
+
+// classState is the streaming state for one input class.
+type classState struct {
+	class       string
+	packets     int
+	violations  int
+	maxObserved uint64
+	maxPred     uint64
+	minHeadroom int64
+	ring        *ring
+	sketch      *quantileSketch
+	hys         hysteresis
+}
+
+// Monitor watches a packet stream against one contract.
+type Monitor struct {
+	ct       *core.Contract
+	cls      *core.Classifier
+	cfg      Config
+	runner   *distill.Runner
+	detailed *hwmodel.Detailed
+	pcvNames []string
+	// bounds holds each path's cost polynomials compiled onto the
+	// pcvNames order; vals is the per-packet value vector they read.
+	// BoundAt re-walks monomial strings and maps on every call — far too
+	// slow for the per-packet hot path (it dominated the whole replay).
+	bounds  map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly
+	classOf map[*core.PathContract]string // Class() concatenates per call
+	vals    []uint64
+
+	packets      int
+	unclassified int
+	firstUnclass int
+	violations   int
+	maxPred      uint64
+	classes      map[string]*classState
+	alerts       []Alert
+}
+
+// New compiles the contract's classifier and returns a monitor.
+func New(ct *core.Contract, cfg Config) (*Monitor, error) {
+	cls, err := core.NewClassifier(ct)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Budget == 0 && cfg.ClockHz > 0 && cfg.TargetPPS > 0 {
+		cfg.Metric = perf.Cycles
+		cfg.Budget = uint64(cfg.ClockHz / cfg.TargetPPS)
+		cfg.Detailed = true
+	}
+	if cfg.Trigger <= 0 {
+		cfg.Trigger = 3
+	}
+	if cfg.Clear <= 0 {
+		cfg.Clear = 8
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 32
+	}
+	if cfg.Quantile <= 0 || cfg.Quantile >= 1 {
+		cfg.Quantile = 0.99
+	}
+	m := &Monitor{
+		ct: ct, cls: cls, cfg: cfg,
+		firstUnclass: -1,
+		classes:      make(map[string]*classState),
+	}
+	pcvSet := make(map[string]bool)
+	for _, p := range ct.Paths {
+		for v := range p.PCVRanges {
+			pcvSet[v] = true
+		}
+	}
+	for v := range pcvSet {
+		m.pcvNames = append(m.pcvNames, v)
+	}
+	sort.Strings(m.pcvNames)
+	m.vals = make([]uint64, len(m.pcvNames))
+	m.bounds = make(map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly, len(ct.Paths))
+	m.classOf = make(map[*core.PathContract]string, len(ct.Paths))
+	for _, p := range ct.Paths {
+		m.classOf[p] = p.Class()
+		var cb [perf.NumMetrics]*expr.CompiledPoly
+		for _, metric := range perf.Metrics {
+			if cp, err := p.Cost[metric].Compile(m.pcvNames); err == nil {
+				cb[metric] = cp
+			}
+			// else: the cost mentions a variable outside the contract's
+			// PCV ranges; boundAt falls back to map-based BoundAt there.
+		}
+		m.bounds[p] = &cb
+	}
+	m.runner = &distill.Runner{Level: cfg.Level}
+	if cfg.Detailed {
+		m.detailed = hwmodel.NewDetailed()
+		m.runner.Detailed = m.detailed
+	}
+	return m, nil
+}
+
+// Run replays a workload through the instance with monitoring on: every
+// packet is measured, classified, and checked. State persists across
+// calls (same-monitor Warm/Run sequences share hardware-model warmth).
+func (m *Monitor) Run(ctx context.Context, inst *nf.Instance, pkts []traffic.Packet) ([]distill.Record, error) {
+	var calls []core.CallRecord
+	restore := core.AttachRecorder(inst.Env, &calls)
+	defer restore()
+	m.runner.Observer = func(_ int, pkt traffic.Packet, rec *distill.Record) {
+		m.Observe(pkt, rec, calls)
+		calls = calls[:0]
+	}
+	defer func() { m.runner.Observer = nil }()
+	return m.runner.RunContext(ctx, inst, pkts)
+}
+
+// Warm replays a workload with monitoring off: the instance's state and
+// the monitor's hardware model see the traffic, but nothing is
+// classified or checked. Use it for the warmup phase of a measurement.
+func (m *Monitor) Warm(ctx context.Context, inst *nf.Instance, pkts []traffic.Packet) error {
+	_, err := m.runner.RunContext(ctx, inst, pkts)
+	return err
+}
+
+// Observe feeds one measured packet directly (Run calls it per packet;
+// exposed for harnesses that drive their own runner).
+func (m *Monitor) Observe(pkt traffic.Packet, rec *distill.Record, calls []core.CallRecord) {
+	idx := m.packets
+	m.packets++
+
+	pktLen := uint64(len(pkt.Data))
+	if pktLen > nfir.MaxPacket {
+		pktLen = nfir.MaxPacket
+	}
+	obs := &core.PacketObservation{
+		Pkt: pkt.Data, InPort: pkt.InPort, Time: pkt.Time, PktLen: pktLen,
+		Action: rec.Action.Kind, Calls: calls,
+	}
+	path, ok := m.cls.Classify(obs)
+	if m.cfg.OnClassify != nil {
+		m.cfg.OnClassify(obs, path)
+	}
+	if !ok {
+		m.unclassified++
+		if m.firstUnclass < 0 {
+			m.firstUnclass = idx
+			m.fire(Alert{Kind: AlertUnclassified, PacketIndex: idx, Time: pkt.Time, Metric: m.cfg.Metric})
+		}
+		return
+	}
+
+	// The observed-PCV vector, exactly as the offline soundness check
+	// binds it: every PCV the contract mentions, 0 when unobserved.
+	for i, v := range m.pcvNames {
+		m.vals[i] = rec.PCVs[v]
+	}
+
+	// Violation detection on every measured metric.
+	checks := [perf.NumMetrics]struct {
+		metric   perf.Metric
+		observed uint64
+	}{
+		{perf.Instructions, rec.IC},
+		{perf.MemAccesses, rec.MA},
+	}
+	nChecks := 2
+	if m.detailed != nil {
+		checks[nChecks] = struct {
+			metric   perf.Metric
+			observed uint64
+		}{perf.Cycles, rec.Cycles}
+		nChecks++
+	}
+	st := m.classState(m.classOf[path])
+	st.packets++
+	for _, c := range checks[:nChecks] {
+		pred := m.boundAt(path, c.metric)
+		if c.observed > pred {
+			st.violations++
+			m.violations++
+			m.fire(Alert{
+				Kind: AlertViolation, PacketIndex: idx, Time: pkt.Time,
+				Class: m.classOf[path], PathID: path.ID, Metric: c.metric,
+				Observed: c.observed, Predicted: pred,
+				PCVs: m.pcvMap(), Window: st.ring.Snapshot(),
+			})
+		}
+	}
+
+	// Streaming per-class state and overload alerting on the budgeted
+	// metric: the *predicted* bound at the observed PCVs is the signal —
+	// it rises with the PCVs adversarial traffic inflates, ahead of any
+	// measurable collapse.
+	observed := metricValue(rec, m.cfg.Metric)
+	predicted := m.boundAt(path, m.cfg.Metric)
+	st.ring.Add(observed)
+	st.sketch.Add(float64(observed))
+	if observed > st.maxObserved {
+		st.maxObserved = observed
+	}
+	if predicted > st.maxPred {
+		st.maxPred = predicted
+	}
+	if predicted > m.maxPred {
+		m.maxPred = predicted
+	}
+	if m.cfg.Budget > 0 {
+		headroom := int64(m.cfg.Budget) - int64(predicted)
+		if st.packets == 1 || headroom < st.minHeadroom {
+			st.minHeadroom = headroom
+		}
+		fired, cleared := st.hys.Observe(predicted > m.cfg.Budget)
+		if fired {
+			m.fire(Alert{
+				Kind: AlertOverload, PacketIndex: idx, Time: pkt.Time,
+				Class: m.classOf[path], PathID: path.ID, Metric: m.cfg.Metric,
+				Observed: observed, Predicted: predicted, Budget: m.cfg.Budget,
+				PCVs: m.pcvMap(), Window: st.ring.Snapshot(),
+			})
+		}
+		if cleared {
+			m.fire(Alert{
+				Kind: AlertCleared, PacketIndex: idx, Time: pkt.Time,
+				Class: m.classOf[path], PathID: path.ID, Metric: m.cfg.Metric,
+				Predicted: predicted, Budget: m.cfg.Budget,
+			})
+		}
+	}
+}
+
+func (m *Monitor) classState(class string) *classState {
+	st, ok := m.classes[class]
+	if !ok {
+		st = &classState{
+			class:  class,
+			ring:   newRing(m.cfg.RingSize),
+			sketch: newQuantileSketch(m.cfg.Quantile),
+			hys:    hysteresis{Trigger: m.cfg.Trigger, Clear: m.cfg.Clear},
+		}
+		m.classes[class] = st
+	}
+	return st
+}
+
+func (m *Monitor) fire(a Alert) {
+	m.alerts = append(m.alerts, a)
+	if m.cfg.OnAlert != nil {
+		m.cfg.OnAlert(a)
+	}
+}
+
+func metricValue(rec *distill.Record, metric perf.Metric) uint64 {
+	switch metric {
+	case perf.MemAccesses:
+		return rec.MA
+	case perf.Cycles:
+		return rec.Cycles
+	}
+	return rec.IC
+}
+
+// boundAt evaluates a path's bound at the current PCV vector via the
+// pre-compiled polynomial, falling back to BoundAt for the rare path
+// whose cost mentions a variable outside the PCV-range set.
+func (m *Monitor) boundAt(p *core.PathContract, metric perf.Metric) uint64 {
+	if cp := m.bounds[p][metric]; cp != nil {
+		return cp.Eval(m.vals)
+	}
+	return p.BoundAt(metric, m.pcvMap())
+}
+
+// pcvMap materialises the current PCV vector as the map form alerts
+// carry; BoundAt over it reproduces exactly what boundAt computed.
+func (m *Monitor) pcvMap() map[string]uint64 {
+	out := make(map[string]uint64, len(m.pcvNames))
+	for i, v := range m.pcvNames {
+		out[v] = m.vals[i]
+	}
+	return out
+}
+
+func renderPCVs(pcvs map[string]uint64) string {
+	names := make([]string, 0, len(pcvs))
+	for v := range pcvs {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, v := range names {
+		parts[i] = fmt.Sprintf("%s=%d", v, pcvs[v])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Alerts returns every fired alert in order.
+func (m *Monitor) Alerts() []Alert { return m.alerts }
+
+// Violations counts soundness violations seen so far.
+func (m *Monitor) Violations() int { return m.violations }
+
+// Unclassified counts packets no contract path matched.
+func (m *Monitor) Unclassified() int { return m.unclassified }
+
+// Packets counts observed packets.
+func (m *Monitor) Packets() int { return m.packets }
+
+// MaxPredicted reports the largest predicted bound observed on the
+// budgeted metric — Calibrate uses it to turn a benign run into a
+// budget.
+func (m *Monitor) MaxPredicted() uint64 { return m.maxPred }
+
+// Overloaded reports whether any class currently has a raised page.
+func (m *Monitor) Overloaded() bool {
+	for _, st := range m.classes {
+		if st.hys.Paged() {
+			return true
+		}
+	}
+	return false
+}
+
+// Calibrate derives an overload budget from a benign workload: replay it
+// through an unbudgeted monitor and scale the worst predicted bound by
+// factor (the operator's provisioning margin). This is the §5.2
+// workflow: the contract plus expected traffic tells the operator what
+// "normal" costs, and the monitor pages when predictions leave that
+// envelope.
+func Calibrate(ctx context.Context, ct *core.Contract, cfg Config, inst *nf.Instance, benign []traffic.Packet, factor float64) (uint64, error) {
+	cfg.Budget = 0
+	cfg.ClockHz, cfg.TargetPPS = 0, 0
+	probe, err := New(ct, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := probe.Run(ctx, inst, benign); err != nil {
+		return 0, err
+	}
+	if probe.MaxPredicted() == 0 {
+		return 0, fmt.Errorf("monitor: calibration run predicted nothing (no packets classified?)")
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	return uint64(float64(probe.MaxPredicted()) * factor), nil
+}
+
+// Report renders the monitor's state deterministically: classes sorted
+// by label, alerts in firing order. Byte-identical for identical traces.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Monitor report: %s (metric %s", m.ct.NF, m.cfg.Metric)
+	if m.cfg.Budget > 0 {
+		fmt.Fprintf(&b, ", budget %d", m.cfg.Budget)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  packets %d, unclassified %d, violations %d, alerts %d\n",
+		m.packets, m.unclassified, m.violations, len(m.alerts))
+	labels := make([]string, 0, len(m.classes))
+	for l := range m.classes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		st := m.classes[l]
+		fmt.Fprintf(&b, "  class %-52s pkts %6d  max obs %8d  max pred %8d  p%02.0f %8.0f",
+			l, st.packets, st.maxObserved, st.maxPred, m.cfg.Quantile*100, st.sketch.Quantile())
+		if m.cfg.Budget > 0 {
+			fmt.Fprintf(&b, "  headroom %8d", st.minHeadroom)
+		}
+		if st.hys.Paged() {
+			fmt.Fprintf(&b, "  PAGED")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, a := range m.alerts {
+		fmt.Fprintf(&b, "  %s\n", a.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package monitor_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/experiments"
+	"gobolt/internal/monitor"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/symb"
+	"gobolt/internal/traffic"
+)
+
+// TestFigure1ScenariosZeroFalsePositives replays all 14 Figure-1
+// scenarios through the monitor: every packet must classify to a
+// contract path, no violation may fire (the offline soundness result of
+// §5.1 must survive the move online), and — the differential check —
+// each packet's assigned path must be one the symbolic exploration
+// considers feasible for that packet's concrete inputs (classifier vs
+// ConstraintFilter ground truth).
+func TestFigure1ScenariosZeroFalsePositives(t *testing.T) {
+	scens, err := experiments.Scenarios(experiments.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 14 {
+		t.Fatalf("expected 14 scenarios, got %d", len(scens))
+	}
+	ctx := context.Background()
+	for _, s := range scens {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			solverOK := core.ConstraintFilter(nil)
+			classMatched := s.Filter == nil
+			var diffErr string
+			checked := 0
+			cfg := monitor.Config{
+				Detailed: true,
+				OnClassify: func(obs *core.PacketObservation, path *core.PathContract) {
+					if path == nil || diffErr != "" {
+						return
+					}
+					if s.Filter != nil && s.Filter(path) {
+						classMatched = true
+					}
+					// Sample the solver cross-check: pin the path's observable
+					// input symbols to the packet's concrete values and ask the
+					// symbolic side whether the path is feasible for them.
+					if checked%7 != 0 {
+						checked++
+						return
+					}
+					checked++
+					extras := pinInputs(path, obs)
+					filter := solverOK
+					if len(extras) > 0 {
+						filter = core.ConstraintFilter(nil, extras...)
+					}
+					if !filter(path) {
+						diffErr = "classifier assigned path " + path.Class() +
+							" but the solver finds it infeasible for the packet's inputs"
+					}
+				},
+			}
+			mon, err := monitor.New(s.Contract, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Warmup) > 0 {
+				if err := mon.Warm(ctx, s.Instance, s.Warmup); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.Prepare != nil {
+				if err := s.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := mon.Run(ctx, s.Instance, s.Measure); err != nil {
+				t.Fatal(err)
+			}
+			if diffErr != "" {
+				t.Fatal(diffErr)
+			}
+			if mon.Unclassified() != 0 {
+				t.Errorf("%d of %d packets unclassified", mon.Unclassified(), mon.Packets())
+			}
+			if mon.Violations() != 0 {
+				t.Errorf("false positives: %d violation alerts\n%s", mon.Violations(), mon.Report())
+			}
+			if !classMatched {
+				t.Errorf("no packet classified into the scenario's target class")
+			}
+		})
+	}
+}
+
+// pinInputs builds equality constraints binding a path's observable
+// input symbols (packet fields, metadata) to the observation's concrete
+// values; model-result symbols stay free (existentially witnessed by
+// the concrete run).
+func pinInputs(p *core.PathContract, obs *core.PacketObservation) []symb.Expr {
+	resultSyms := make(map[string]bool)
+	for _, ev := range p.Trace {
+		for _, r := range ev.Outcome.Results {
+			if s, ok := r.(symb.Sym); ok {
+				resultSyms[s.Name] = true
+			}
+		}
+	}
+	var extras []symb.Expr
+	for _, name := range symb.Symbols(p.Constraints...) {
+		if resultSyms[name] {
+			continue
+		}
+		var v uint64
+		if off, size, ok := nfir.ParseFieldSym(name); ok {
+			v = core.FieldValue(obs.Pkt, off, size)
+		} else {
+			switch name {
+			case nfir.SymInPort:
+				v = obs.InPort
+			case nfir.SymNow:
+				v = obs.Time
+			case nfir.SymPktLen:
+				v = obs.PktLen
+			default:
+				continue // fresh heap symbol: leave free
+			}
+		}
+		extras = append(extras, symb.B(symb.Eq, symb.S(name), symb.C(v)))
+	}
+	return extras
+}
+
+// TestAttackDetection is the §5.2 online result: the colliding-MAC
+// trace must page — with the triggering class, observed PCVs, and the
+// exceeded bound in the alert — before the first rehash, while the
+// equal-rate benign burst stays quiet.
+func TestAttackDetection(t *testing.T) {
+	res, err := experiments.AttackDetection(experiments.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatalf("attack not detected:\n%s", experiments.RenderAttackDetection(res))
+	}
+	if res.RehashPacket < 0 {
+		t.Fatal("attack trace never reached the rehash cliff; the experiment shows nothing")
+	}
+	if res.AlertPacket >= res.RehashPacket {
+		t.Fatalf("alert at packet %d did not precede the rehash cliff at %d", res.AlertPacket, res.RehashPacket)
+	}
+	a := res.Alert
+	if a == nil {
+		t.Fatal("no overload alert retained")
+	}
+	if a.Class == "" || !strings.Contains(a.Class, "mac.put") {
+		t.Errorf("alert class %q does not name the triggering bridge class", a.Class)
+	}
+	if a.Predicted <= a.Budget {
+		t.Errorf("alert predicted %d does not exceed budget %d", a.Predicted, a.Budget)
+	}
+	if a.PCVs["t"] == 0 {
+		t.Errorf("alert PCVs %v do not carry the traversal count the attack inflates", a.PCVs)
+	}
+	if res.BenignOverloads != 0 {
+		t.Errorf("benign control paged %d times", res.BenignOverloads)
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d soundness violations during the attack experiment", res.Violations)
+	}
+}
+
+// TestAlertReproducibility pins the soundness contract of an alert:
+// the reported PCVs plus the named path re-derive the reported bound
+// offline, via PathContract.BoundAt, exactly.
+func TestAlertReproducibility(t *testing.T) {
+	sc := experiments.QuickScale()
+	br, ct, err := experiments.AttackBridge(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(ct, monitor.Config{Budget: 300, Trigger: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := traffic.CollidingFrames(br.Table, 24, 1_000, 1_000, 43)
+	if attack == nil {
+		t.Fatal("no colliding MACs found")
+	}
+	if _, err := mon.Run(context.Background(), br.Instance, attack); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, a := range mon.Alerts() {
+		if a.Kind != monitor.AlertOverload && a.Kind != monitor.AlertViolation {
+			continue
+		}
+		var path *core.PathContract
+		for _, p := range ct.Paths {
+			if p.ID == a.PathID {
+				path = p
+			}
+		}
+		if path == nil {
+			t.Fatalf("alert names path %d, not in the contract", a.PathID)
+		}
+		if got := path.BoundAt(a.Metric, a.PCVs); got != a.Predicted {
+			t.Errorf("alert predicted %d, but BoundAt(%v) re-derives %d", a.Predicted, a.PCVs, got)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("attack trace with Trigger=1 fired no alerts to check")
+	}
+}
+
+// TestMonitorDeterministicAcrossParallelism pins the acceptance
+// criterion that the monitor's output for a fixed trace is identical at
+// any contract-generation pool width: contracts are byte-identical
+// across -parallel (PR 1), and everything downstream is serial.
+func TestMonitorDeterministicAcrossParallelism(t *testing.T) {
+	trace := traffic.BridgeFrames(traffic.BridgeConfig{
+		Packets: 400, MACs: 48, Ports: 4, BroadcastFraction: 0.15,
+		StartNS: 1_000, GapNS: 1_000, Seed: 99,
+	})
+	run := func(parallelism int) string {
+		br := nf.NewBridge(nf.BridgeConfig{
+			Ports: 4, Capacity: 256,
+			TimeoutNS: 3_600_000_000_000, GranularityNS: 1_000_000,
+			RehashThreshold: 16, Seed: 77,
+		})
+		g := core.NewGenerator()
+		g.Parallelism = parallelism // no cache: force a full pipeline run per width
+		ct, err := g.Generate(br.Prog, br.Models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := monitor.New(ct, monitor.Config{Budget: 400, Detailed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mon.Run(context.Background(), br.Instance, trace); err != nil {
+			t.Fatal(err)
+		}
+		return mon.Report()
+	}
+	first := run(1)
+	for _, par := range []int{2, 4} {
+		if got := run(par); got != first {
+			t.Fatalf("monitor report differs between -parallel 1 and %d:\n--- parallel 1\n%s\n--- parallel %d\n%s",
+				par, first, par, got)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package monitor
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestQuantileSketchExactBelowFiveSamples(t *testing.T) {
+	s := newQuantileSketch(0.5)
+	if got := s.Quantile(); got != 0 {
+		t.Fatalf("empty sketch: got %v, want 0", got)
+	}
+	for _, v := range []float64{30, 10, 20} {
+		s.Add(v)
+	}
+	if got := s.Quantile(); got != 20 {
+		t.Fatalf("median of {10,20,30}: got %v, want 20", got)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", s.Count())
+	}
+}
+
+func TestQuantileSketchTracksLargeStreams(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		s := newQuantileSketch(q)
+		// Deterministic LCG stream; the P² estimate must stay within a
+		// loose band of the exact sample quantile.
+		var exact []float64
+		x := uint64(42)
+		for i := 0; i < 5000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := float64(x >> 40) // uniform-ish in [0, 2^24)
+			s.Add(v)
+			exact = append(exact, v)
+		}
+		sort.Float64s(exact)
+		want := exact[int(q*float64(len(exact)-1))]
+		got := s.Quantile()
+		if math.Abs(got-want) > 0.2*want {
+			t.Errorf("q=%v: sketch %v, exact %v (off by more than 20%%)", q, got, want)
+		}
+	}
+}
+
+func TestQuantileSketchMonotoneStream(t *testing.T) {
+	s := newQuantileSketch(0.99)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	got := s.Quantile()
+	if got < 900 || got > 1000 {
+		t.Fatalf("p99 of 1..1000: got %v, want within [900, 1000]", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot: %v", got)
+	}
+	for v := uint64(1); v <= 2; v++ {
+		r.Add(v)
+	}
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("partial ring snapshot: %v, want [1 2]", got)
+	}
+	for v := uint64(3); v <= 6; v++ {
+		r.Add(v)
+	}
+	got := r.Snapshot()
+	want := []uint64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("wrapped snapshot: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrapped snapshot: %v, want %v (oldest first)", got, want)
+		}
+	}
+}
+
+func TestRingZeroSize(t *testing.T) {
+	r := newRing(0) // clamped to one slot
+	r.Add(7)
+	if got := r.Snapshot(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("snapshot: %v, want [7]", got)
+	}
+}
+
+func TestHysteresisTransitions(t *testing.T) {
+	h := &hysteresis{Trigger: 3, Clear: 2}
+	steps := []struct {
+		hot            bool
+		fired, cleared bool
+		paged          bool
+	}{
+		{true, false, false, false},  // streak 1
+		{true, false, false, false},  // streak 2
+		{false, false, false, false}, // outlier resets the streak
+		{true, false, false, false},
+		{true, false, false, false},
+		{true, true, false, true}, // third consecutive hot pages
+		{true, false, false, true},
+		{false, false, false, true},  // one lull never clears
+		{true, false, false, true},   // lull streak resets
+		{false, false, false, true},  // cool 1
+		{false, false, true, false},  // cool 2 clears
+		{false, false, false, false}, // already quiet: no re-clear
+	}
+	for i, st := range steps {
+		fired, cleared := h.Observe(st.hot)
+		if fired != st.fired || cleared != st.cleared || h.Paged() != st.paged {
+			t.Fatalf("step %d (hot=%v): fired=%v cleared=%v paged=%v, want %v/%v/%v",
+				i, st.hot, fired, cleared, h.Paged(), st.fired, st.cleared, st.paged)
+		}
+	}
+}

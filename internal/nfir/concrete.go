@@ -82,6 +82,7 @@ type Env struct {
 	locals   map[string]uint64
 	localDep map[string]bool
 	pcvs     map[string]uint64
+	outcome  string
 }
 
 // NewEnv builds an environment with a fresh heap and packet buffer.
@@ -138,6 +139,22 @@ func (e *Env) ObservePCVMax(name string, v uint64) {
 // PCVs returns the PCV observations accumulated for the current packet.
 // The map is live; copy it before the next ResetPacket.
 func (e *Env) PCVs() map[string]uint64 { return e.pcvs }
+
+// ObserveOutcome reports which of the running method's model outcomes
+// (by Outcome.Label) the concrete execution took. Only data structures
+// whose sibling outcomes are not distinguishable from their results
+// alone need to call it — e.g. an LPM get whose short and long branches
+// both return one port value — so the online classifier has direct
+// branch evidence where result matching is blind.
+func (e *Env) ObserveOutcome(label string) { e.outcome = label }
+
+// TakeOutcome returns and clears the last reported outcome label. Call
+// recorders use it to bracket a single Invoke: clear before, read after.
+func (e *Env) TakeOutcome() string {
+	o := e.outcome
+	e.outcome = ""
+	return o
+}
 
 // Local returns a local's value, for tests and replay validation.
 func (e *Env) Local(name string) (uint64, bool) {

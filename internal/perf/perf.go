@@ -46,6 +46,20 @@ func (m Metric) String() string {
 	}
 }
 
+// ParseMetric resolves the command-line spellings of a metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "instructions", "ic":
+		return Instructions, nil
+	case "memaccesses", "ma":
+		return MemAccesses, nil
+	case "cycles":
+		return Cycles, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", s)
+	}
+}
+
 // OpClass classifies an executed operation for the purpose of cycle-cost
 // lookup in a hardware model. The classes mirror the broad x86 cost
 // buckets of the Intel optimisation manual that the paper's conservative

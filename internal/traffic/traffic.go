@@ -288,6 +288,33 @@ func CollidingMACs(table *dslib.FlowTable, count int, requireTag bool, seed int6
 	return out
 }
 
+// CollidingFrames turns CollidingMACs into a replayable bridge workload:
+// each attack station (a source MAC colliding into one bucket of the
+// target table) sends one learnable frame towards a fixed victim, so the
+// bucket's chain grows by one per frame — the §5.2 rehash attack trace.
+// Returns nil when the collision search finds nothing.
+func CollidingFrames(table *dslib.FlowTable, packets int, startNS, gapNS uint64, seed int64) []Packet {
+	macs := CollidingMACs(table, packets, false, seed)
+	if len(macs) == 0 {
+		return nil
+	}
+	if gapNS == 0 {
+		gapNS = 10_000
+	}
+	var out []Packet
+	now := startNS
+	for i := 0; i < packets; i++ {
+		frame := packet.NewBuilder().
+			Ethernet(packet.MAC{2, 0, 0, 0, 0, 2}, macs[i%len(macs)], packet.EtherTypeIPv4).
+			IPv4(addr4([4]byte{10, 0, 0, 1}), addr4([4]byte{10, 0, 0, 2}), packet.ProtoUDP, 64, nil).
+			UDP(uint16(1000+i%100), 80).
+			Bytes()
+		out = append(out, Packet{Data: frame, Time: now, InPort: uint64(i % 2)})
+		now += gapNS
+	}
+	return out
+}
+
 func addr4(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }
 
 func u32bytes(v uint32) [4]byte {
