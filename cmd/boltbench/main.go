@@ -4,8 +4,14 @@
 // Usage:
 //
 //	boltbench [-exp all|figure1|table3|microbench|table4|figure2|
-//	                table5|figure3|table6|table7|figure4|figure5]
+//	                table5|figure3|table6|table7|figure4|figure5|
+//	                fullstack|ablation|census|solverbench|chainbench]
 //	          [-scale default|quick] [-parallel N] [-nocache]
+//	          [-benchjson FILE]
+//
+// solverbench (the incremental-solver ablation) and chainbench (the
+// chain-composition ablations) are opt-in: they repeat cold generations
+// many times and are excluded from -exp all. Both honour -benchjson.
 package main
 
 import (
@@ -21,11 +27,11 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench)")
+		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench, chainbench)")
 		scale     = flag.String("scale", "default", "experiment scale: default or quick")
 		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
 		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
-		benchjson = flag.String("benchjson", "", "with -exp solverbench: also write the result as JSON to this path (e.g. BENCH_solver.json)")
+		benchjson = flag.String("benchjson", "", "with -exp solverbench or chainbench: also write the result as JSON to this path (e.g. BENCH_solver.json)")
 	)
 	flag.Parse()
 
@@ -175,6 +181,23 @@ func main() {
 		fmt.Print(experiments.RenderSolverBench(res))
 		if *benchjson != "" {
 			if err := experiments.WriteSolverBenchJSON(*benchjson, res); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(wrote %s)\n", *benchjson)
+		}
+	}
+
+	// chainbench is opt-in for the same reason: it composes five chain
+	// lengths in four modes each, several runs apiece.
+	if *exp == "chainbench" {
+		res, err := experiments.ChainBench(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Chain composition — serial vs pooled, incremental vs reference, cold vs warm")
+		fmt.Print(experiments.RenderChainBench(res))
+		if *benchjson != "" {
+			if err := experiments.WriteChainBenchJSON(*benchjson, res); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("(wrote %s)\n", *benchjson)

@@ -127,3 +127,35 @@ func (g *Generator) cacheKey(prog *nfir.Program, models map[string]nfir.Model) (
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:]), true
 }
+
+// derivedKey hashes a composition recipe — already-derived cache keys
+// plus structure tags — into a new content address. Any empty part (an
+// uncacheable side) or a missing cache makes the derivation uncacheable
+// too, reported as "".
+func (g *Generator) derivedKey(parts ...string) string {
+	if g.Cache == nil {
+		return ""
+	}
+	for _, p := range parts {
+		if p == "" {
+			return ""
+		}
+	}
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+// composedKey content-addresses the composition a→b from the two sides'
+// keys. A composite contract is a pure function of the two stages'
+// contracts and the join configuration: the stage keys already encode
+// program, models, and the generator knobs the join depends on
+// (feasibility budgets, NoIncremental), so hashing the pair addresses
+// the whole fold prefix — which is what makes re-composing a warm chain
+// one map lookup per step. Parallelism is deliberately absent, as in
+// cacheKey: it cannot change the output. The fold level's namespace
+// prefix ("b." per level) is implied by the a-side key: a stage key and
+// a composed key hash different preimages, so the a-side key fixes how
+// many folds deep this composition sits.
+func (g *Generator) composedKey(aKey, bKey string) string {
+	return g.derivedKey("compose", aKey, bKey)
+}

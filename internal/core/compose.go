@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"gobolt/internal/expr"
 	"gobolt/internal/nfir"
@@ -21,19 +22,165 @@ import (
 // composite contracts of Table 5c.
 //
 // The composition needs b's symbolic paths (not just its contract), so
-// it takes the second NF's program and models and generates it.
+// it takes the second NF's program and models and generates it. The
+// a-side usually comes from GenerateWithPaths (or a previous Compose),
+// which keeps aCt.Paths and aPaths aligned by construction.
+//
+// Feasibility checks honour the generator's FeasibilityMaxNodes /
+// FeasibilitySamples budgets and the NoIncremental ablation switch; see
+// DefaultComposeFeasibilityMaxNodes for the defaults when unset.
 func Compose(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, error) {
 	ct, _, err := ComposeWithPaths(g, aCt, aPaths, bProg, bModels)
 	return ct, err
 }
 
-// joinPair attempts to join a forwarding path of a with a path of b.
-func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, feas *symb.Solver) (*PathContract, bool) {
+// DefaultComposeFeasibilityMaxNodes and DefaultComposeFeasibilitySamples
+// are the pairwise-join feasibility budget used when the Generator does
+// not set FeasibilityMaxNodes / FeasibilitySamples. Joins conjoin two
+// NFs' path constraints, so the default budget is deliberately larger
+// than the exploration default (nfir.DefaultFeasibilityMaxNodes):
+// proving a pair infeasible is what keeps composite contracts tight —
+// an Unknown keeps the pair, soundly but loosely.
+const (
+	DefaultComposeFeasibilityMaxNodes = 20000
+	DefaultComposeFeasibilitySamples  = 24
+)
+
+// composeSolver resolves the feasibility budget for composition joins.
+// The same knobs that tune exploration pruning — FeasibilityMaxNodes /
+// FeasibilitySamples, i.e. bolt's -feas-nodes / -feas-samples flags —
+// apply here; zero falls back to the composition defaults above, and
+// NoIncremental routes every check through the reference engine.
+func (g *Generator) composeSolver() *symb.Solver {
+	s := &symb.Solver{
+		MaxNodes:  g.FeasibilityMaxNodes,
+		Samples:   g.FeasibilitySamples,
+		Reference: g.NoIncremental,
+	}
+	if s.MaxNodes == 0 {
+		s.MaxNodes = DefaultComposeFeasibilityMaxNodes
+	}
+	if s.Samples == 0 {
+		s.Samples = DefaultComposeFeasibilitySamples
+	}
+	return s
+}
+
+// joinFeas is the feasibility machinery for one composition: the solver
+// budget resolved from the generator and — unless the NoIncremental
+// ablation is on — an incremental engine whose memo every join worker
+// shares, so identical pair queries (common when many a-paths narrow to
+// the same constraint set) are O(1) repeats.
+type joinFeas struct {
+	sv  *symb.Solver
+	eng *symb.Incremental
+}
+
+func (g *Generator) composeFeasibility() *joinFeas {
+	jf := &joinFeas{sv: g.composeSolver()}
+	if !g.NoIncremental {
+		jf.eng = symb.NewIncremental()
+	}
+	return jf
+}
+
+// prefix prepares the shared a-side state one upstream path reuses
+// across every b-candidate it is joined with: the prefix constraints
+// are flattened, compiled and propagated once in a solver session, and
+// each candidate pays only for its own suffix. Domains are deliberately
+// NOT part of the prefix — joinPair's domain merge overwrites (a
+// substituted b-symbol's bound replaces, not intersects), while session
+// domains always intersect, so each fork applies the full merged map
+// itself (each name exactly once, which makes intersect-from-full an
+// exact assignment and keeps verdicts identical to a fresh solve).
+func (jf *joinFeas) prefix(aCons []symb.Expr) *joinPrefix {
+	jp := &joinPrefix{jf: jf, aLen: len(aCons)}
+	if jf.eng != nil {
+		s := jf.eng.NewSession()
+		s.AssertAll(aCons)
+		jp.sess = s
+	}
+	return jp
+}
+
+// joinPrefix is a prepared a-side constraint prefix. feasible() calls
+// must pass constraint slices whose first aLen entries are exactly the
+// prefix this joinPrefix was built from.
+type joinPrefix struct {
+	jf   *joinFeas
+	aLen int
+	sess *symb.Session
+}
+
+// extend returns a joinPrefix whose prefix is this one's plus extra,
+// sharing the parent's prepared solver state (DAG composition narrows
+// one root path to several output ports this way).
+func (jp *joinPrefix) extend(extra ...symb.Expr) *joinPrefix {
+	child := &joinPrefix{jf: jp.jf, aLen: jp.aLen + len(extra)}
+	if jp.sess != nil {
+		s := jp.sess.Fork()
+		s.AssertAll(extra)
+		child.sess = s
+	}
+	return child
+}
+
+// feasible reports whether a joined constraint set might be satisfiable.
+// The static pre-filter runs first in every mode — it only rejects sets
+// both solver engines would also refute, so the kept-pair set (and hence
+// the composite contract) is identical across incremental and reference
+// feasibility.
+func (jp *joinPrefix) feasible(ctx context.Context, constraints []symb.Expr, domains map[string]symb.Domain) bool {
+	if joinObviouslyInfeasible(constraints, domains) {
+		return false
+	}
+	if jp.sess == nil {
+		return jp.jf.sv.FeasibleContext(ctx, constraints, domains)
+	}
+	child := jp.sess.Fork()
+	child.AssertAll(constraints[jp.aLen:])
+	child.SetDomains(domains)
+	return child.FeasibleContext(ctx, jp.jf.sv)
+}
+
+// joinObviouslyInfeasible is the static pre-filter in front of the
+// solver: it rejects pairs whose merged domains contain an empty range
+// (two ranges for a shared symbol that do not intersect) or whose
+// substituted constraints folded to a ground-false conjunct (a wrote a
+// constant the b path's branch condition contradicts). Both conditions
+// are ones every solver engine proves Unsat during initialisation — the
+// reference implementation refutes constant-false conjuncts while
+// flattening and empty domains while intersecting bounds — so the
+// filter never drops a pair the solver would keep, in any mode.
+// FuzzJoinPreFilter pins this against the reference engine.
+func joinObviouslyInfeasible(constraints []symb.Expr, domains map[string]symb.Domain) bool {
+	for _, d := range domains {
+		if d.Lo > d.Hi {
+			return true
+		}
+	}
+	for _, c := range constraints {
+		if k, ok := c.(symb.Const); ok && k.V == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// joinPair attempts to join a forwarding path of a with a path of b,
+// checking the conjoined constraint set against jp (which must have been
+// prepared from pa.Constraints). bns is the namespace prefix for b's
+// local symbols — "b." for a pairwise join, one more "b." per fold
+// level in a chain, so every stage's variables stay distinct in the
+// composite (stage 3's "x" must not collide with stage 2's "b.x").
+// The returned path carries ID 0; the caller assigns IDs during
+// assembly.
+func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, jp *joinPrefix, bns string) (*PathContract, bool) {
 	// Build b's symbol substitution: packet fields written by a map to
 	// a's output expressions; unwritten fields stay shared with a's
 	// input; everything else is namespaced.
 	subst := make(map[string]symb.Expr)
-	rename := func(s string) string { return "b." + s }
+	rename := func(s string) string { return bns + s }
 	bSyms := make(map[string]bool)
 	for _, s := range symb.Symbols(pb.Constraints...) {
 		bSyms[s] = true
@@ -92,7 +239,7 @@ func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathCo
 		}
 	}
 
-	if !feas.FeasibleContext(ctx, constraints, domains) {
+	if !jp.feasible(ctx, constraints, domains) {
 		return nil, false
 	}
 
@@ -102,10 +249,10 @@ func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathCo
 		ranges[v] = r
 	}
 	for v, r := range pb.PCVRanges {
-		ranges["b."+v] = r
+		ranges[bns+v] = r
 	}
 	for _, m := range perf.Metrics {
-		cost[m] = pa.Cost[m].Add(pb.Cost[m].RenameVars(func(v string) string { return "b." + v }))
+		cost[m] = pa.Cost[m].Add(pb.Cost[m].RenameVars(func(v string) string { return bns + v }))
 	}
 
 	return &PathContract{
@@ -135,7 +282,9 @@ func joinEvents(a, b string) string {
 // ComposeWithPaths is Compose plus synthetic composite paths aligned
 // with the returned contract, so the result can itself be composed with
 // a further NF — the §3.4 extension to longer chains, which "pieces
-// together compatible paths one at a time in sequence".
+// together compatible paths one at a time in sequence". ComposeMany
+// wraps exactly this fold, and additionally content-addresses each
+// composite in the contract cache.
 func ComposeWithPaths(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
 	return ComposeWithPathsContext(context.Background(), g, aCt, aPaths, bProg, bModels)
 }
@@ -143,53 +292,92 @@ func ComposeWithPaths(g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *n
 // ComposeWithPathsContext is ComposeWithPaths with cancellation. The
 // second NF is generated through the pipeline once (contract and paths
 // come from the same exploration, so they align by construction — and
-// the generation hits the contract cache when one is attached).
+// the generation hits the contract cache when one is attached). The
+// composite itself is not cached here: the a-side is an arbitrary
+// caller-supplied contract with no content address. Use ComposeMany for
+// cached chains.
 func ComposeWithPathsContext(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bProg *nfir.Program, bModels map[string]nfir.Model) (*Contract, []*nfir.Path, error) {
 	bCt, bPaths, err := g.GenerateWithPathsContext(ctx, bProg, bModels)
 	if err != nil {
 		return nil, nil, err
 	}
-	return composePrepared(ctx, g, aCt, aPaths, bProg.Name, bCt, bPaths)
+	return composePrepared(ctx, g, aCt, aPaths, bProg.Name, bCt, bPaths, "", "b.")
 }
 
-// composePrepared joins an already-generated pair of stages. Splitting
-// this from the generation lets ComposeMany generate every stage
-// concurrently up front and then run the (cheap, order-dependent) joins
-// serially.
-func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bName string, bCt *Contract, bPaths []*nfir.Path) (*Contract, []*nfir.Path, error) {
+// composePrepared joins an already-generated pair of stages. The joins
+// of distinct a-paths are independent, so they fan out over the
+// generator's worker pool into result slots indexed by a's path order;
+// the serial assembly pass then concatenates the slots and assigns IDs
+// in that order, which keeps the composite byte-identical to the serial
+// fold at any Parallelism. key, when non-empty, content-addresses the
+// composed stage in the generator's contract cache. bns is the
+// namespace prefix applied to b's local symbols (see joinPair).
+func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bName string, bCt *Contract, bPaths []*nfir.Path, key, bns string) (*Contract, []*nfir.Path, error) {
 	if len(aCt.Paths) != len(aPaths) {
 		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", aCt.NF)
 	}
 	if len(bCt.Paths) != len(bPaths) {
 		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", bCt.NF)
 	}
-
-	out := &Contract{NF: aCt.NF + "+" + bName, Level: aCt.Level}
-	var outPaths []*nfir.Path
-	feas := &symb.Solver{MaxNodes: 20000, Samples: 24}
-
-	for i, pa := range aCt.Paths {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("core: composing %s after %d/%d paths: %w", out.NF, i, len(aCt.Paths), err)
+	name := aCt.NF + "+" + bName
+	if key != "" {
+		if ct, paths, ok := g.Cache.lookup(key); ok {
+			return ct, paths, nil
 		}
+	}
+
+	jf := g.composeFeasibility()
+	type slot struct {
+		pcs  []*PathContract
+		raws []*nfir.Path
+	}
+	slots := make([]slot, len(aCt.Paths))
+	err := par.ForEach(ctx, g.workers(), len(aCt.Paths), func(i int) error {
+		pa := aCt.Paths[i]
 		rawA := aPaths[i]
 		if pa.Action != nfir.ActionForward {
 			cp := *pa
-			cp.ID = len(out.Paths)
 			cp.Events = prefixEvents("a.", pa.Events)
-			out.Paths = append(out.Paths, &cp)
-			outPaths = append(outPaths, rawA)
-			continue
+			slots[i] = slot{pcs: []*PathContract{&cp}, raws: []*nfir.Path{rawA}}
+			return nil
 		}
+		jp := jf.prefix(pa.Constraints)
+		var sl slot
 		for j, pb := range bCt.Paths {
-			joined, ok := joinPair(ctx, pa, rawA, pb, bPaths[j], feas)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			joined, ok := joinPair(ctx, pa, rawA, pb, bPaths[j], jp, bns)
 			if !ok {
 				continue
 			}
-			joined.ID = len(out.Paths)
-			out.Paths = append(out.Paths, joined)
-			outPaths = append(outPaths, joinRawPaths(rawA, bPaths[j], joined))
+			sl.pcs = append(sl.pcs, joined)
+			sl.raws = append(sl.raws, joinRawPaths(rawA, bPaths[j], joined, bns))
 		}
+		slots[i] = sl
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: composing %s: %w", name, err)
+	}
+
+	out := &Contract{NF: name, Level: aCt.Level}
+	var outPaths []*nfir.Path
+	for i, sl := range slots {
+		for k, pc := range sl.pcs {
+			pc.ID = len(out.Paths)
+			// Only freshly joined raw paths take the composite ID; the
+			// pass-through raw of a non-forward path is shared with (and
+			// possibly cached by) the a-side, so it must stay untouched.
+			if raw := sl.raws[k]; raw != aPaths[i] {
+				raw.ID = pc.ID
+			}
+			out.Paths = append(out.Paths, pc)
+			outPaths = append(outPaths, sl.raws[k])
+		}
+	}
+	if key != "" {
+		g.Cache.store(key, out, outPaths)
 	}
 	return out, outPaths, nil
 }
@@ -197,7 +385,7 @@ func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []
 // joinRawPaths synthesises the composite symbolic path: the chain's
 // output packet is b's writes (already in a-namespace terms after
 // substitution) over a's writes over the original input.
-func joinRawPaths(rawA, rawB *nfir.Path, joined *PathContract) *nfir.Path {
+func joinRawPaths(rawA, rawB *nfir.Path, joined *PathContract, bns string) *nfir.Path {
 	writes := make(map[uint64]nfir.PktWrite, len(rawA.PktWrites)+len(rawB.PktWrites))
 	for off, w := range rawA.PktWrites {
 		writes[off] = w
@@ -208,7 +396,7 @@ func joinRawPaths(rawA, rawB *nfir.Path, joined *PathContract) *nfir.Path {
 	for off, w := range rawB.PktWrites {
 		writes[off] = nfir.PktWrite{
 			Size: w.Size,
-			Val:  symb.RenameSymbols(w.Val, func(s string) string { return renameChained(s) }),
+			Val:  symb.RenameSymbols(w.Val, func(s string) string { return renameChained(bns, s) }),
 		}
 	}
 	return &nfir.Path{
@@ -220,41 +408,72 @@ func joinRawPaths(rawA, rawB *nfir.Path, joined *PathContract) *nfir.Path {
 	}
 }
 
-// renameChained namespaces b-local symbols while leaving shared input
-// symbols (packet fields, now, pkt_len, in_port is b-local) untouched.
-func renameChained(s string) string {
+// renameChained namespaces b-local symbols with the join's bns prefix
+// while leaving shared input symbols (packet fields, now, pkt_len;
+// in_port is b-local) untouched.
+func renameChained(bns, s string) string {
 	if _, _, ok := nfir.ParseFieldSym(s); ok {
 		return s
 	}
 	if s == nfir.SymNow || s == nfir.SymPktLen {
 		return s
 	}
-	return "b." + s
+	return bns + s
 }
 
-// ComposeMany folds a chain of NFs left to right: nfs[0] → nfs[1] → …
-// Every stage's drop paths terminate the chain there; forwarded packets
-// continue. The PCVs and model symbols of stage k are namespaced by the
-// fold ("b." per level, so stage 2's PCVs appear as "b.b.x" — legible
-// enough for the short chains DAG topologies use in practice).
+// ChainStage is one NF of a chain or DAG topology: the program and the
+// symbolic models of the stateful structures it calls. It is the unit
+// ComposeMany and ComposeDAG generate (and cache) per stage.
 type ChainStage struct {
 	Prog   *nfir.Program
 	Models map[string]nfir.Model
 }
 
-// ComposeMany composes two or more stages into one contract.
+// ComposeMany folds a chain of NFs left to right into one composite
+// contract: nfs[0] → nfs[1] → … Every stage's drop paths terminate the
+// chain there; forwarded packets continue. The PCVs and model symbols
+// of stage k are namespaced one "b." per fold level: stage 1 keeps its
+// names, stage 2's "x" appears as "b.x", stage 3's as "b.b.x", stage
+// 4's as "b.b.b.x" — the prefix length tells you how many joins deep
+// the stage sits, and no two stages can collide (examples/nf-chain
+// walks through reading them).
 func ComposeMany(g *Generator, stages []ChainStage) (*Contract, error) {
 	return ComposeManyContext(context.Background(), g, stages)
 }
 
 // ComposeManyContext generates every stage's contract concurrently on
 // the generator's worker pool (the stages are independent NFs), then
-// folds the joins left to right serially — the fold order is what keeps
-// the composite deterministic.
+// folds the joins left to right — the fold order is what keeps the
+// composite deterministic; within each fold step the per-a-path joins
+// themselves run on the pool (see composePrepared).
+//
+// When the generator has a cache attached, every fold prefix is
+// content-addressed: the key of stages[0..k] hashes the key of
+// stages[0..k-1] with stage k's own generation key, so re-composing a
+// warm chain — or extending a chain whose prefix was composed before —
+// skips the joins (and, for a fully warm chain, the stage generations
+// too).
 func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) (*Contract, error) {
 	if len(stages) < 2 {
 		return nil, fmt.Errorf("core: a chain needs at least two stages")
 	}
+	stageKeys := make([]string, len(stages))
+	for i := range stages {
+		stageKeys[i], _ = g.cacheKey(stages[i].Prog, stages[i].Models)
+	}
+	foldKeys := make([]string, len(stages))
+	foldKeys[0] = stageKeys[0]
+	for i := 1; i < len(stages); i++ {
+		foldKeys[i] = g.composedKey(foldKeys[i-1], stageKeys[i])
+	}
+	// Keys derive from programs and models alone, so a fully warm chain
+	// returns its composite before generating a single stage.
+	if fk := foldKeys[len(stages)-1]; fk != "" {
+		if ct, _, ok := g.Cache.lookup(fk); ok {
+			return ct, nil
+		}
+	}
+
 	type stageGen struct {
 		ct    *Contract
 		paths []*nfir.Path
@@ -273,7 +492,11 @@ func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) 
 	}
 	ct, paths := gens[0].ct, gens[0].paths
 	for i, st := range stages[1:] {
-		ct, paths, err = composePrepared(ctx, g, ct, paths, st.Prog.Name, gens[i+1].ct, gens[i+1].paths)
+		// Fold step i joins stage i+2 one level deeper: its locals get
+		// one more "b." than the previous stage's, so every stage owns a
+		// distinct namespace in the composite.
+		bns := strings.Repeat("b.", i+1)
+		ct, paths, err = composePrepared(ctx, g, ct, paths, st.Prog.Name, gens[i+1].ct, gens[i+1].paths, foldKeys[i+1], bns)
 		if err != nil {
 			return nil, err
 		}
@@ -282,8 +505,10 @@ func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) 
 }
 
 // NaiveAdd is the baseline composition Figure 3 compares against:
-// simply adding the two NFs' independent worst-case bounds, ignoring
-// inter-NF dependencies.
+// simply adding the two NFs' independent worst-case bounds (each
+// contract's Bound over all classes at the given PCV assignment),
+// ignoring inter-NF dependencies. The gap between NaiveAdd and the
+// composite contract's bound is the precision §3.4's join buys.
 func NaiveAdd(a, b *Contract, metric perf.Metric, pcvs map[string]uint64) uint64 {
 	av, _ := a.Bound(metric, nil, pcvs)
 	bv, _ := b.Bound(metric, nil, pcvs)

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"gobolt/internal/dslib"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+// buildChain4 is the 4-stage chain the composition-engine tests share:
+// firewall → NAT → static router → LPM router.
+func buildChain4() []ChainStage {
+	fw := nf.NewFirewall(nf.FirewallConfig{
+		Rules: []dslib.Rule{
+			{SrcMask: 0xFF000000, SrcVal: 0x0A000000, Action: 1}, // accept 10/8
+		},
+		DefaultAccept: false,
+	})
+	nat := nf.NewNAT(nf.NATConfig{ExternalIP: 1, Capacity: 64, TimeoutNS: 3_600_000_000_000})
+	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+	lpm := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 8})
+	return []ChainStage{
+		{Prog: fw.Prog, Models: fw.Models},
+		{Prog: nat.Prog, Models: nat.Models},
+		{Prog: sr.Prog, Models: sr.Models},
+		{Prog: lpm.Prog, Models: lpm.Models},
+	}
+}
+
+// The pooled fold must reproduce the serial fold byte for byte at every
+// worker count — the acceptance bar for parallel composition.
+func TestComposeMany4StageParallelMatchesSerial(t *testing.T) {
+	serial := NewGenerator()
+	serial.Parallelism = 1
+	want, err := ComposeMany(serial, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := json.Marshal(want)
+	for _, workers := range []int{4, 8} {
+		g := NewGenerator()
+		g.Parallelism = workers
+		got, err := ComposeMany(g, buildChain4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJS, _ := json.Marshal(got)
+		if string(wantJS) != string(gotJS) {
+			t.Errorf("ComposeMany at Parallelism=%d differs from serial", workers)
+		}
+		if want.Render(perf.Instructions) != got.Render(perf.Instructions) {
+			t.Errorf("rendered composite at Parallelism=%d differs from serial", workers)
+		}
+	}
+}
+
+// Session-based join feasibility must keep exactly the pairs the
+// reference engine keeps: the composite is byte-identical with the
+// NoIncremental ablation on.
+func TestComposeManyIncrementalMatchesReference(t *testing.T) {
+	inc := NewGenerator()
+	inc.Parallelism = 1
+	want, err := ComposeMany(inc, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewGenerator()
+	ref.Parallelism = 1
+	ref.NoIncremental = true
+	got, err := ComposeMany(ref, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := json.Marshal(want)
+	gotJS, _ := json.Marshal(got)
+	if string(wantJS) != string(gotJS) {
+		t.Error("reference-mode ComposeMany differs from incremental")
+	}
+}
+
+// Re-composing a warm chain must come straight out of the contract
+// cache: the fold prefix is content-addressed, so the second call
+// returns the cached composite without redoing any joins.
+func TestComposeManyWarmCacheRecompose(t *testing.T) {
+	g := NewGenerator()
+	g.Cache = NewContractCache()
+	first, err := ComposeMany(g, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsCold, _, entries := g.Cache.Stats()
+	if entries == 0 {
+		t.Fatal("cold compose stored nothing in the cache")
+	}
+	second, err := ComposeMany(g, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("warm re-compose did not return the cached composite")
+	}
+	hitsWarm, _, _ := g.Cache.Stats()
+	if hitsWarm <= hitsCold {
+		t.Errorf("warm re-compose did not hit the cache (hits %d → %d)", hitsCold, hitsWarm)
+	}
+	// A chain extending a cached prefix reuses it: composing 4 stages
+	// after a 3-stage run of the same prefix hits the fold-prefix entry.
+	g2 := NewGenerator()
+	g2.Cache = NewContractCache()
+	if _, err := ComposeMany(g2, buildChain4()[:3]); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore, _ := g2.Cache.Stats()
+	extended, err := ComposeMany(g2, buildChain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsExt, missesExt, _ := g2.Cache.Stats()
+	if hitsExt == 0 {
+		t.Error("extending a cached prefix reused nothing")
+	}
+	_ = missesBefore
+	_ = missesExt
+	extJS, _ := json.Marshal(extended)
+	firstJS, _ := json.Marshal(first)
+	if string(extJS) != string(firstJS) {
+		t.Error("prefix-extended composite differs from the cold composite")
+	}
+}
+
+// Composition must honour the generator's feasibility budgets (it used
+// to hard-code symb.Solver{MaxNodes: 20000, Samples: 24}, silently
+// ignoring FeasibilityMaxNodes/FeasibilitySamples and the bolt
+// -feas-nodes/-feas-samples flags). Unit level: the knobs reach the
+// join solver, zeros keep the composition defaults.
+func TestComposeSolverRoutesBudgets(t *testing.T) {
+	g := NewGenerator()
+	s := g.composeSolver()
+	if s.MaxNodes != DefaultComposeFeasibilityMaxNodes ||
+		s.Samples != DefaultComposeFeasibilitySamples || s.Reference {
+		t.Errorf("default compose solver = %+v", *s)
+	}
+	g.FeasibilityMaxNodes = 123
+	g.FeasibilitySamples = 7
+	g.NoIncremental = true
+	s = g.composeSolver()
+	if s.MaxNodes != 123 || s.Samples != 7 || !s.Reference {
+		t.Errorf("routed compose solver = %+v", *s)
+	}
+}
+
+// Behavioural level: a cross-stage contradiction that only the search
+// can refute (interval propagation cannot — x+y == 5 ∧ x·y == 100
+// keeps non-empty intervals) is pruned under the default budget but
+// must survive as Unknown when the budget is starved. Under the old
+// hard-coded solver both runs pruned it.
+func TestComposeRoutesFeasibilityBudgets(t *testing.T) {
+	stage := func(name string, cons []symb.Expr, doms map[string]symb.Domain) (*Contract, []*nfir.Path) {
+		pc := &PathContract{
+			Action:      nfir.ActionForward,
+			Constraints: cons,
+			Domains:     doms,
+			Events:      name,
+		}
+		raw := &nfir.Path{
+			Constraints: cons, Domains: doms,
+			Action:    nfir.ActionForward,
+			PktWrites: map[uint64]nfir.PktWrite{},
+		}
+		return &Contract{NF: name, Paths: []*PathContract{pc}}, []*nfir.Path{raw}
+	}
+	aCons := []symb.Expr{
+		symb.B(symb.Eq, symb.B(symb.Add, symb.S("x"), symb.S("y")), symb.C(5)),
+		symb.B(symb.Eq, symb.B(symb.Mul, symb.S("x"), symb.S("y")), symb.C(100)),
+	}
+	aDoms := map[string]symb.Domain{"x": {Lo: 0, Hi: 50}, "y": {Lo: 0, Hi: 50}}
+	bCons := []symb.Expr{symb.B(symb.Eq, symb.S("flag"), symb.C(1))}
+	bDoms := map[string]symb.Domain{"flag": {Lo: 0, Hi: 1}}
+
+	run := func(nodes int) int {
+		t.Helper()
+		g := NewGenerator()
+		g.Parallelism = 1
+		g.FeasibilityMaxNodes = nodes
+		aCt, aPaths := stage("a", aCons, aDoms)
+		bCt, bPaths := stage("b", bCons, bDoms)
+		ct, _, err := composePrepared(context.Background(), g, aCt, aPaths, "b", bCt, bPaths, "", "b.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ct.Paths)
+	}
+	if got := run(0); got != 0 {
+		t.Errorf("default budget kept %d joined paths, want 0 (the pair is unsatisfiable)", got)
+	}
+	if got := run(5); got != 1 {
+		t.Errorf("starved budget kept %d joined paths, want 1 (truncated search must keep the pair)", got)
+	}
+}
+
+func buildDAG() (ChainStage, map[uint64]ChainStage) {
+	root := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 8, DefaultPort: 7})
+	if err := root.Table.AddRoute(0x0A000000, 8, 1); err != nil {
+		panic(err)
+	}
+	if err := root.Table.AddRoute(0x14000000, 8, 2); err != nil {
+		panic(err)
+	}
+	fw := nf.NewFirewall(nf.FirewallConfig{
+		Rules: []dslib.Rule{{SrcMask: 0, SrcVal: 0, ProtoVal: 17, Action: 1}},
+	})
+	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+	return ChainStage{Prog: root.Prog, Models: root.Models},
+		map[uint64]ChainStage{
+			1: {Prog: fw.Prog, Models: fw.Models},
+			2: {Prog: sr.Prog, Models: sr.Models},
+		}
+}
+
+// DAG composition gets the same determinism guarantee as ComposeMany.
+func TestComposeDAGParallelMatchesSerial(t *testing.T) {
+	serial := NewGenerator()
+	serial.Parallelism = 1
+	root, succs := buildDAG()
+	want, err := ComposeDAG(serial, root, succs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := json.Marshal(want)
+	for _, workers := range []int{4, 8} {
+		g := NewGenerator()
+		g.Parallelism = workers
+		root, succs := buildDAG()
+		got, err := ComposeDAG(g, root, succs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJS, _ := json.Marshal(got)
+		if string(wantJS) != string(gotJS) {
+			t.Errorf("ComposeDAG at Parallelism=%d differs from serial", workers)
+		}
+	}
+}
+
+// countdownCtx reports Canceled after a fixed number of Err() polls —
+// a deterministic way to land a cancellation in the middle of the join
+// loop rather than before work starts.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestComposeMidJoinCancellation(t *testing.T) {
+	fw, sr := buildChainNFs()
+	g := NewGenerator()
+	g.Parallelism = 1
+	fwCt, fwPaths, err := g.GenerateWithPaths(fw.Prog, fw.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srCt, srPaths, err := g.GenerateWithPaths(sr.Prog, sr.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: with a live context the same join succeeds.
+	if _, _, err := composePrepared(context.Background(), g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b."); err != nil {
+		t.Fatal(err)
+	}
+	// Now cancel partway: enough polls to get into the pair loop, far
+	// fewer than a full composition consumes.
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.remaining.Store(5)
+	ct, _, err := composePrepared(ctx, g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b.")
+	if err == nil {
+		t.Fatal("mid-join cancellation was swallowed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not unwrap to context.Canceled: %v", err)
+	}
+	if ct != nil {
+		t.Error("cancelled composition still returned a contract")
+	}
+}
+
+// fuzzJoinSet decodes fuzz bytes into a small constraint set and domain
+// map shaped like joinPair's merged output: comparisons over a few
+// shared/namespaced symbols, possibly ground-constant conjuncts,
+// possibly empty domains.
+func fuzzJoinSet(data []byte) ([]symb.Expr, map[string]symb.Domain) {
+	syms := []string{"x", "y", "b.z"}
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	ops := []symb.Op{symb.Eq, symb.Ne, symb.Ult, symb.Ule, symb.Ugt, symb.Uge}
+	var cons []symb.Expr
+	n := int(next()%5) + 1
+	for k := 0; k < n; k++ {
+		switch next() % 4 {
+		case 0:
+			// Ground conjunct — the fold the pre-filter looks for.
+			cons = append(cons, symb.C(uint64(next()%2)))
+		case 1:
+			cons = append(cons, symb.B(ops[next()%6], symb.S(syms[next()%3]), symb.C(uint64(next()))))
+		case 2:
+			cons = append(cons, symb.B(ops[next()%6], symb.S(syms[next()%3]), symb.S(syms[next()%3])))
+		case 3:
+			cons = append(cons, symb.B(symb.LAnd,
+				symb.B(ops[next()%6], symb.S(syms[next()%3]), symb.C(uint64(next()))),
+				symb.C(uint64(next()%2))))
+		}
+	}
+	domains := make(map[string]symb.Domain)
+	m := int(next() % 4)
+	for k := 0; k < m; k++ {
+		domains[syms[next()%3]] = symb.Domain{Lo: uint64(next()), Hi: uint64(next())}
+	}
+	return cons, domains
+}
+
+// FuzzJoinPreFilter pins the pre-filter's soundness contract: whenever
+// it rejects a pair, the reference solver must also prove the pair
+// Unsat. (The converse is not required — the filter is allowed to miss.)
+func FuzzJoinPreFilter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1})                         // single ground-false conjunct
+	f.Add([]byte{2, 1, 0, 0, 42, 1, 0, 10, 3})     // eq + empty domain
+	f.Add([]byte{3, 3, 2, 1, 7, 0, 2, 1, 2, 2, 0}) // land with ground arm
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cons, domains := fuzzJoinSet(data)
+		if !joinObviouslyInfeasible(cons, domains) {
+			return
+		}
+		ref := &symb.Solver{
+			MaxNodes:  DefaultComposeFeasibilityMaxNodes,
+			Samples:   DefaultComposeFeasibilitySamples,
+			Reference: true,
+		}
+		if ref.Feasible(cons, domains) {
+			t.Fatalf("pre-filter rejected a set the reference solver finds feasible:\nconstraints %v\ndomains %v", cons, domains)
+		}
+	})
+}
+
+// The pre-filter itself, unit-level: each trigger fires, and a benign
+// set passes.
+func TestJoinPreFilter(t *testing.T) {
+	if !joinObviouslyInfeasible([]symb.Expr{symb.C(0)}, nil) {
+		t.Error("ground-false conjunct not rejected")
+	}
+	if !joinObviouslyInfeasible(nil, map[string]symb.Domain{"x": {Lo: 9, Hi: 3}}) {
+		t.Error("empty domain not rejected")
+	}
+	ok := []symb.Expr{symb.B(symb.Eq, symb.S("x"), symb.C(4))}
+	if joinObviouslyInfeasible(ok, map[string]symb.Domain{"x": {Lo: 0, Hi: 10}}) {
+		t.Error("satisfiable set rejected by the static filter")
+	}
+}

@@ -18,13 +18,43 @@ import (
 // added to the pair); ports without a successor are egress links and the
 // path appears unchanged. Symbolic output ports fan out to every
 // feasible successor, each pairing carrying its own port constraint.
+//
+// Like ComposeMany, the result is deterministic at any Parallelism,
+// honours the generator's feasibility budgets, and is content-addressed
+// in the contract cache when one is attached.
 func ComposeDAG(g *Generator, root ChainStage, successors map[uint64]ChainStage) (*Contract, error) {
 	return ComposeDAGContext(context.Background(), g, root, successors)
 }
 
 // ComposeDAGContext is ComposeDAG with cancellation; the root and every
-// successor generate concurrently on the generator's worker pool.
+// successor generate concurrently on the generator's worker pool, and
+// the per-root-path joins then fan out over the pool into indexed slots
+// (assembly restores root path order, keeping the output byte-identical
+// to a serial run).
 func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, successors map[uint64]ChainStage) (*Contract, error) {
+	ports := make([]uint64, 0, len(successors))
+	for p := range successors {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+
+	// Content-address the whole topology up front: root key plus each
+	// port→successor key in port order. Keys derive from programs and
+	// models alone, so a warm DAG returns before generating anything.
+	rootKey, _ := g.cacheKey(root.Prog, root.Models)
+	keyParts := []string{"dag", rootKey}
+	for _, p := range ports {
+		st := successors[p]
+		sk, _ := g.cacheKey(st.Prog, st.Models)
+		keyParts = append(keyParts, fmt.Sprintf("port%d=%s", p, sk))
+	}
+	key := g.derivedKey(keyParts...)
+	if key != "" {
+		if ct, _, ok := g.Cache.lookup(key); ok {
+			return ct, nil
+		}
+	}
+
 	rootCt, rootPaths, err := g.GenerateWithPathsContext(ctx, root.Prog, root.Models)
 	if err != nil {
 		return nil, err
@@ -37,11 +67,6 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 		ct    *Contract
 		paths []*nfir.Path
 	}
-	ports := make([]uint64, 0, len(successors))
-	for p := range successors {
-		ports = append(ports, p)
-	}
-	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 	succs := make([]succ, len(ports))
 	err = par.ForEach(ctx, g.workers(), len(ports), func(i int) error {
 		st := successors[ports[i]]
@@ -56,53 +81,74 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 		return nil, err
 	}
 
-	out := &Contract{NF: rootCt.NF + "+dag", Level: rootCt.Level}
-	feas := &symb.Solver{MaxNodes: 20000, Samples: 24}
-
-	for i, pa := range rootCt.Paths {
+	name := rootCt.NF + "+dag"
+	jf := g.composeFeasibility()
+	slots := make([][]*PathContract, len(rootCt.Paths))
+	err = par.ForEach(ctx, g.workers(), len(rootCt.Paths), func(i int) error {
+		pa := rootCt.Paths[i]
 		rawA := rootPaths[i]
 		if pa.Action != nfir.ActionForward || rawA.Port == nil {
 			cp := *pa
-			cp.ID = len(out.Paths)
 			cp.Events = prefixEvents("a.", pa.Events)
-			out.Paths = append(out.Paths, &cp)
-			continue
+			slots[i] = []*PathContract{&cp}
+			return nil
 		}
+		jp := jf.prefix(pa.Constraints)
+		var sl []*PathContract
 
 		// Egress: the output port matches no successor.
 		egress := append([]symb.Expr(nil), pa.Constraints...)
 		for _, s := range succs {
 			egress = append(egress, symb.B(symb.Ne, rawA.Port, symb.C(s.port)))
 		}
-		if feas.Feasible(egress, pa.Domains) {
+		if jp.feasible(ctx, egress, pa.Domains) {
 			cp := *pa
-			cp.ID = len(out.Paths)
 			cp.Constraints = egress
 			cp.Events = prefixEvents("a.", pa.Events) + " | egress"
-			out.Paths = append(out.Paths, &cp)
+			sl = append(sl, &cp)
 		}
 
 		for _, s := range succs {
-			// Narrow a's path to this output port.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Narrow a's path to this output port; the narrowed prefix
+			// extends the shared session instead of re-preparing it.
+			portEq := symb.B(symb.Eq, rawA.Port, symb.C(s.port))
 			narrowed := *pa
-			narrowed.Constraints = append(append([]symb.Expr(nil), pa.Constraints...),
-				symb.B(symb.Eq, rawA.Port, symb.C(s.port)))
-			if !feas.Feasible(narrowed.Constraints, narrowed.Domains) {
+			narrowed.Constraints = append(append([]symb.Expr(nil), pa.Constraints...), portEq)
+			if !jp.feasible(ctx, narrowed.Constraints, narrowed.Domains) {
 				continue
 			}
+			np := jp.extend(portEq)
 			for j, pb := range s.ct.Paths {
-				joined, ok := joinPair(ctx, &narrowed, rawA, pb, s.paths[j], feas)
+				joined, ok := joinPair(ctx, &narrowed, rawA, pb, s.paths[j], np, "b.")
 				if !ok {
 					continue
 				}
-				joined.ID = len(out.Paths)
 				joined.Events = fmt.Sprintf("%s @port%d", joined.Events, s.port)
-				out.Paths = append(out.Paths, joined)
+				sl = append(sl, joined)
 			}
+		}
+		slots[i] = sl
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: composing %s: %w", name, err)
+	}
+
+	out := &Contract{NF: name, Level: rootCt.Level}
+	for _, sl := range slots {
+		for _, pc := range sl {
+			pc.ID = len(out.Paths)
+			out.Paths = append(out.Paths, pc)
 		}
 	}
 	if len(out.Paths) == 0 {
 		return nil, fmt.Errorf("core: DAG composition produced no feasible paths")
+	}
+	if key != "" {
+		g.Cache.store(key, out, nil)
 	}
 	return out, nil
 }

@@ -34,18 +34,21 @@ type Generator struct {
 	// Solver produces path witnesses; nil gets a default.
 	Solver *symb.Solver
 	// FeasibilityMaxNodes / FeasibilitySamples configure the bounded
-	// solver that prunes dead branches during exploration. Zero keeps the
-	// nfir defaults (DefaultFeasibilityMaxNodes/DefaultFeasibilitySamples);
+	// solver that prunes dead branches during exploration and dead path
+	// pairs during chain composition. Zero keeps the per-site defaults
+	// (nfir.DefaultFeasibilityMaxNodes/DefaultFeasibilitySamples for
+	// exploration, DefaultComposeFeasibilityMaxNodes/Samples for joins);
 	// deep NFs whose branches need more search to refute can raise them
 	// without editing source. Larger budgets can only prune more provably
 	// dead paths, never drop feasible ones.
 	FeasibilityMaxNodes int
 	FeasibilitySamples  int
 	// NoIncremental restores the pre-incremental solver wholesale:
-	// exploration carries no sessions and every feasibility check and
-	// witness solve runs the reference tree-walking implementation from
-	// scratch. Contracts are identical either way; the knob exists for
-	// the solver-ablation benchmark (experiments.SolverBench).
+	// exploration and composition carry no sessions and every
+	// feasibility check and witness solve runs the reference
+	// tree-walking implementation from scratch. Contracts are identical
+	// either way; the knob exists for the solver-ablation benchmarks
+	// (experiments.SolverBench, experiments.ChainBench).
 	NoIncremental bool
 	// SkipReplay disables the witness-replay validation step (it is on
 	// by default because it is BOLT's own consistency check).

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gobolt/internal/core"
+	"gobolt/internal/dslib"
+	"gobolt/internal/nf"
+	"gobolt/internal/par"
+)
+
+// ChainBenchRow is one chain length of the composition-engine ablation:
+// the same chain composed serially vs on the worker pool, with the
+// incremental join solver vs the reference engine, and cold vs warm
+// against a private contract cache. Composites are verified
+// byte-identical across all modes before any timing is recorded.
+//
+// Every timing covers the full ComposeMany call — stage generation plus
+// the pairwise joins — because that is the operation a caller pays for;
+// the ablation modes share the generation cost, so the reported ratios
+// understate the join-only effect.
+type ChainBenchRow struct {
+	// NFs is the chain length; Stages names the roster prefix.
+	NFs    int    `json:"nfs"`
+	Stages string `json:"stages"`
+	// Paths is the composite contract's path count (identical in every
+	// mode — that identity is checked, not assumed).
+	Paths int `json:"paths"`
+	// SerialNS is Parallelism=1 with the incremental join solver; it is
+	// the baseline of the parallel ablation and the subject of the
+	// solver ablation.
+	SerialNS uint64 `json:"serial_ns"`
+	// ParallelNS runs the same composition on the worker pool.
+	ParallelNS      uint64  `json:"parallel_ns"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// ReferenceNS swaps every join feasibility check (and the stage
+	// generations) to the pre-incremental reference solver, serially —
+	// the NoIncremental ablation.
+	ReferenceNS        uint64  `json:"reference_ns"`
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+	// ColdNS composes against an empty private contract cache; WarmNS
+	// re-composes the identical chain against the now-populated cache
+	// (the fold prefix is content-addressed, so it is one lookup).
+	ColdNS      uint64  `json:"cold_ns"`
+	WarmNS      uint64  `json:"warm_ns"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// ChainBenchResult is the chainbench experiment: rows for chains of 2–6
+// NFs drawn from one fixed roster.
+type ChainBenchResult struct {
+	Workload string          `json:"workload"`
+	Runs     int             `json:"runs"`
+	Rows     []ChainBenchRow `json:"rows"`
+}
+
+// ChainBenchStages builds the benchmark roster — firewall → NAT →
+// bridge → LB → static router → LPM router — sized by the scale. Chains
+// of length n use the first n stages, so longer chains strictly extend
+// shorter ones (which also exercises the fold-prefix cache reuse).
+func ChainBenchStages(sc Scale) ([]core.ChainStage, []string, error) {
+	const hour = uint64(3_600_000_000_000)
+	fw := nf.NewFirewall(nf.FirewallConfig{
+		Rules: []dslib.Rule{
+			{SrcMask: 0xFF000000, SrcVal: 0x7F000000, Action: 0}, // deny loopback
+			{SrcMask: 0xFF000000, SrcVal: 0x0A000000, Action: 1}, // accept 10/8
+		},
+		DefaultAccept: false,
+	})
+	nat := nf.NewNAT(nf.NATConfig{
+		ExternalIP: 0xC0A80001, Capacity: sc.TableCapacity,
+		TimeoutNS: hour, GranularityNS: 1_000_000,
+	})
+	br := nf.NewBridge(nf.BridgeConfig{
+		Ports: 4, Capacity: sc.TableCapacity,
+		TimeoutNS: hour, GranularityNS: 1_000_000, RehashThreshold: 6,
+	})
+	lb, err := nf.NewLB(nf.LBConfig{
+		Backends: 16, RingSize: 4099, BackendIPBase: 0xAC100000,
+		FlowCapacity: sc.TableCapacity, TimeoutNS: hour, GranularityNS: 1_000_000,
+		HeartbeatTimeoutNS: hour,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
+	lpm := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 8})
+
+	insts := []*nf.Instance{fw.Instance, nat.Instance, br.Instance, lb.Instance, sr.Instance, lpm.Instance}
+	names := []string{"firewall", "nat", "bridge", "lb", "static-router", "lpm-router"}
+	stages := make([]core.ChainStage, len(insts))
+	for i, inst := range insts {
+		stages[i] = core.ChainStage{Prog: inst.Prog, Models: inst.Models}
+	}
+	return stages, names, nil
+}
+
+// ChainBench runs the composition ablations over chains of 2–6 NFs.
+// Parallelism for the pooled mode comes from the scale (≤1 means one
+// worker per CPU); the serial, reference and cache modes always run at
+// Parallelism=1 so each ablation changes exactly one variable.
+func ChainBench(sc Scale) (ChainBenchResult, error) {
+	stages, names, err := ChainBenchStages(sc)
+	if err != nil {
+		return ChainBenchResult{}, err
+	}
+	workers := sc.Parallelism
+	if workers <= 1 {
+		workers = 0 // one worker per CPU
+	}
+	res := ChainBenchResult{
+		Workload: strings.Join(names, "+"),
+		Runs:     3,
+	}
+	ctx := context.Background()
+
+	compose := func(n, parallelism int, noInc bool, cache *core.ContractCache) (*core.Contract, time.Duration, error) {
+		g := core.NewGenerator()
+		g.Parallelism = parallelism
+		g.NoIncremental = noInc
+		g.Cache = cache
+		start := time.Now()
+		ct, err := core.ComposeManyContext(ctx, g, stages[:n])
+		return ct, time.Since(start), err
+	}
+	minTime := func(n, parallelism int, noInc bool) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < res.Runs; i++ {
+			_, d, err := compose(n, parallelism, noInc, nil)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	for n := 2; n <= len(stages); n++ {
+		row := ChainBenchRow{NFs: n, Stages: strings.Join(names[:n], "+"), ParallelWorkers: par.Workers(workers)}
+
+		// Correctness gate: serial, pooled and reference-mode composites
+		// must be byte-identical before any timing is trusted.
+		serialCt, _, err := compose(n, 1, false, nil)
+		if err != nil {
+			return res, fmt.Errorf("chainbench %s: %w", row.Stages, err)
+		}
+		want, err := json.Marshal(serialCt)
+		if err != nil {
+			return res, err
+		}
+		for _, mode := range []struct {
+			label       string
+			parallelism int
+			noInc       bool
+		}{
+			{"parallel", workers, false},
+			{"reference", 1, true},
+		} {
+			ct, _, err := compose(n, mode.parallelism, mode.noInc, nil)
+			if err != nil {
+				return res, fmt.Errorf("chainbench %s (%s): %w", row.Stages, mode.label, err)
+			}
+			got, err := json.Marshal(ct)
+			if err != nil {
+				return res, err
+			}
+			if string(got) != string(want) {
+				return res, fmt.Errorf("chainbench %s: %s composite differs from serial", row.Stages, mode.label)
+			}
+		}
+		row.Paths = len(serialCt.Paths)
+
+		// Ablation timings (no cache: every run pays generation + joins).
+		serial, err := minTime(n, 1, false)
+		if err != nil {
+			return res, err
+		}
+		parallel, err := minTime(n, workers, false)
+		if err != nil {
+			return res, err
+		}
+		reference, err := minTime(n, 1, true)
+		if err != nil {
+			return res, err
+		}
+		row.SerialNS = uint64(serial.Nanoseconds())
+		row.ParallelNS = uint64(parallel.Nanoseconds())
+		row.ReferenceNS = uint64(reference.Nanoseconds())
+		if parallel > 0 {
+			row.ParallelSpeedup = float64(serial) / float64(parallel)
+		}
+		if serial > 0 {
+			row.IncrementalSpeedup = float64(reference) / float64(serial)
+		}
+
+		// Cold vs warm against a private cache: the cold pass populates
+		// per-stage and fold-prefix entries, the warm pass must come back
+		// through the content-addressed composite.
+		cache := core.NewContractCache()
+		coldCt, cold, err := compose(n, 1, false, cache)
+		if err != nil {
+			return res, err
+		}
+		warm := time.Duration(0)
+		for i := 0; i < res.Runs; i++ {
+			warmCt, d, err := compose(n, 1, false, cache)
+			if err != nil {
+				return res, err
+			}
+			if warmCt != coldCt {
+				return res, fmt.Errorf("chainbench %s: warm re-compose did not return the cached composite", row.Stages)
+			}
+			if warm == 0 || d < warm {
+				warm = d
+			}
+		}
+		if warm >= cold {
+			return res, fmt.Errorf("chainbench %s: warm re-compose (%v) not faster than cold (%v)", row.Stages, warm, cold)
+		}
+		row.ColdNS = uint64(cold.Nanoseconds())
+		row.WarmNS = uint64(warm.Nanoseconds())
+		if warm > 0 {
+			row.WarmSpeedup = float64(cold) / float64(warm)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RenderChainBench prints the ablation as a table.
+func RenderChainBench(r ChainBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain composition ablations (roster %s; min of %d runs)\n", r.Workload, r.Runs)
+	fmt.Fprintf(&b, "%-4s %6s %12s %12s %8s %12s %8s %12s %12s %8s\n",
+		"NFs", "paths", "serial", "parallel", "par x", "reference", "inc x", "cold", "warm", "warm x")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 102))
+	rd := func(ns uint64) string {
+		return time.Duration(ns).Round(10 * time.Microsecond).String()
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-4d %6d %12s %12s %7.2fx %12s %7.2fx %12s %12s %7.2fx\n",
+			row.NFs, row.Paths, rd(row.SerialNS), rd(row.ParallelNS), row.ParallelSpeedup,
+			rd(row.ReferenceNS), row.IncrementalSpeedup, rd(row.ColdNS), rd(row.WarmNS), row.WarmSpeedup)
+	}
+	return b.String()
+}
+
+// WriteChainBenchJSON records the result for tracking across commits.
+func WriteChainBenchJSON(path string, r ChainBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

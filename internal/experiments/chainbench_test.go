@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gobolt/internal/core"
+)
+
+// The 4-stage chainbench chain (firewall→nat→bridge→lb) is the CI smoke
+// anchor: its composite path count is pinned (composition is
+// deterministic, so any drift signals a join-algebra change), the
+// composite is identical across worker counts and solver engines, and a
+// warm-cache re-compose must beat the cold one.
+func TestChainBenchFourStageQuick(t *testing.T) {
+	stages, names, err := ChainBenchStages(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 6 || names[3] != "lb" {
+		t.Fatalf("unexpected roster %v", names)
+	}
+
+	serial := core.NewGenerator()
+	serial.Parallelism = 1
+	ct, err := core.ComposeMany(serial, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPaths = 582
+	if len(ct.Paths) != wantPaths {
+		t.Errorf("firewall+nat+bridge+lb composite has %d paths, want %d", len(ct.Paths), wantPaths)
+	}
+	want, _ := json.Marshal(ct)
+
+	pooled := core.NewGenerator()
+	pooled.Parallelism = 4
+	pooledCt, err := core.ComposeMany(pooled, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(pooledCt); string(got) != string(want) {
+		t.Error("pooled composite differs from serial")
+	}
+
+	ref := core.NewGenerator()
+	ref.Parallelism = 1
+	ref.NoIncremental = true
+	refCt, err := core.ComposeMany(ref, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(refCt); string(got) != string(want) {
+		t.Error("reference-mode composite differs from incremental")
+	}
+
+	cached := core.NewGenerator()
+	cached.Cache = core.NewContractCache()
+	start := time.Now()
+	coldCt, err := core.ComposeMany(cached, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+	start = time.Now()
+	warmCt, err := core.ComposeMany(cached, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+	if warmCt != coldCt {
+		t.Error("warm re-compose did not return the cached composite")
+	}
+	if warm >= cold {
+		t.Errorf("warm re-compose (%v) not faster than cold (%v)", warm, cold)
+	}
+}

@@ -3,6 +3,7 @@ package symb
 import (
 	"context"
 	"maps"
+	"sort"
 	"sync"
 )
 
@@ -149,6 +150,19 @@ func (s *Session) Assert(c Expr) {
 	s.prep.assert(c)
 }
 
+// AssertAll asserts each constraint of the slice in order — the batch
+// form callers use to seed a session from an existing constraint set
+// (chain composition prepares one session per upstream path this way).
+// No-op on a nil session, like Assert.
+func (s *Session) AssertAll(cs []Expr) {
+	if s == nil {
+		return
+	}
+	for _, c := range cs {
+		s.prep.assert(c)
+	}
+}
+
 // SetDomain bounds a symbol, intersecting with any bound already
 // present. No-op on a nil session, like Assert.
 func (s *Session) SetDomain(name string, d Domain) {
@@ -156,6 +170,25 @@ func (s *Session) SetDomain(name string, d Domain) {
 		return
 	}
 	s.prep.setDomain(name, d)
+}
+
+// SetDomains applies every binding of the map through SetDomain, in
+// sorted-name order so session construction is deterministic regardless
+// of map iteration. The verdict does not depend on the order (domain
+// propagation is confluent), but determinism is cheap insurance, as in
+// prepare. No-op on a nil session.
+func (s *Session) SetDomains(domains map[string]Domain) {
+	if s == nil || len(domains) == 0 {
+		return
+	}
+	names := make([]string, 0, len(domains))
+	for n := range domains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.prep.setDomain(n, domains[n])
+	}
 }
 
 // Known reports a verdict derivable without searching: Unsat when
