@@ -7,11 +7,13 @@
 //	                table5|figure3|table6|table7|figure4|figure5|
 //	                fullstack|ablation|census|solverbench|chainbench]
 //	          [-scale default|quick] [-parallel N] [-nocache]
-//	          [-benchjson FILE]
+//	          [-benchjson FILE] [-v]
 //
 // solverbench (the incremental-solver ablation) and chainbench (the
 // chain-composition ablations) are opt-in: they repeat cold generations
-// many times and are excluded from -exp all. Both honour -benchjson.
+// many times and are excluded from -exp all. Both honour -benchjson;
+// chainbench additionally prints its per-fold join-pruning record
+// under -v.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
 		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
 		benchjson = flag.String("benchjson", "", "with -exp solverbench or chainbench: also write the result as JSON to this path (e.g. BENCH_solver.json)")
+		verbose   = flag.Bool("v", false, "with -exp chainbench: also print the per-fold join-pruning record (pairs, index-skipped, prefiltered, solver-refuted, kept, coalesced)")
 	)
 	flag.Parse()
 
@@ -194,8 +197,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		section("Chain composition — serial vs pooled, incremental vs reference, cold vs warm")
+		section("Chain composition — indexed vs exhaustive joins, coalescing, serial vs pooled, incremental vs reference, cold vs warm")
 		fmt.Print(experiments.RenderChainBench(res))
+		if *verbose {
+			fmt.Println()
+			fmt.Print(experiments.RenderChainBenchFolds(res))
+		}
 		if *benchjson != "" {
 			if err := experiments.WriteChainBenchJSON(*benchjson, res); err != nil {
 				fatal(err)

@@ -151,11 +151,19 @@ func (g *Generator) derivedKey(parts ...string) string {
 // program, models, and the generator knobs the join depends on
 // (feasibility budgets, NoIncremental), so hashing the pair addresses
 // the whole fold prefix — which is what makes re-composing a warm chain
-// one map lookup per step. Parallelism is deliberately absent, as in
-// cacheKey: it cannot change the output. The fold level's namespace
-// prefix ("b." per level) is implied by the a-side key: a stage key and
-// a composed key hash different preimages, so the a-side key fixes how
-// many folds deep this composition sits.
+// one map lookup per step. Parallelism and NoJoinIndex are deliberately
+// absent, as in cacheKey: neither can change the output. Coalesce CAN —
+// it merges composite paths — so the recipe tag is versioned by it and
+// coalesced and uncoalesced composites never alias.
 func (g *Generator) composedKey(aKey, bKey string) string {
-	return g.derivedKey("compose", aKey, bKey)
+	return g.derivedKey(g.composeTag("compose"), aKey, bKey)
+}
+
+// composeTag versions a composition recipe tag by the knobs that change
+// composite bytes.
+func (g *Generator) composeTag(tag string) string {
+	if g.Coalesce {
+		return tag + "+coalesce"
+	}
+	return tag
 }

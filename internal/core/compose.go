@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"gobolt/internal/expr"
 	"gobolt/internal/nfir"
@@ -74,6 +75,11 @@ func (g *Generator) composeSolver() *symb.Solver {
 type joinFeas struct {
 	sv  *symb.Solver
 	eng *symb.Incremental
+
+	// Pruning counters for JoinStats; updated atomically because join
+	// workers run in parallel.
+	prefiltered   atomic.Uint64
+	solverRefuted atomic.Uint64
 }
 
 func (g *Generator) composeFeasibility() *joinFeas {
@@ -132,39 +138,94 @@ func (jp *joinPrefix) extend(extra ...symb.Expr) *joinPrefix {
 // feasibility.
 func (jp *joinPrefix) feasible(ctx context.Context, constraints []symb.Expr, domains map[string]symb.Domain) bool {
 	if joinObviouslyInfeasible(constraints, domains) {
+		jp.jf.prefiltered.Add(1)
 		return false
 	}
+	var ok bool
 	if jp.sess == nil {
-		return jp.jf.sv.FeasibleContext(ctx, constraints, domains)
+		ok = jp.jf.sv.FeasibleContext(ctx, constraints, domains)
+	} else {
+		child := jp.sess.Fork()
+		child.AssertAll(constraints[jp.aLen:])
+		child.SetDomains(domains)
+		ok = child.FeasibleContext(ctx, jp.jf.sv)
 	}
-	child := jp.sess.Fork()
-	child.AssertAll(constraints[jp.aLen:])
-	child.SetDomains(domains)
-	return child.FeasibleContext(ctx, jp.jf.sv)
+	if !ok {
+		jp.jf.solverRefuted.Add(1)
+	}
+	return ok
 }
 
 // joinObviouslyInfeasible is the static pre-filter in front of the
 // solver: it rejects pairs whose merged domains contain an empty range
-// (two ranges for a shared symbol that do not intersect) or whose
+// (two ranges for a shared symbol that do not intersect), whose
 // substituted constraints folded to a ground-false conjunct (a wrote a
-// constant the b path's branch condition contradicts). Both conditions
-// are ones every solver engine proves Unsat during initialisation — the
-// reference implementation refutes constant-false conjuncts while
-// flattening and empty domains while intersecting bounds — so the
-// filter never drops a pair the solver would keep, in any mode.
+// constant the b path's branch condition contradicts), or — constant
+// propagation — whose conjunct mentions exactly one symbol pinned to a
+// single value by its merged domain and evaluates to false there. All
+// three conditions are ones every solver engine proves Unsat before any
+// bounded search: the reference implementation refutes constant-false
+// conjuncts while flattening, empty domains while intersecting bounds,
+// and single-symbol conjuncts over singleton domains by enumeration
+// (refPropagateEnum; the incremental engine's propagation does the
+// same). The single-symbol restriction matters: a ground-false conjunct
+// over TWO pinned symbols is something the bounded search may return
+// Unknown on (it requires complete candidate cover over every variable
+// in the set), so rejecting it would drop pairs the full scan keeps.
 // FuzzJoinPreFilter pins this against the reference engine.
 func joinObviouslyInfeasible(constraints []symb.Expr, domains map[string]symb.Domain) bool {
+	singletons := false
 	for _, d := range domains {
 		if d.Lo > d.Hi {
 			return true
+		}
+		if d.Lo == d.Hi {
+			singletons = true
 		}
 	}
 	for _, c := range constraints {
 		if k, ok := c.(symb.Const); ok && k.V == 0 {
 			return true
 		}
+		if !singletons {
+			continue
+		}
+		if s, ok := singleSymOf(c); ok {
+			if d, has := domains[s]; has && d.Lo == d.Hi {
+				if c.Eval(map[string]uint64{s: d.Lo}) == 0 {
+					return true
+				}
+			}
+		}
 	}
 	return false
+}
+
+// singleSymOf reports the unique symbol of e when e mentions exactly
+// one distinct symbol (any number of times).
+func singleSymOf(e symb.Expr) (string, bool) {
+	name, n := "", 0
+	var walk func(symb.Expr) bool
+	walk = func(e symb.Expr) bool {
+		switch x := e.(type) {
+		case symb.Sym:
+			if n == 0 {
+				name, n = x.Name, 1
+			} else if x.Name != name {
+				return false
+			}
+			return true
+		case symb.Bin:
+			return walk(x.L) && walk(x.R)
+		case symb.Not:
+			return walk(x.X)
+		}
+		return true
+	}
+	if !walk(e) || n == 0 {
+		return "", false
+	}
+	return name, true
 }
 
 // joinPair attempts to join a forwarding path of a with a path of b,
@@ -173,22 +234,17 @@ func joinObviouslyInfeasible(constraints []symb.Expr, domains map[string]symb.Do
 // local symbols — "b." for a pairwise join, one more "b." per fold
 // level in a chain, so every stage's variables stay distinct in the
 // composite (stage 3's "x" must not collide with stage 2's "b.x").
-// The returned path carries ID 0; the caller assigns IDs during
-// assembly.
-func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, jp *joinPrefix, bns string) (*PathContract, bool) {
+// bm carries the b-path's precomputed symbol set (see buildJoinIndex);
+// the same join against many a-paths reuses it instead of re-walking
+// b's constraints per pair. The returned path carries ID 0; the caller
+// assigns IDs during assembly.
+func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathContract, rawB *nfir.Path, jp *joinPrefix, bns string, bm *bPathMeta) (*PathContract, bool) {
 	// Build b's symbol substitution: packet fields written by a map to
 	// a's output expressions; unwritten fields stay shared with a's
 	// input; everything else is namespaced.
 	subst := make(map[string]symb.Expr)
 	rename := func(s string) string { return bns + s }
-	bSyms := make(map[string]bool)
-	for _, s := range symb.Symbols(pb.Constraints...) {
-		bSyms[s] = true
-	}
-	for s := range pb.Domains {
-		bSyms[s] = true
-	}
-	for s := range bSyms {
+	for _, s := range bm.syms {
 		if off, size, isField := nfir.ParseFieldSym(s); isField {
 			if w, written := rawA.PktWrites[off]; written {
 				if w.Size == size {
@@ -301,18 +357,42 @@ func ComposeWithPathsContext(ctx context.Context, g *Generator, aCt *Contract, a
 	if err != nil {
 		return nil, nil, err
 	}
-	return composePrepared(ctx, g, aCt, aPaths, bProg.Name, bCt, bPaths, "", "b.")
+	return composePrepared(ctx, g, aCt, aPaths, bProg.Name, bCt, bPaths, "", "b.", nil)
+}
+
+// JoinStats is the pruning accounting of one fold level: where each of
+// the Pairs = forward-a-paths × b-paths candidate pairs ended up. Every
+// considered pair lands in exactly one of IndexSkipped, PreFiltered,
+// SolverRefuted, or Kept, so the four sum to Pairs (unless the fold was
+// served from cache, in which case Cached is set and the counters are
+// zero). CoalesceMerged counts composite paths merged away by
+// coalescing after the join; PathsOut is the fold's final path count.
+type JoinStats struct {
+	Fold           int    `json:"fold"`
+	Stage          string `json:"stage"`
+	APaths         int    `json:"a_paths"`
+	BPaths         int    `json:"b_paths"`
+	Pairs          uint64 `json:"pairs"`
+	IndexSkipped   uint64 `json:"index_skipped"`
+	PreFiltered    uint64 `json:"prefiltered"`
+	SolverRefuted  uint64 `json:"solver_refuted"`
+	Kept           uint64 `json:"kept"`
+	CoalesceMerged uint64 `json:"coalesce_merged"`
+	PathsOut       int    `json:"paths_out"`
+	Cached         bool   `json:"cached,omitempty"`
 }
 
 // composePrepared joins an already-generated pair of stages. The joins
 // of distinct a-paths are independent, so they fan out over the
 // generator's worker pool into result slots indexed by a's path order;
-// the serial assembly pass then concatenates the slots and assigns IDs
-// in that order, which keeps the composite byte-identical to the serial
-// fold at any Parallelism. key, when non-empty, content-addresses the
-// composed stage in the generator's contract cache. bns is the
-// namespace prefix applied to b's local symbols (see joinPair).
-func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bName string, bCt *Contract, bPaths []*nfir.Path, key, bns string) (*Contract, []*nfir.Path, error) {
+// the serial assembly pass then concatenates the slots, optionally
+// coalesces, and assigns IDs in that order, which keeps the composite
+// byte-identical to the serial fold at any Parallelism. key, when
+// non-empty, content-addresses the composed stage in the generator's
+// contract cache. bns is the namespace prefix applied to b's local
+// symbols (see joinPair). stats, when non-nil, receives the fold's
+// pruning accounting.
+func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []*nfir.Path, bName string, bCt *Contract, bPaths []*nfir.Path, key, bns string, stats *JoinStats) (*Contract, []*nfir.Path, error) {
 	if len(aCt.Paths) != len(aPaths) {
 		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", aCt.NF)
 	}
@@ -320,13 +400,23 @@ func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []
 		return nil, nil, fmt.Errorf("core: contract/path mismatch for %s", bCt.NF)
 	}
 	name := aCt.NF + "+" + bName
+	if stats != nil {
+		stats.Stage = bName
+		stats.APaths, stats.BPaths = len(aCt.Paths), len(bCt.Paths)
+	}
 	if key != "" {
 		if ct, paths, ok := g.Cache.lookup(key); ok {
+			if stats != nil {
+				stats.Cached = true
+				stats.PathsOut = len(ct.Paths)
+			}
 			return ct, paths, nil
 		}
 	}
 
 	jf := g.composeFeasibility()
+	ix := buildJoinIndex(bCt, g.NoJoinIndex)
+	var indexSkipped atomic.Uint64
 	type slot struct {
 		pcs  []*PathContract
 		raws []*nfir.Path
@@ -342,17 +432,40 @@ func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []
 			return nil
 		}
 		jp := jf.prefix(pa.Constraints)
+		aw := buildAJoinInfo(pa, rawA)
+		cands, partPruned := ix.candidates(aw)
+		if partPruned > 0 {
+			indexSkipped.Add(uint64(partPruned))
+		}
 		var sl slot
-		for j, pb := range bCt.Paths {
+		join := func(j int) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			joined, ok := joinPair(ctx, pa, rawA, pb, bPaths[j], jp, bns)
+			if ix.skip(aw, pa, j) {
+				indexSkipped.Add(1)
+				return nil
+			}
+			joined, ok := joinPair(ctx, pa, rawA, bCt.Paths[j], bPaths[j], jp, bns, &ix.metas[j])
 			if !ok {
-				continue
+				return nil
 			}
 			sl.pcs = append(sl.pcs, joined)
 			sl.raws = append(sl.raws, joinRawPaths(rawA, bPaths[j], joined, bns))
+			return nil
+		}
+		if cands != nil {
+			for _, j := range cands {
+				if err := join(j); err != nil {
+					return err
+				}
+			}
+		} else {
+			for j := range bCt.Paths {
+				if err := join(j); err != nil {
+					return err
+				}
+			}
 		}
 		slots[i] = sl
 		return nil
@@ -361,25 +474,50 @@ func composePrepared(ctx context.Context, g *Generator, aCt *Contract, aPaths []
 		return nil, nil, fmt.Errorf("core: composing %s: %w", name, err)
 	}
 
-	out := &Contract{NF: name, Level: aCt.Level}
-	var outPaths []*nfir.Path
+	var pcs []*PathContract
+	var raws []*nfir.Path
+	var shared []bool
+	forward, kept := 0, uint64(0)
 	for i, sl := range slots {
 		for k, pc := range sl.pcs {
-			pc.ID = len(out.Paths)
-			// Only freshly joined raw paths take the composite ID; the
-			// pass-through raw of a non-forward path is shared with (and
-			// possibly cached by) the a-side, so it must stay untouched.
-			if raw := sl.raws[k]; raw != aPaths[i] {
-				raw.ID = pc.ID
-			}
-			out.Paths = append(out.Paths, pc)
-			outPaths = append(outPaths, sl.raws[k])
+			pcs = append(pcs, pc)
+			raws = append(raws, sl.raws[k])
+			// The pass-through raw of a non-forward path is shared with
+			// (and possibly cached by) the a-side, so it must stay
+			// untouched during ID assignment and coalescing.
+			shared = append(shared, sl.raws[k] == aPaths[i])
+		}
+		if aCt.Paths[i].Action == nfir.ActionForward {
+			forward++
+			kept += uint64(len(sl.pcs))
 		}
 	}
-	if key != "" {
-		g.Cache.store(key, out, outPaths)
+	var mergedAway uint64
+	if g.Coalesce {
+		pcs, raws, shared, mergedAway = coalescePaths(pcs, raws, shared)
 	}
-	return out, outPaths, nil
+
+	out := &Contract{NF: name, Level: aCt.Level}
+	for k, pc := range pcs {
+		pc.ID = k
+		if !shared[k] {
+			raws[k].ID = k
+		}
+		out.Paths = append(out.Paths, pc)
+	}
+	if stats != nil {
+		stats.Pairs = uint64(forward) * uint64(len(bCt.Paths))
+		stats.IndexSkipped = indexSkipped.Load()
+		stats.PreFiltered = jf.prefiltered.Load()
+		stats.SolverRefuted = jf.solverRefuted.Load()
+		stats.Kept = kept
+		stats.CoalesceMerged = mergedAway
+		stats.PathsOut = len(out.Paths)
+	}
+	if key != "" {
+		g.Cache.store(key, out, raws)
+	}
+	return out, raws, nil
 }
 
 // joinRawPaths synthesises the composite symbolic path: the chain's
@@ -454,8 +592,17 @@ func ComposeMany(g *Generator, stages []ChainStage) (*Contract, error) {
 // skips the joins (and, for a fully warm chain, the stage generations
 // too).
 func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) (*Contract, error) {
+	ct, _, err := ComposeManyStats(ctx, g, stages)
+	return ct, err
+}
+
+// ComposeManyStats is ComposeManyContext plus per-fold-level pruning
+// statistics: one JoinStats per fold (len(stages)-1 entries), in fold
+// order. A fully warm chain that returns its composite straight from
+// the cache reports nil stats — no fold ran.
+func ComposeManyStats(ctx context.Context, g *Generator, stages []ChainStage) (*Contract, []JoinStats, error) {
 	if len(stages) < 2 {
-		return nil, fmt.Errorf("core: a chain needs at least two stages")
+		return nil, nil, fmt.Errorf("core: a chain needs at least two stages")
 	}
 	stageKeys := make([]string, len(stages))
 	for i := range stages {
@@ -470,7 +617,7 @@ func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) 
 	// returns its composite before generating a single stage.
 	if fk := foldKeys[len(stages)-1]; fk != "" {
 		if ct, _, ok := g.Cache.lookup(fk); ok {
-			return ct, nil
+			return ct, nil, nil
 		}
 	}
 
@@ -488,20 +635,23 @@ func ComposeManyContext(ctx context.Context, g *Generator, stages []ChainStage) 
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: generating chain stages: %w", err)
+		return nil, nil, fmt.Errorf("core: generating chain stages: %w", err)
 	}
+	stats := make([]JoinStats, 0, len(stages)-1)
 	ct, paths := gens[0].ct, gens[0].paths
 	for i, st := range stages[1:] {
 		// Fold step i joins stage i+2 one level deeper: its locals get
 		// one more "b." than the previous stage's, so every stage owns a
 		// distinct namespace in the composite.
 		bns := strings.Repeat("b.", i+1)
-		ct, paths, err = composePrepared(ctx, g, ct, paths, st.Prog.Name, gens[i+1].ct, gens[i+1].paths, foldKeys[i+1], bns)
+		fs := JoinStats{Fold: i + 1}
+		ct, paths, err = composePrepared(ctx, g, ct, paths, st.Prog.Name, gens[i+1].ct, gens[i+1].paths, foldKeys[i+1], bns, &fs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		stats = append(stats, fs)
 	}
-	return ct, nil
+	return ct, stats, nil
 }
 
 // NaiveAdd is the baseline composition Figure 3 compares against:

@@ -191,7 +191,7 @@ func TestComposeRoutesFeasibilityBudgets(t *testing.T) {
 		g.FeasibilityMaxNodes = nodes
 		aCt, aPaths := stage("a", aCons, aDoms)
 		bCt, bPaths := stage("b", bCons, bDoms)
-		ct, _, err := composePrepared(context.Background(), g, aCt, aPaths, "b", bCt, bPaths, "", "b.")
+		ct, _, err := composePrepared(context.Background(), g, aCt, aPaths, "b", bCt, bPaths, "", "b.", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -277,14 +277,14 @@ func TestComposeMidJoinCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sanity: with a live context the same join succeeds.
-	if _, _, err := composePrepared(context.Background(), g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b."); err != nil {
+	if _, _, err := composePrepared(context.Background(), g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b.", nil); err != nil {
 		t.Fatal(err)
 	}
 	// Now cancel partway: enough polls to get into the pair loop, far
 	// fewer than a full composition consumes.
 	ctx := &countdownCtx{Context: context.Background()}
 	ctx.remaining.Store(5)
-	ct, _, err := composePrepared(ctx, g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b.")
+	ct, _, err := composePrepared(ctx, g, fwCt, fwPaths, sr.Prog.Name, srCt, srPaths, "", "b.", nil)
 	if err == nil {
 		t.Fatal("mid-join cancellation was swallowed")
 	}
@@ -315,7 +315,7 @@ func fuzzJoinSet(data []byte) ([]symb.Expr, map[string]symb.Domain) {
 	var cons []symb.Expr
 	n := int(next()%5) + 1
 	for k := 0; k < n; k++ {
-		switch next() % 4 {
+		switch next() % 6 {
 		case 0:
 			// Ground conjunct — the fold the pre-filter looks for.
 			cons = append(cons, symb.C(uint64(next()%2)))
@@ -327,12 +327,28 @@ func fuzzJoinSet(data []byte) ([]symb.Expr, map[string]symb.Domain) {
 			cons = append(cons, symb.B(symb.LAnd,
 				symb.B(ops[next()%6], symb.S(syms[next()%3]), symb.C(uint64(next()))),
 				symb.C(uint64(next()%2))))
+		case 4:
+			// Compound single-symbol shape (masked-field comparison) —
+			// what the constant-propagation rule must only refute when
+			// the engines' enumeration would too.
+			cons = append(cons, symb.B(ops[next()%6],
+				symb.B(symb.And, symb.S(syms[next()%3]), symb.C(uint64(next()%16))),
+				symb.C(uint64(next()%16))))
+		case 5:
+			cons = append(cons, symb.Not{X: symb.B(ops[next()%6], symb.S(syms[next()%3]), symb.C(uint64(next())))})
 		}
 	}
 	domains := make(map[string]symb.Domain)
 	m := int(next() % 4)
 	for k := 0; k < m; k++ {
-		domains[syms[next()%3]] = symb.Domain{Lo: uint64(next()), Hi: uint64(next())}
+		s := syms[next()%3]
+		if next()%2 == 0 {
+			// Singleton domain — the constant-propagation trigger.
+			v := uint64(next())
+			domains[s] = symb.Domain{Lo: v, Hi: v}
+		} else {
+			domains[s] = symb.Domain{Lo: uint64(next()), Hi: uint64(next())}
+		}
 	}
 	return cons, domains
 }
@@ -373,5 +389,24 @@ func TestJoinPreFilter(t *testing.T) {
 	ok := []symb.Expr{symb.B(symb.Eq, symb.S("x"), symb.C(4))}
 	if joinObviouslyInfeasible(ok, map[string]symb.Domain{"x": {Lo: 0, Hi: 10}}) {
 		t.Error("satisfiable set rejected by the static filter")
+	}
+
+	// Singleton constant-propagation rule: a single-symbol conjunct that
+	// evaluates false at the symbol's only possible value is rejected…
+	one := map[string]symb.Domain{"x": {Lo: 7, Hi: 7}}
+	if !joinObviouslyInfeasible([]symb.Expr{symb.B(symb.Eq, symb.S("x"), symb.C(4))}, one) {
+		t.Error("x==4 with x pinned to 7 not rejected")
+	}
+	if !joinObviouslyInfeasible([]symb.Expr{symb.Not{X: symb.B(symb.Ule, symb.S("x"), symb.C(7))}}, one) {
+		t.Error("!(x<=7) with x pinned to 7 not rejected")
+	}
+	// …but one that holds there is kept, and multi-symbol conjuncts are
+	// never evaluated (bounded search may return Unknown on them).
+	if joinObviouslyInfeasible([]symb.Expr{symb.B(symb.Uge, symb.S("x"), symb.C(7))}, one) {
+		t.Error("x>=7 with x pinned to 7 rejected")
+	}
+	two := map[string]symb.Domain{"x": {Lo: 7, Hi: 7}, "y": {Lo: 3, Hi: 3}}
+	if joinObviouslyInfeasible([]symb.Expr{symb.B(symb.Ult, symb.S("x"), symb.S("y"))}, two) {
+		t.Error("multi-symbol conjunct must be left to the solver")
 	}
 }

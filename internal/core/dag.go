@@ -42,7 +42,7 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 	// port→successor key in port order. Keys derive from programs and
 	// models alone, so a warm DAG returns before generating anything.
 	rootKey, _ := g.cacheKey(root.Prog, root.Models)
-	keyParts := []string{"dag", rootKey}
+	keyParts := []string{g.composeTag("dag"), rootKey}
 	for _, p := range ports {
 		st := successors[p]
 		sk, _ := g.cacheKey(st.Prog, st.Models)
@@ -61,11 +61,13 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 	}
 
 	// Pre-generate each successor's contract and raw paths once, in
-	// deterministic port order.
+	// deterministic port order, and prepare each successor's join index —
+	// the b-side is shared by every root path, so it is built once here.
 	type succ struct {
 		port  uint64
 		ct    *Contract
 		paths []*nfir.Path
+		ix    *joinIndex
 	}
 	succs := make([]succ, len(ports))
 	err = par.ForEach(ctx, g.workers(), len(ports), func(i int) error {
@@ -74,7 +76,7 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 		if err != nil {
 			return fmt.Errorf("core: successor on port %d: %w", ports[i], err)
 		}
-		succs[i] = succ{port: ports[i], ct: ct, paths: paths}
+		succs[i] = succ{port: ports[i], ct: ct, paths: paths, ix: buildJoinIndex(ct, g.NoJoinIndex)}
 		return nil
 	})
 	if err != nil {
@@ -94,6 +96,7 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 			return nil
 		}
 		jp := jf.prefix(pa.Constraints)
+		aw := buildAJoinInfo(pa, rawA)
 		var sl []*PathContract
 
 		// Egress: the output port matches no successor.
@@ -122,7 +125,10 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 			}
 			np := jp.extend(portEq)
 			for j, pb := range s.ct.Paths {
-				joined, ok := joinPair(ctx, &narrowed, rawA, pb, s.paths[j], np, "b.")
+				if s.ix.skip(aw, pa, j) {
+					continue
+				}
+				joined, ok := joinPair(ctx, &narrowed, rawA, pb, s.paths[j], np, "b.", &s.ix.metas[j])
 				if !ok {
 					continue
 				}
@@ -137,12 +143,19 @@ func ComposeDAGContext(ctx context.Context, g *Generator, root ChainStage, succe
 		return nil, fmt.Errorf("core: composing %s: %w", name, err)
 	}
 
-	out := &Contract{NF: name, Level: rootCt.Level}
+	var pcs []*PathContract
 	for _, sl := range slots {
-		for _, pc := range sl {
-			pc.ID = len(out.Paths)
-			out.Paths = append(out.Paths, pc)
-		}
+		pcs = append(pcs, sl...)
+	}
+	if g.Coalesce {
+		// Terminal composites keep no raw paths; liveness anchors on
+		// classification-visible symbols only (see coalescePaths).
+		pcs, _, _, _ = coalescePaths(pcs, nil, nil)
+	}
+	out := &Contract{NF: name, Level: rootCt.Level}
+	for k, pc := range pcs {
+		pc.ID = k
+		out.Paths = append(out.Paths, pc)
 	}
 	if len(out.Paths) == 0 {
 		return nil, fmt.Errorf("core: DAG composition produced no feasible paths")

@@ -16,9 +16,19 @@ import (
 
 // ChainBenchRow is one chain length of the composition-engine ablation:
 // the same chain composed serially vs on the worker pool, with the
-// incremental join solver vs the reference engine, and cold vs warm
-// against a private contract cache. Composites are verified
-// byte-identical across all modes before any timing is recorded.
+// incremental join solver vs the reference engine, with the join index
+// vs exhaustive pairing, with composite coalescing on vs off, and cold
+// vs warm against a private contract cache. Composites are verified
+// identical across modes before any timing is recorded: exhaustive and
+// indexed pairing must keep byte-identical composites (and the same
+// per-fold kept-pair counts), and the coalesced composite must be
+// byte-identical between serial and pooled runs.
+//
+// Chains longer than maxExhaustiveNFs are benchmarked only in the
+// pruned configuration (join index + coalescing): their exhaustive
+// uncoalesced composites are out of reach, which is exactly the point
+// of the pruning levers. Those rows set PrunedOnly and leave the
+// exhaustive columns zero.
 //
 // Every timing covers the full ComposeMany call — stage generation plus
 // the pairwise joins — because that is the operation a caller pays for;
@@ -28,31 +38,48 @@ type ChainBenchRow struct {
 	// NFs is the chain length; Stages names the roster prefix.
 	NFs    int    `json:"nfs"`
 	Stages string `json:"stages"`
-	// Paths is the composite contract's path count (identical in every
-	// mode — that identity is checked, not assumed).
+	// Paths is the uncoalesced composite's path count (identical in
+	// every uncoalesced mode — that identity is checked, not assumed).
+	// Zero for PrunedOnly rows.
 	Paths int `json:"paths"`
-	// SerialNS is Parallelism=1 with the incremental join solver; it is
-	// the baseline of the parallel ablation and the subject of the
-	// solver ablation.
-	SerialNS uint64 `json:"serial_ns"`
-	// ParallelNS runs the same composition on the worker pool.
-	ParallelNS      uint64  `json:"parallel_ns"`
+	// PrunedOnly marks chains composed only with index + coalescing.
+	PrunedOnly bool `json:"pruned_only,omitempty"`
+	// NoIndexNS disables the join index (exhaustive pairing), serially;
+	// SerialNS is the same run with the index on. Both uncoalesced.
+	NoIndexNS    uint64  `json:"noindex_ns,omitempty"`
+	SerialNS     uint64  `json:"serial_ns,omitempty"`
+	IndexSpeedup float64 `json:"index_speedup,omitempty"`
+	// ParallelNS runs the indexed composition on the worker pool.
+	ParallelNS      uint64  `json:"parallel_ns,omitempty"`
 	ParallelWorkers int     `json:"parallel_workers"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 	// ReferenceNS swaps every join feasibility check (and the stage
 	// generations) to the pre-incremental reference solver, serially —
 	// the NoIncremental ablation.
-	ReferenceNS        uint64  `json:"reference_ns"`
-	IncrementalSpeedup float64 `json:"incremental_speedup"`
-	// ColdNS composes against an empty private contract cache; WarmNS
+	ReferenceNS        uint64  `json:"reference_ns,omitempty"`
+	IncrementalSpeedup float64 `json:"incremental_speedup,omitempty"`
+	// CoalesceNS turns composite coalescing on (serial, index on);
+	// CoalescedPaths is that composite's path count and CoalesceSpeedup
+	// compares against SerialNS.
+	CoalesceNS      uint64  `json:"coalesce_ns"`
+	CoalescedPaths  int     `json:"coalesced_paths"`
+	CoalesceSpeedup float64 `json:"coalesce_speedup,omitempty"`
+	// ColdNS composes in the deep-chain configuration (index +
+	// coalescing) against an empty private contract cache; WarmNS
 	// re-composes the identical chain against the now-populated cache
 	// (the fold prefix is content-addressed, so it is one lookup).
 	ColdNS      uint64  `json:"cold_ns"`
 	WarmNS      uint64  `json:"warm_ns"`
 	WarmSpeedup float64 `json:"warm_speedup"`
+	// Folds is the per-fold join-pruning record of the deep-chain
+	// configuration (index + coalescing, serial): pairs considered,
+	// pairs skipped by the index, pairs rejected by the static
+	// pre-filter, pairs refuted by the solver, pairs kept, composites
+	// merged by coalescing.
+	Folds []core.JoinStats `json:"folds,omitempty"`
 }
 
-// ChainBenchResult is the chainbench experiment: rows for chains of 2–6
+// ChainBenchResult is the chainbench experiment: rows for chains of 2–8
 // NFs drawn from one fixed roster.
 type ChainBenchResult struct {
 	Workload string          `json:"workload"`
@@ -60,10 +87,15 @@ type ChainBenchResult struct {
 	Rows     []ChainBenchRow `json:"rows"`
 }
 
+// maxExhaustiveNFs is the longest chain still benchmarked with
+// exhaustive pairing and no coalescing; longer chains run pruned-only.
+const maxExhaustiveNFs = 6
+
 // ChainBenchStages builds the benchmark roster — firewall → NAT →
-// bridge → LB → static router → LPM router — sized by the scale. Chains
-// of length n use the first n stages, so longer chains strictly extend
-// shorter ones (which also exercises the fold-prefix cache reuse).
+// bridge → LB → static router → LPM router → egress firewall → edge
+// router — sized by the scale. Chains of length n use the first n
+// stages, so longer chains strictly extend shorter ones (which also
+// exercises the fold-prefix cache reuse).
 func ChainBenchStages(sc Scale) ([]core.ChainStage, []string, error) {
 	const hour = uint64(3_600_000_000_000)
 	fw := nf.NewFirewall(nf.FirewallConfig{
@@ -91,9 +123,18 @@ func ChainBenchStages(sc Scale) ([]core.ChainStage, []string, error) {
 	}
 	sr := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 4})
 	lpm := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 8})
+	// The deep-chain tail: an egress ACL and a small edge router. Only
+	// reachable with the pruning levers on.
+	efw := nf.NewFirewall(nf.FirewallConfig{
+		Rules: []dslib.Rule{
+			{SrcMask: 0xFFFF0000, SrcVal: 0xC0A80000, Action: 0}, // deny 192.168/16
+		},
+		DefaultAccept: true,
+	})
+	er := nf.NewStaticRouter(nf.StaticRouterConfig{Ports: 2})
 
-	insts := []*nf.Instance{fw.Instance, nat.Instance, br.Instance, lb.Instance, sr.Instance, lpm.Instance}
-	names := []string{"firewall", "nat", "bridge", "lb", "static-router", "lpm-router"}
+	insts := []*nf.Instance{fw.Instance, nat.Instance, br.Instance, lb.Instance, sr.Instance, lpm.Instance, efw.Instance, er.Instance}
+	names := []string{"firewall", "nat", "bridge", "lb", "static-router", "lpm-router", "egress-firewall", "edge-router"}
 	stages := make([]core.ChainStage, len(insts))
 	for i, inst := range insts {
 		stages[i] = core.ChainStage{Prog: inst.Prog, Models: inst.Models}
@@ -101,10 +142,10 @@ func ChainBenchStages(sc Scale) ([]core.ChainStage, []string, error) {
 	return stages, names, nil
 }
 
-// ChainBench runs the composition ablations over chains of 2–6 NFs.
+// ChainBench runs the composition ablations over chains of 2–8 NFs.
 // Parallelism for the pooled mode comes from the scale (≤1 means one
-// worker per CPU); the serial, reference and cache modes always run at
-// Parallelism=1 so each ablation changes exactly one variable.
+// worker per CPU); every other mode runs at Parallelism=1 so each
+// ablation changes exactly one variable.
 func ChainBench(sc Scale) (ChainBenchResult, error) {
 	stages, names, err := ChainBenchStages(sc)
 	if err != nil {
@@ -120,98 +161,174 @@ func ChainBench(sc Scale) (ChainBenchResult, error) {
 	}
 	ctx := context.Background()
 
-	compose := func(n, parallelism int, noInc bool, cache *core.ContractCache) (*core.Contract, time.Duration, error) {
+	type mode struct {
+		parallelism int
+		noInc       bool
+		noIndex     bool
+		coalesce    bool
+	}
+	compose := func(n int, m mode, cache *core.ContractCache) (*core.Contract, []core.JoinStats, time.Duration, error) {
 		g := core.NewGenerator()
-		g.Parallelism = parallelism
-		g.NoIncremental = noInc
+		g.Parallelism = m.parallelism
+		g.NoIncremental = m.noInc
+		g.NoJoinIndex = m.noIndex
+		g.Coalesce = m.coalesce
 		g.Cache = cache
 		start := time.Now()
-		ct, err := core.ComposeManyContext(ctx, g, stages[:n])
-		return ct, time.Since(start), err
+		ct, stats, err := core.ComposeManyStats(ctx, g, stages[:n])
+		return ct, stats, time.Since(start), err
 	}
-	minTime := func(n, parallelism int, noInc bool) (time.Duration, error) {
+	minTime := func(n int, m mode) (time.Duration, []core.JoinStats, error) {
 		best := time.Duration(0)
+		var stats []core.JoinStats
 		for i := 0; i < res.Runs; i++ {
-			_, d, err := compose(n, parallelism, noInc, nil)
+			_, s, d, err := compose(n, m, nil)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if best == 0 || d < best {
-				best = d
+				best, stats = d, s
 			}
 		}
-		return best, nil
+		return best, stats, nil
+	}
+	marshal := func(ct *core.Contract) (string, error) {
+		js, err := json.Marshal(ct)
+		return string(js), err
 	}
 
 	for n := 2; n <= len(stages); n++ {
 		row := ChainBenchRow{NFs: n, Stages: strings.Join(names[:n], "+"), ParallelWorkers: par.Workers(workers)}
+		pruned := n > maxExhaustiveNFs
+		row.PrunedOnly = pruned
 
-		// Correctness gate: serial, pooled and reference-mode composites
-		// must be byte-identical before any timing is trusted.
-		serialCt, _, err := compose(n, 1, false, nil)
-		if err != nil {
-			return res, fmt.Errorf("chainbench %s: %w", row.Stages, err)
-		}
-		want, err := json.Marshal(serialCt)
-		if err != nil {
-			return res, err
-		}
-		for _, mode := range []struct {
-			label       string
-			parallelism int
-			noInc       bool
-		}{
-			{"parallel", workers, false},
-			{"reference", 1, true},
-		} {
-			ct, _, err := compose(n, mode.parallelism, mode.noInc, nil)
+		serialMode := mode{parallelism: 1}
+		coalMode := mode{parallelism: 1, coalesce: true}
+
+		if !pruned {
+			// Correctness gates for the uncoalesced composite: indexed
+			// pairing must keep exactly the pairs exhaustive pairing
+			// keeps (byte-identical composite, same per-fold kept
+			// counts), and pooled and reference-mode runs must agree.
+			serialCt, serialStats, _, err := compose(n, serialMode, nil)
 			if err != nil {
-				return res, fmt.Errorf("chainbench %s (%s): %w", row.Stages, mode.label, err)
+				return res, fmt.Errorf("chainbench %s: %w", row.Stages, err)
 			}
-			got, err := json.Marshal(ct)
+			want, err := marshal(serialCt)
 			if err != nil {
 				return res, err
 			}
-			if string(got) != string(want) {
-				return res, fmt.Errorf("chainbench %s: %s composite differs from serial", row.Stages, mode.label)
+			noixCt, noixStats, _, err := compose(n, mode{parallelism: 1, noIndex: true}, nil)
+			if err != nil {
+				return res, fmt.Errorf("chainbench %s (noindex): %w", row.Stages, err)
 			}
+			got, err := marshal(noixCt)
+			if err != nil {
+				return res, err
+			}
+			if got != want {
+				return res, fmt.Errorf("chainbench %s: exhaustive composite differs from indexed", row.Stages)
+			}
+			for i := range serialStats {
+				if serialStats[i].Kept != noixStats[i].Kept {
+					return res, fmt.Errorf("chainbench %s fold %d: indexed pairing kept %d pairs, exhaustive kept %d",
+						row.Stages, serialStats[i].Fold, serialStats[i].Kept, noixStats[i].Kept)
+				}
+			}
+			for _, alt := range []struct {
+				label string
+				m     mode
+			}{
+				{"parallel", mode{parallelism: workers}},
+				{"reference", mode{parallelism: 1, noInc: true}},
+			} {
+				ct, _, _, err := compose(n, alt.m, nil)
+				if err != nil {
+					return res, fmt.Errorf("chainbench %s (%s): %w", row.Stages, alt.label, err)
+				}
+				if got, err := marshal(ct); err != nil {
+					return res, err
+				} else if got != want {
+					return res, fmt.Errorf("chainbench %s: %s composite differs from serial", row.Stages, alt.label)
+				}
+			}
+			row.Paths = len(serialCt.Paths)
 		}
-		row.Paths = len(serialCt.Paths)
+
+		// Coalescing gate: serial and pooled coalesced composites must
+		// be byte-identical (merge groups key on composite order, which
+		// parallel assembly preserves).
+		coalCt, _, _, err := compose(n, coalMode, nil)
+		if err != nil {
+			return res, fmt.Errorf("chainbench %s (coalesce): %w", row.Stages, err)
+		}
+		wantCoal, err := marshal(coalCt)
+		if err != nil {
+			return res, err
+		}
+		coalPar, _, _, err := compose(n, mode{parallelism: workers, coalesce: true}, nil)
+		if err != nil {
+			return res, fmt.Errorf("chainbench %s (coalesce, pooled): %w", row.Stages, err)
+		}
+		if got, err := marshal(coalPar); err != nil {
+			return res, err
+		} else if got != wantCoal {
+			return res, fmt.Errorf("chainbench %s: pooled coalesced composite differs from serial", row.Stages)
+		}
+		row.CoalescedPaths = len(coalCt.Paths)
 
 		// Ablation timings (no cache: every run pays generation + joins).
-		serial, err := minTime(n, 1, false)
+		if !pruned {
+			noindex, _, err := minTime(n, mode{parallelism: 1, noIndex: true})
+			if err != nil {
+				return res, err
+			}
+			serial, _, err := minTime(n, serialMode)
+			if err != nil {
+				return res, err
+			}
+			parallel, _, err := minTime(n, mode{parallelism: workers})
+			if err != nil {
+				return res, err
+			}
+			reference, _, err := minTime(n, mode{parallelism: 1, noInc: true})
+			if err != nil {
+				return res, err
+			}
+			row.NoIndexNS = uint64(noindex.Nanoseconds())
+			row.SerialNS = uint64(serial.Nanoseconds())
+			row.ParallelNS = uint64(parallel.Nanoseconds())
+			row.ReferenceNS = uint64(reference.Nanoseconds())
+			if serial > 0 {
+				row.IndexSpeedup = float64(noindex) / float64(serial)
+				row.IncrementalSpeedup = float64(reference) / float64(serial)
+			}
+			if parallel > 0 {
+				row.ParallelSpeedup = float64(serial) / float64(parallel)
+			}
+		}
+		coalesce, coalStats, err := minTime(n, coalMode)
 		if err != nil {
 			return res, err
 		}
-		parallel, err := minTime(n, workers, false)
-		if err != nil {
-			return res, err
+		row.CoalesceNS = uint64(coalesce.Nanoseconds())
+		if !pruned && coalesce > 0 {
+			row.CoalesceSpeedup = float64(row.SerialNS) / float64(row.CoalesceNS)
 		}
-		reference, err := minTime(n, 1, true)
-		if err != nil {
-			return res, err
-		}
-		row.SerialNS = uint64(serial.Nanoseconds())
-		row.ParallelNS = uint64(parallel.Nanoseconds())
-		row.ReferenceNS = uint64(reference.Nanoseconds())
-		if parallel > 0 {
-			row.ParallelSpeedup = float64(serial) / float64(parallel)
-		}
-		if serial > 0 {
-			row.IncrementalSpeedup = float64(reference) / float64(serial)
-		}
+		row.Folds = coalStats
 
-		// Cold vs warm against a private cache: the cold pass populates
-		// per-stage and fold-prefix entries, the warm pass must come back
-		// through the content-addressed composite.
+		// Cold vs warm in the deep-chain configuration against a
+		// private cache: the cold pass populates per-stage and
+		// fold-prefix entries, the warm pass must come back through the
+		// content-addressed composite.
 		cache := core.NewContractCache()
-		coldCt, cold, err := compose(n, 1, false, cache)
+		coldCt, _, cold, err := compose(n, coalMode, cache)
 		if err != nil {
 			return res, err
 		}
 		warm := time.Duration(0)
 		for i := 0; i < res.Runs; i++ {
-			warmCt, d, err := compose(n, 1, false, cache)
+			warmCt, _, d, err := compose(n, coalMode, cache)
 			if err != nil {
 				return res, err
 			}
@@ -235,20 +352,68 @@ func ChainBench(sc Scale) (ChainBenchResult, error) {
 	return res, nil
 }
 
-// RenderChainBench prints the ablation as a table.
+// RenderChainBench prints the ablation as a table. Pruned-only rows
+// (chains beyond exhaustive reach) render "-" in the exhaustive columns.
 func RenderChainBench(r ChainBenchResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chain composition ablations (roster %s; min of %d runs)\n", r.Workload, r.Runs)
-	fmt.Fprintf(&b, "%-4s %6s %12s %12s %8s %12s %8s %12s %12s %8s\n",
-		"NFs", "paths", "serial", "parallel", "par x", "reference", "inc x", "cold", "warm", "warm x")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 102))
+	fmt.Fprintf(&b, "%-4s %6s %12s %12s %7s %12s %7s %12s %7s %12s %7s %7s %12s %12s %8s\n",
+		"NFs", "paths", "noindex", "serial", "idx x", "parallel", "par x",
+		"reference", "inc x", "coalesce", "paths", "co x", "cold", "warm", "warm x")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 148))
 	rd := func(ns uint64) string {
+		if ns == 0 {
+			return "-"
+		}
 		return time.Duration(ns).Round(10 * time.Microsecond).String()
 	}
+	rx := func(x float64) string {
+		if x == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", x)
+	}
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-4d %6d %12s %12s %7.2fx %12s %7.2fx %12s %12s %7.2fx\n",
-			row.NFs, row.Paths, rd(row.SerialNS), rd(row.ParallelNS), row.ParallelSpeedup,
-			rd(row.ReferenceNS), row.IncrementalSpeedup, rd(row.ColdNS), rd(row.WarmNS), row.WarmSpeedup)
+		paths := "-"
+		if row.Paths > 0 {
+			paths = fmt.Sprintf("%d", row.Paths)
+		}
+		fmt.Fprintf(&b, "%-4d %6s %12s %12s %7s %12s %7s %12s %7s %12s %7d %7s %12s %12s %7.0fx\n",
+			row.NFs, paths, rd(row.NoIndexNS), rd(row.SerialNS), rx(row.IndexSpeedup),
+			rd(row.ParallelNS), rx(row.ParallelSpeedup),
+			rd(row.ReferenceNS), rx(row.IncrementalSpeedup),
+			rd(row.CoalesceNS), row.CoalescedPaths, rx(row.CoalesceSpeedup),
+			rd(row.ColdNS), rd(row.WarmNS), row.WarmSpeedup)
+	}
+	return b.String()
+}
+
+// RenderChainBenchFolds prints the per-fold join-pruning record of the
+// deep-chain configuration — the boltbench -v view.
+func RenderChainBenchFolds(r ChainBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-fold join pruning (index + coalescing, serial)\n")
+	fmt.Fprintf(&b, "%-4s %-4s %8s %8s %8s %10s %9s %8s %8s %8s %7s\n",
+		"NFs", "fold", "a-paths", "b-paths", "pairs", "idx-skip", "prefilter", "refuted", "kept", "merged", "out")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 92))
+	for _, row := range r.Rows {
+		skipped, kept, pairs := uint64(0), uint64(0), uint64(0)
+		for _, f := range row.Folds {
+			cached := ""
+			if f.Cached {
+				cached = " (cached)"
+			}
+			fmt.Fprintf(&b, "%-4d %-4d %8d %8d %8d %10d %9d %8d %8d %8d %7d%s\n",
+				row.NFs, f.Fold, f.APaths, f.BPaths, f.Pairs, f.IndexSkipped,
+				f.PreFiltered, f.SolverRefuted, f.Kept, f.CoalesceMerged, f.PathsOut, cached)
+			skipped += f.IndexSkipped
+			kept += f.Kept
+			pairs += f.Pairs
+		}
+		if pairs > 0 {
+			fmt.Fprintf(&b, "%-4d  = %d/%d pairs index-skipped (%.1f%%), %d joined\n",
+				row.NFs, skipped, pairs, 100*float64(skipped)/float64(pairs), kept)
+		}
 	}
 	return b.String()
 }

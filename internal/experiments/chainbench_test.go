@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ func TestChainBenchFourStageQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stages) != 6 || names[3] != "lb" {
+	if len(stages) != 8 || names[3] != "lb" {
 		t.Fatalf("unexpected roster %v", names)
 	}
 
@@ -75,4 +76,45 @@ func TestChainBenchFourStageQuick(t *testing.T) {
 	if warm >= cold {
 		t.Errorf("warm re-compose (%v) not faster than cold (%v)", warm, cold)
 	}
+}
+
+// Seven-stage chains are out of exhaustive reach (the uncoalesced
+// composite grows multiplicatively per fold) but must complete in the
+// deep-chain configuration: join index plus composite coalescing. This
+// is the CI anchor for the pruned rows of ChainBench.
+func TestChainBenchDeepChainPruned(t *testing.T) {
+	stages, names, err := ChainBenchStages(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 7 {
+		t.Fatalf("roster too short for a deep chain: %v", names)
+	}
+	g := core.NewGenerator()
+	g.Parallelism = 1
+	g.Coalesce = true
+	start := time.Now()
+	ct, stats, err := core.ComposeManyStats(context.Background(), g, stages[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(ct.Paths) == 0 {
+		t.Fatal("deep chain composed to zero paths")
+	}
+	if len(stats) != 6 {
+		t.Fatalf("expected 6 fold stat records, got %d", len(stats))
+	}
+	var skipped, pairs uint64
+	for _, f := range stats {
+		if f.IndexSkipped+f.PreFiltered+f.SolverRefuted+f.Kept != f.Pairs {
+			t.Errorf("fold %d: pruning stats do not partition the pair count: %+v", f.Fold, f)
+		}
+		skipped += f.IndexSkipped
+		pairs += f.Pairs
+	}
+	if skipped == 0 {
+		t.Error("join index skipped no pairs on a 7-stage chain")
+	}
+	t.Logf("7-stage chain: %d paths, %d/%d pairs index-skipped, %v", len(ct.Paths), skipped, pairs, elapsed)
 }

@@ -448,6 +448,12 @@ func (p *prepared) propagateOne(ci int) []int32 {
 // single-symbol constraints (masked-field comparisons and similar).
 const enumWidth = 4096
 
+// EnumWidth exports the enumeration cutoff: both engines fully decide
+// any single-symbol constraint whose symbol's domain is narrower than
+// this during propagation. Join-index pruning (internal/core) relies on
+// exactly that guarantee, so it must mirror the same cutoff.
+const EnumWidth = enumWidth
+
 // propagateEnum decides a constraint mentioning exactly one symbol with
 // a small domain by trying every value, tightening the domain to the
 // satisfying hull (or proving UNSAT).
