@@ -1,21 +1,34 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestBuildNFAllVariants(t *testing.T) {
-	for _, name := range []string{"nat", "bridge", "lb", "lpm", "example-lpm", "firewall", "static-router"} {
-		inst, err := buildNF(name, 128)
+	for _, entry := range nf.Roster() {
+		inst, err := nf.Build(entry.Name, nf.BuildParams{Capacity: 128})
 		if err != nil {
-			t.Errorf("%s: %v", name, err)
+			t.Errorf("%s: %v", entry.Name, err)
 			continue
 		}
-		if inst.Prog == nil || len(inst.Models) == 0 && name != "example-lpm" {
-			if len(inst.Models) == 0 {
-				t.Errorf("%s: no models", name)
-			}
+		if inst.Prog == nil {
+			t.Errorf("%s: no program", entry.Name)
+		}
+		if len(inst.Models) == 0 {
+			t.Errorf("%s: no models", entry.Name)
 		}
 	}
-	if _, err := buildNF("bogus", 1); err == nil {
+	if _, err := nf.Build("bogus", nf.BuildParams{}); err == nil {
 		t.Error("unknown NF must fail")
 	}
 }
@@ -28,5 +41,66 @@ func TestParseMetric(t *testing.T) {
 	}
 	if _, err := parseMetric("watts"); err == nil {
 		t.Error("unknown metric must fail")
+	}
+}
+
+func TestJSONModeFlag(t *testing.T) {
+	var j jsonMode
+	if err := j.Set("true"); err != nil || j.mode != "artifact" {
+		t.Fatalf("bare -json: %q, %v", j.mode, err)
+	}
+	if err := j.Set("summary"); err != nil || j.mode != "summary" {
+		t.Fatalf("-json=summary: %q, %v", j.mode, err)
+	}
+	if err := j.Set("artifact"); err != nil || j.mode != "artifact" {
+		t.Fatalf("-json=artifact: %q, %v", j.mode, err)
+	}
+	if err := j.Set("yaml"); err == nil {
+		t.Fatal("-json=yaml accepted")
+	}
+}
+
+// TestArtifactJSONGolden pins the bytes `bolt -json` emits for the §2.1
+// running example: the versioned artifact schema downstream tooling
+// parses. A drift here means the codec changed — bump ArtifactVersion
+// and regenerate with -update if it was intentional.
+func TestArtifactJSONGolden(t *testing.T) {
+	inst, err := nf.Build("example-lpm", nf.BuildParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.NewGenerator()
+	g.Parallelism = 1
+	g.Cache = core.NewContractCache()
+	ct, rawPaths, err := g.GenerateWithPathsContext(context.Background(), inst.Prog, inst.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := g.CacheKey(inst.Prog, inst.Models)
+	if !ok {
+		t.Fatal("example-lpm generation not cacheable")
+	}
+	data, err := core.EncodeArtifact(&core.Artifact{Key: key, Contract: ct, Paths: rawPaths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "example_lpm_artifact.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with `go test ./cmd/bolt -run TestArtifactJSONGolden -update`): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("bolt -json output drifted from the pinned schema")
+	}
+	if _, err := core.DecodeArtifact(want); err != nil {
+		t.Fatalf("pinned artifact no longer decodes: %v", err)
 	}
 }

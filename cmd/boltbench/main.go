@@ -7,7 +7,12 @@
 //	                table5|figure3|table6|table7|figure4|figure5|
 //	                fullstack|ablation|census|solverbench|chainbench]
 //	          [-scale default|quick] [-parallel N] [-nocache]
-//	          [-benchjson FILE] [-v]
+//	          [-store DIR] [-benchjson FILE] [-v]
+//
+// With -store DIR the contract cache is tiered onto the on-disk store
+// at DIR (shared with bolt/boltmon/boltctl): a second boltbench run —
+// or any other tool using the same store — starts warm, and the cache
+// summary breaks hits down by tier.
 //
 // solverbench (the incremental-solver ablation) and chainbench (the
 // chain-composition ablations) are opt-in: they repeat cold generations
@@ -25,6 +30,7 @@ import (
 
 	"gobolt/internal/core"
 	"gobolt/internal/experiments"
+	"gobolt/internal/store"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func main() {
 		scale     = flag.String("scale", "default", "experiment scale: default or quick")
 		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
 		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
+		storeDir  = flag.String("store", "", "back the contract cache with the on-disk store at this directory (shared with bolt/boltmon/boltctl)")
 		benchjson = flag.String("benchjson", "", "with -exp solverbench or chainbench: also write the result as JSON to this path (e.g. BENCH_solver.json)")
 		verbose   = flag.Bool("v", false, "with -exp chainbench: also print the per-fold join-pruning record (pairs, index-skipped, prefiltered, solver-refuted, kept, coalesced)")
 	)
@@ -44,6 +51,17 @@ func main() {
 	}
 	sc.Parallelism = *parallel
 	sc.NoCache = *nocache
+	if *storeDir != "" {
+		if *nocache {
+			fatal(fmt.Errorf("-store and -nocache are mutually exclusive"))
+		}
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		sc.Cache = core.NewContractCache()
+		sc.Cache.AttachDisk(s)
+	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	start := time.Now()
@@ -212,8 +230,16 @@ func main() {
 	}
 
 	if !*nocache {
-		hits, misses, entries := core.SharedCache().Stats()
-		fmt.Printf("\n(contract cache: %d hits, %d misses, %d entries)\n", hits, misses, entries)
+		cache := core.SharedCache()
+		if sc.Cache != nil {
+			cache = sc.Cache
+		}
+		ts := cache.TierStats()
+		fmt.Printf("\n(contract cache: %d mem hits, %d disk hits, %d misses, %d entries", ts.MemHits, ts.DiskHits, ts.Misses, ts.Entries)
+		if ts.DiskErrs > 0 {
+			fmt.Printf(", %d disk errors", ts.DiskErrs)
+		}
+		fmt.Print(")\n")
 	}
 	fmt.Printf("(total %s)\n", time.Since(start).Round(time.Millisecond))
 }

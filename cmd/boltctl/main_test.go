@@ -1,0 +1,189 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/experiments"
+	"gobolt/internal/store"
+)
+
+// populate generates one Figure-1-sized scenario set into a store and
+// returns the store dir with the stored keys.
+func populate(t *testing.T) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewContractCache()
+	c.AttachDisk(s)
+	sc := experiments.QuickScale()
+	sc.Cache = c
+	if _, err := experiments.Scenarios(sc); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("scenario generation stored nothing")
+	}
+	return dir, keys
+}
+
+func runCtl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestListInspect(t *testing.T) {
+	dir, keys := populate(t)
+	out, err := runCtl(t, "-store", dir, "list")
+	if err != nil {
+		t.Fatalf("list: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, keys[0][:12]) {
+		t.Fatalf("list omits stored key %s:\n%s", keys[0][:12], out)
+	}
+	if !strings.Contains(out, "nat") || !strings.Contains(out, "bridge") {
+		t.Fatalf("list lacks NF metadata:\n%s", out)
+	}
+
+	out, err = runCtl(t, "-store", dir, "inspect", keys[0][:10])
+	if err != nil {
+		t.Fatalf("inspect by prefix: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "key:       "+keys[0]) {
+		t.Fatalf("inspect lacks full key:\n%s", out)
+	}
+	if !strings.Contains(out, "Performance contract") {
+		t.Fatalf("inspect lacks contract rendering:\n%s", out)
+	}
+}
+
+func TestKeyPrefixResolution(t *testing.T) {
+	dir, keys := populate(t)
+	if _, err := runCtl(t, "-store", dir, "inspect", "zzzz"); err == nil {
+		t.Fatal("inspect of unmatched prefix succeeded")
+	}
+	// The empty prefix matches everything stored: ambiguous.
+	if len(keys) > 1 {
+		if _, err := runCtl(t, "-store", dir, "inspect", ""); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+			t.Fatalf("ambiguous prefix not reported: %v", err)
+		}
+	}
+}
+
+func TestDiffByteIdenticalAcrossStores(t *testing.T) {
+	dir1, keys1 := populate(t)
+	dir2, _ := populate(t) // same scenarios, separate store: same keys
+	out, err := runCtl(t, "-store", dir1, "-store2", dir2, "diff", keys1[0], keys1[0])
+	if err != nil {
+		t.Fatalf("cross-store diff: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "byte-identical") {
+		t.Fatalf("identical contracts not reported byte-identical:\n%s", out)
+	}
+
+	// Two different contracts in the same store must differ with the
+	// dedicated exit error.
+	var other string
+	for _, k := range keys1 {
+		if k != keys1[0] {
+			other = k
+			break
+		}
+	}
+	if other == "" {
+		t.Skip("store holds a single contract")
+	}
+	out, err = runCtl(t, "-store", dir1, "diff", keys1[0], other)
+	if err != errContractsDiffer {
+		t.Fatalf("differing contracts: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "contracts differ") {
+		t.Fatalf("diff output lacks verdict:\n%s", out)
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	dir, keys := populate(t)
+	target := t.TempDir()
+	file := filepath.Join(target, "artifact.json")
+	if out, err := runCtl(t, "-store", dir, "-o", file, "export", keys[0]); err != nil {
+		t.Fatalf("export: %v\n%s", err, out)
+	}
+
+	dir2 := t.TempDir()
+	out, err := runCtl(t, "-store", dir2, "import", file)
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "imported "+keys[0][:12]) {
+		t.Fatalf("import output: %s", out)
+	}
+	// Round trip: the imported object diffs byte-identical to the source.
+	out, err = runCtl(t, "-store", dir, "-store2", dir2, "diff", keys[0], keys[0])
+	if err != nil || !strings.Contains(out, "byte-identical") {
+		t.Fatalf("export/import round trip not byte-identical: %v\n%s", err, out)
+	}
+
+	// A corrupted export must be refused on import.
+	data, _ := os.ReadFile(file)
+	data[len(data)/2] ^= 0x20
+	bad := filepath.Join(target, "bad.json")
+	os.WriteFile(bad, data, 0o644)
+	if _, err := runCtl(t, "-store", dir2, "import", bad); err == nil {
+		t.Fatal("import accepted a corrupted artifact")
+	}
+}
+
+// TestTornWriteCollected pins the ISSUE acceptance scenario end to end:
+// a write torn mid-rename is never served by any read path and boltctl
+// gc collects it.
+func TestTornWriteCollected(t *testing.T) {
+	dir, keys := populate(t)
+	// Inject the torn write: a half-written temp file exactly where the
+	// store's atomic rename would have sourced it.
+	torn := strings.Repeat("0123456789abcdef", 4)
+	shard := filepath.Join(dir, "objects", torn[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tornPath := filepath.Join(shard, torn+".tmp99")
+	if err := os.WriteFile(tornPath, []byte(`boltstore1 feed 512{"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Never served: not listed, not inspectable.
+	out, err := runCtl(t, "-store", dir, "list")
+	if err != nil || strings.Contains(out, torn[:12]) {
+		t.Fatalf("torn write visible in list: %v\n%s", err, out)
+	}
+	if _, err := runCtl(t, "-store", dir, "inspect", torn); err == nil {
+		t.Fatal("torn write inspectable")
+	}
+
+	out, err = runCtl(t, "-store", dir, "gc")
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if !strings.Contains(out, "removed 1 temp") {
+		t.Fatalf("gc did not collect the torn write: %s", out)
+	}
+	if _, err := os.Stat(tornPath); !os.IsNotExist(err) {
+		t.Fatal("torn temp file still on disk after gc")
+	}
+	// Valid objects survive.
+	if out, err := runCtl(t, "-store", dir, "inspect", keys[0]); err != nil {
+		t.Fatalf("valid object lost after gc: %v\n%s", err, out)
+	}
+}

@@ -12,6 +12,11 @@
 //	boltmon -trace uniform                  # watch a uniform workload
 //	boltmon -pcap trace.pcap [-inport P]    # watch a captured trace
 //	boltmon -benchjson BENCH_monitor.json   # monitored-vs-bare overhead
+//
+// Watch mode monitors the attack-tuned bridge by default; -nf NAME
+// watches a roster NF under uniform traffic instead. With -store DIR
+// contract generation is backed by the shared on-disk store, so a
+// contract bolt or boltbench already generated is loaded, not rebuilt.
 package main
 
 import (
@@ -21,10 +26,13 @@ import (
 	"os"
 	"os/signal"
 
+	"gobolt/internal/core"
 	"gobolt/internal/experiments"
 	"gobolt/internal/monitor"
+	"gobolt/internal/nf"
 	"gobolt/internal/pcap"
 	"gobolt/internal/perf"
+	"gobolt/internal/store"
 	"gobolt/internal/traffic"
 )
 
@@ -43,6 +51,8 @@ func main() {
 		expect    = flag.String("expect", "", "exit nonzero unless the outcome matched: alert or quiet")
 		benchjson = flag.String("benchjson", "", "run the monitor overhead benchmark and write its JSON here")
 		benchruns = flag.Int("benchruns", 3, "benchmark passes per mode (best-of)")
+		nfName    = flag.String("nf", "", "watch this roster NF instead of the attack-tuned bridge: "+nf.NamesList())
+		storeDir  = flag.String("store", "", "back contract generation with the on-disk store at this directory (shared with bolt/boltbench/boltctl)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,14 @@ func main() {
 	sc.Parallelism = *parallel
 	if *packets > 0 {
 		sc.Packets = *packets
+	}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		sc.Cache = core.NewContractCache()
+		sc.Cache.AttachDisk(s)
 	}
 
 	if *benchjson != "" {
@@ -80,7 +98,7 @@ func main() {
 	var alerted bool
 	switch {
 	case *pcapPath != "" || *trace == "uniform":
-		alerted, err = watch(ctx, sc, mcfg, *pcapPath, *inPort)
+		alerted, err = watch(ctx, sc, mcfg, *nfName, *pcapPath, *inPort)
 	case *trace == "attack" || *trace == "benign":
 		res, aerr := experiments.AttackDetection(sc)
 		if aerr != nil {
@@ -116,23 +134,52 @@ func main() {
 	}
 }
 
-// watch replays a uniform workload or a pcap through a monitored
-// bridge, calibrating a budget from benign traffic when none was given.
-func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, pcapPath string, inPort uint64) (bool, error) {
-	br, ct, err := experiments.AttackBridge(sc)
+// watch replays a uniform workload or a pcap through a monitored NF,
+// calibrating a budget from benign traffic when none was given. An
+// empty nfName means the attack-tuned bridge the §5.2 experiments use;
+// any roster name watches that NF under uniform UDP (or bridge-frame)
+// traffic.
+func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, nfName, pcapPath string, inPort uint64) (bool, error) {
+	// build returns a fresh instance each call: calibration and the
+	// monitored run must not share mutable NF state.
+	build := func() (*nf.Instance, *core.Contract, error) {
+		if nfName == "" {
+			br, ct, err := experiments.AttackBridge(sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			return br.Instance, ct, nil
+		}
+		inst, err := nf.Build(nfName, nf.BuildParams{Capacity: sc.TableCapacity})
+		if err != nil {
+			return nil, nil, err
+		}
+		ct, err := sc.Generator().Generate(inst.Prog, inst.Models)
+		return inst, ct, err
+	}
+	gen := func(packets int, seed int64) []traffic.Packet {
+		if nfName == "" || nfName == "bridge" {
+			return traffic.BridgeFrames(traffic.BridgeConfig{
+				Packets: packets, MACs: sc.TableCapacity / 4, Ports: 4,
+				StartNS: 1_000, GapNS: 1_000, Seed: seed,
+			})
+		}
+		return traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: packets, Flows: sc.TableCapacity / 4, NewFlowEvery: 16,
+			StartNS: 1_000, GapNS: 1_000, Seed: seed, InPort: inPort,
+		})
+	}
+
+	inst, ct, err := build()
 	if err != nil {
 		return false, err
 	}
 	if mcfg.Budget == 0 {
-		benign := traffic.BridgeFrames(traffic.BridgeConfig{
-			Packets: sc.Packets, MACs: sc.TableCapacity / 4, Ports: 4,
-			StartNS: 1_000, GapNS: 1_000, Seed: 41,
-		})
-		calBr, calCt, err := experiments.AttackBridge(sc)
+		calInst, calCt, err := build()
 		if err != nil {
 			return false, err
 		}
-		mcfg.Budget, err = monitor.Calibrate(ctx, calCt, mcfg, calBr.Instance, benign, 1.25)
+		mcfg.Budget, err = monitor.Calibrate(ctx, calCt, mcfg, calInst, gen(sc.Packets, 41), 1.25)
 		if err != nil {
 			return false, err
 		}
@@ -155,12 +202,9 @@ func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, pcapP
 		}
 		pkts = traffic.FromPCAP(recs, inPort)
 	} else {
-		pkts = traffic.BridgeFrames(traffic.BridgeConfig{
-			Packets: sc.Packets * 4, MACs: sc.TableCapacity / 4, Ports: 4,
-			StartNS: 1_000, GapNS: 1_000, Seed: 13,
-		})
+		pkts = gen(sc.Packets*4, 13)
 	}
-	if _, err := mon.Run(ctx, br.Instance, pkts); err != nil {
+	if _, err := mon.Run(ctx, inst, pkts); err != nil {
 		return false, err
 	}
 	fmt.Print(mon.Report())

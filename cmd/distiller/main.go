@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	distiller -nf nat|bridge|lb|lpm [-pcap trace.pcap | -gen uniform]
+//	distiller -nf NAME [-pcap trace.pcap | -gen uniform]
 //	          [-packets N] [-capacity N] [-inport P]
+//	          [-store DIR]
+//
+// With -store DIR the distiller also generates (or loads from the
+// shared on-disk contract store) the NF's performance contract and
+// closes the loop: it evaluates the contract's bound at the distilled
+// PCV maxima and reports predicted vs measured worst case.
 package main
 
 import (
@@ -16,22 +22,25 @@ import (
 	"os"
 	"os/signal"
 
+	"gobolt/internal/core"
 	"gobolt/internal/distill"
 	"gobolt/internal/dpdk"
 	"gobolt/internal/nf"
 	"gobolt/internal/pcap"
 	"gobolt/internal/perf"
+	"gobolt/internal/store"
 	"gobolt/internal/traffic"
 )
 
 func main() {
 	var (
-		nfName   = flag.String("nf", "nat", "NF to drive: nat, bridge, lb, lpm")
+		nfName   = flag.String("nf", "nat", "NF to drive: "+nf.NamesList())
 		pcapPath = flag.String("pcap", "", "replay this pcap file (default: generate traffic)")
 		packets  = flag.Int("packets", 5000, "packets to generate when no pcap is given")
 		capacity = flag.Int("capacity", 4096, "table capacity")
 		inPort   = flag.Uint64("inport", 0, "arrival port for pcap packets")
 		sens     = flag.String("sensitivity", "", "group packets by this PCV and report max/mean IC per value (§4 sensitivity analysis)")
+		storeDir = flag.String("store", "", "contract store: check measurements against the NF's contract bound (shared with bolt/boltbench/boltctl)")
 	)
 	flag.Parse()
 
@@ -42,6 +51,29 @@ func main() {
 	inst, err := buildNF(*nfName, *capacity)
 	if err != nil {
 		fatal(err)
+	}
+
+	// With -store, generate (or load) the NF's contract through the shared
+	// on-disk store before replaying, so the prediction is ready to check
+	// the measurements against.
+	var contract *core.Contract
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		g := core.NewGenerator()
+		g.Cache = core.NewContractCache()
+		g.Cache.AttachDisk(s)
+		contract, err = g.GenerateContext(ctx, inst.Prog, inst.Models)
+		if err != nil {
+			fatal(err)
+		}
+		// The replay mutates NF state, so rebuild a fresh instance; the
+		// contract itself is state-independent.
+		if inst, err = buildNF(*nfName, *capacity); err != nil {
+			fatal(err)
+		}
 	}
 
 	var pkts []traffic.Packet
@@ -113,40 +145,39 @@ func main() {
 			fmt.Printf("  %-10d %8d %10d %10.1f\n", row.PCVValue, row.Count, row.MaxIC, row.MeanIC)
 		}
 	}
+
+	if contract != nil {
+		// Close the loop (§4): the contract's bound at the distilled PCV
+		// maxima must cover every instruction count the trace induced.
+		maxima := rep.MaxPCVs()
+		predicted, worst := contract.Bound(perf.Instructions, nil, maxima)
+		measured := distill.Max(ic)
+		fmt.Printf("\nContract check (NF-only, metric IC):\n")
+		fmt.Printf("  predicted bound at distilled maxima: %d", predicted)
+		if worst != nil {
+			fmt.Printf("  (path class %s)", worst.Class())
+		}
+		fmt.Printf("\n  measured max over trace:             %d\n", measured)
+		if measured > predicted {
+			fmt.Println("  VIOLATION: trace exceeded the contract bound")
+			os.Exit(2)
+		}
+		fmt.Println("  contract holds for this trace")
+	}
 }
 
+// buildNF builds a roster NF with the distiller's canonical overrides: a
+// 60s expiry window for nat and bridge (so replayed traces actually
+// induce the expiry PCV) and the single evaluation route for lpm.
 func buildNF(name string, capacity int) (*nf.Instance, error) {
-	const hour = uint64(3_600_000_000_000)
+	p := nf.BuildParams{Capacity: capacity}
 	switch name {
-	case "nat":
-		return nf.NewNAT(nf.NATConfig{
-			ExternalIP: 0xC0A80001, Capacity: capacity,
-			TimeoutNS: 60_000_000_000, GranularityNS: 1_000_000,
-		}).Instance, nil
-	case "bridge":
-		return nf.NewBridge(nf.BridgeConfig{
-			Ports: 4, Capacity: capacity,
-			TimeoutNS: 60_000_000_000, GranularityNS: 1_000_000,
-		}).Instance, nil
-	case "lb":
-		lb, err := nf.NewLB(nf.LBConfig{
-			Backends: 16, RingSize: 4099, BackendIPBase: 0xAC100000,
-			FlowCapacity: capacity, TimeoutNS: hour, GranularityNS: 1_000_000,
-			HeartbeatTimeoutNS: hour,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return lb.Instance, nil
+	case "nat", "bridge":
+		p.TimeoutNS = 60_000_000_000
 	case "lpm":
-		r := nf.NewLPMRouter(nf.LPMRouterConfig{Ports: 16})
-		if err := r.Table.AddRoute(0xC0A80000, 16, 1); err != nil {
-			return nil, err
-		}
-		return r.Instance, nil
-	default:
-		return nil, fmt.Errorf("unknown NF %q", name)
+		p.Routes = []nf.Route{{Prefix: 0xC0A80000, Length: 16, Port: 1}}
 	}
+	return nf.Build(name, p)
 }
 
 func fatal(err error) {

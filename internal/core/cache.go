@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"gobolt/internal/nfir"
+	"gobolt/internal/store"
 )
 
 // ContractCache is a content-addressed cache of generated contracts,
@@ -17,6 +18,15 @@ import (
 // contracts many times across experiments — figure1 alone builds the
 // same NAT four times — and a warm cache turns every repeat into a map
 // lookup.
+//
+// The cache is tiered. The memory tier is always present; AttachDisk
+// adds an on-disk tier (internal/store) behind it, making warmth survive
+// the process: a lookup that misses memory tries the disk, decodes the
+// stored artifact, and promotes it; a store writes through to disk. The
+// same lookup/store seam serves the Generator, chain composition's
+// fold-prefix reuse, and the DAG planner, so all of them fall back to
+// disk transparently. Disk failures (absent, corrupt, undecodable) are
+// never fatal — they count in TierStats and the pipeline simply reruns.
 //
 // Soundness rests on two conditions:
 //
@@ -27,7 +37,8 @@ import (
 //   - Cached contracts and paths are returned shared, so callers must
 //     treat them as immutable. Everything in this repository already
 //     does: composition copies path contracts before rewriting them, and
-//     the experiment harnesses only read.
+//     the experiment harnesses only read. Disk-loaded entries are fresh
+//     decodes, so immutability holds for them trivially.
 //
 // A ContractCache is safe for concurrent use.
 type ContractCache struct {
@@ -35,6 +46,13 @@ type ContractCache struct {
 	byKey  map[string]cacheEntry
 	hits   uint64
 	misses uint64
+
+	// disk is the optional second tier; nil means memory-only. Disk I/O
+	// happens outside mu so slow filesystems never serialize generation.
+	disk      *store.Store
+	diskHits  uint64 // lookups served by decoding a stored artifact
+	diskErrs  uint64 // disk reads/writes/decodes that failed (non-fatal)
+	diskSkips uint64 // write-throughs skipped because the object existed
 }
 
 type cacheEntry struct {
@@ -55,19 +73,75 @@ var sharedCache = NewContractCache()
 // lets cmd/boltbench's experiments reuse each other's contracts.
 func SharedCache() *ContractCache { return sharedCache }
 
-// Stats reports cache traffic: hits, misses (lookups that ran the full
-// pipeline), and resident entries. Uncacheable generations count neither
-// as hit nor miss.
+// AttachDisk adds (or, with nil, removes) an on-disk tier behind the
+// memory tier. Existing entries stay; subsequent lookups fall back to s
+// and subsequent stores write through to it.
+func (c *ContractCache) AttachDisk(s *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disk = s
+}
+
+// Disk returns the attached on-disk tier, or nil.
+func (c *ContractCache) Disk() *store.Store {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
+
+// Stats reports cache traffic: hits (served from either tier), misses
+// (lookups that ran the full pipeline), and resident memory entries.
+// Uncacheable generations count neither as hit nor miss.
 func (c *ContractCache) Stats() (hits, misses uint64, entries int) {
 	if c == nil {
 		return 0, 0, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.byKey)
+	return c.hits + c.diskHits, c.misses, len(c.byKey)
 }
 
-// Reset drops every entry and zeroes the counters.
+// TierStats breaks cache traffic down by tier.
+type TierStats struct {
+	// MemHits are lookups served from the memory map.
+	MemHits uint64
+	// DiskHits are lookups that missed memory but decoded a stored
+	// artifact (and were promoted to memory).
+	DiskHits uint64
+	// Misses are lookups both tiers missed: the pipeline ran.
+	Misses uint64
+	// DiskErrs counts non-fatal disk-tier failures (corrupt objects,
+	// undecodable artifacts, failed write-throughs).
+	DiskErrs uint64
+	// DiskSkips counts write-throughs skipped because the object was
+	// already stored.
+	DiskSkips uint64
+	// Entries is the resident memory-tier entry count.
+	Entries int
+}
+
+// TierStats reports per-tier cache traffic.
+func (c *ContractCache) TierStats() TierStats {
+	if c == nil {
+		return TierStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TierStats{
+		MemHits:   c.hits,
+		DiskHits:  c.diskHits,
+		Misses:    c.misses,
+		DiskErrs:  c.diskErrs,
+		DiskSkips: c.diskSkips,
+		Entries:   len(c.byKey),
+	}
+}
+
+// Reset drops every memory entry and zeroes the counters. An attached
+// disk tier stays attached and keeps its objects.
 func (c *ContractCache) Reset() {
 	if c == nil {
 		return
@@ -76,24 +150,99 @@ func (c *ContractCache) Reset() {
 	defer c.mu.Unlock()
 	c.byKey = make(map[string]cacheEntry)
 	c.hits, c.misses = 0, 0
+	c.diskHits, c.diskErrs, c.diskSkips = 0, 0, 0
 }
 
 func (c *ContractCache) lookup(key string) (*Contract, []*nfir.Path, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.byKey[key]
 	if ok {
 		c.hits++
+		c.mu.Unlock()
 		return e.ct, e.paths, true
 	}
+	disk := c.disk
+	c.mu.Unlock()
+
+	if disk != nil {
+		if ct, paths, ok := c.diskLookup(disk, key); ok {
+			return ct, paths, true
+		}
+	}
+
+	c.mu.Lock()
 	c.misses++
+	c.mu.Unlock()
 	return nil, nil, false
+}
+
+// diskLookup tries the disk tier and promotes a decoded artifact into
+// the memory tier. Every failure mode is a plain miss.
+func (c *ContractCache) diskLookup(disk *store.Store, key string) (*Contract, []*nfir.Path, bool) {
+	payload, err := disk.Get(key)
+	if err != nil {
+		if err != store.ErrNotFound {
+			c.mu.Lock()
+			c.diskErrs++
+			c.mu.Unlock()
+		}
+		return nil, nil, false
+	}
+	a, err := DecodeArtifact(payload)
+	if err != nil || a.Key != key {
+		// Undecodable or mislabeled artifact: a stale schema or a copy
+		// under the wrong key. Either way the pipeline reruns.
+		c.mu.Lock()
+		c.diskErrs++
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.byKey[key] = cacheEntry{ct: a.Contract, paths: a.Paths}
+	c.mu.Unlock()
+	return a.Contract, a.Paths, true
 }
 
 func (c *ContractCache) store(key string, ct *Contract, paths []*nfir.Path) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.byKey[key] = cacheEntry{ct: ct, paths: paths}
+	disk := c.disk
+	c.mu.Unlock()
+
+	if disk == nil {
+		return
+	}
+	if disk.Has(key) {
+		// Content-addressed: an existing object is byte-equivalent, so
+		// rewriting it would only churn the disk.
+		c.mu.Lock()
+		c.diskSkips++
+		c.mu.Unlock()
+		return
+	}
+	payload, err := EncodeArtifact(&Artifact{Key: key, Contract: ct, Paths: paths})
+	if err == nil {
+		err = disk.Put(key, payload, store.Meta{
+			Kind:  "contract",
+			NF:    ct.NF,
+			Level: ct.Level,
+			Paths: len(ct.Paths),
+		})
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.diskErrs++
+		c.mu.Unlock()
+	}
+}
+
+// CacheKey reports the content address this generator caches (and a
+// disk store persists) a generation under, or ok=false when the triple
+// is uncacheable. Tools use it to label exported artifacts and to
+// address stored contracts.
+func (g *Generator) CacheKey(prog *nfir.Program, models map[string]nfir.Model) (string, bool) {
+	return g.cacheKey(prog, models)
 }
 
 // cacheKey derives the content address for one generation, or reports

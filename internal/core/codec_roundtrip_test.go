@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/experiments"
+)
+
+// TestCodecRoundTripFigure1 round-trips every Figure-1 scenario contract
+// through the artifact codec: all fourteen classes across NAT, bridge,
+// load balancer, and LPM router, at full-stack level with real traces,
+// witnesses, and polynomial costs.
+func TestCodecRoundTripFigure1(t *testing.T) {
+	scens, err := experiments.Scenarios(experiments.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 14 {
+		t.Fatalf("expected the 14 Figure-1 scenarios, got %d", len(scens))
+	}
+	for _, s := range scens {
+		data, err := core.EncodeArtifact(&core.Artifact{Contract: s.Contract})
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.Name, err)
+		}
+		got, err := core.DecodeArtifact(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.Name, err)
+		}
+		re, err := core.EncodeArtifact(got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", s.Name, err)
+		}
+		if !bytes.Equal(data, re) {
+			t.Fatalf("%s: decode∘encode is not the identity", s.Name)
+		}
+		// The decoded contract must be indistinguishable from the
+		// original through the legacy summary export too (this is the
+		// byte-identity gate chainbench applies to composed contracts).
+		want, err := json.Marshal(s.Contract)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := json.Marshal(got.Contract)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, have) {
+			t.Fatalf("%s: decoded contract diverges in summary export", s.Name)
+		}
+	}
+}
+
+// TestCodecRoundTripRawPaths regenerates one NF with its raw symbolic
+// paths and round-trips contract AND paths — the cache-entry form the
+// disk store persists so chain composition can extend stored prefixes.
+func TestCodecRoundTripRawPaths(t *testing.T) {
+	sc := experiments.QuickScale()
+	stages, _, err := experiments.ChainBenchStages(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sc.Generator()
+	for _, stage := range stages[:3] {
+		ct, paths, err := g.GenerateWithPaths(stage.Prog, stage.Models)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", stage.Prog.Name, err)
+		}
+		data, err := core.EncodeArtifact(&core.Artifact{Key: "", Contract: ct, Paths: paths})
+		if err != nil {
+			t.Fatalf("%s: encode: %v", stage.Prog.Name, err)
+		}
+		got, err := core.DecodeArtifact(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", stage.Prog.Name, err)
+		}
+		if len(got.Paths) != len(paths) {
+			t.Fatalf("%s: %d raw paths decoded, want %d", stage.Prog.Name, len(got.Paths), len(paths))
+		}
+		for i, rp := range got.Paths {
+			orig := paths[i]
+			if rp.Session != nil {
+				t.Fatalf("%s: decoded path %d carries a solver session", stage.Prog.Name, i)
+			}
+			// Sessions are runtime-only and never serialized, and the
+			// codec collapses empty maps to nil on fields only their
+			// length is ever observed for — normalize a copy of the
+			// original the same way before the deep compare.
+			cp := *orig
+			cp.Session = nil
+			if len(cp.Domains) == 0 {
+				cp.Domains = nil
+			}
+			if len(cp.Ops) == 0 {
+				cp.Ops = nil
+			}
+			if len(cp.PCVRanges) == 0 {
+				cp.PCVRanges = nil
+			}
+			if len(cp.PktWrites) == 0 {
+				cp.PktWrites = nil
+			}
+			if len(cp.Constraints) == 0 {
+				cp.Constraints = nil
+			}
+			if len(cp.Events) == 0 {
+				cp.Events = nil
+			}
+			if len(cp.Accesses) == 0 {
+				cp.Accesses = nil
+			}
+			if !reflect.DeepEqual(&cp, rp) {
+				t.Fatalf("%s: raw path %d diverged across round trip:\n  orig: %+v\n  dec:  %+v", stage.Prog.Name, i, &cp, rp)
+			}
+		}
+		re, err := core.EncodeArtifact(got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", stage.Prog.Name, err)
+		}
+		if !bytes.Equal(data, re) {
+			t.Fatalf("%s: decode∘encode is not the identity", stage.Prog.Name)
+		}
+	}
+}
+
+// TestCodecRoundTripComposedChain round-trips a composed 4-stage chain
+// contract — the deepest artifact shape, with namespaced symbols, merged
+// traces, and coalesced guards.
+func TestCodecRoundTripComposedChain(t *testing.T) {
+	sc := experiments.QuickScale()
+	stages, _, err := experiments.ChainBenchStages(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sc.Generator()
+	ct, _, err := core.ComposeManyStats(context.Background(), g, stages[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := core.EncodeArtifact(&core.Artifact{Contract: ct})
+	if err != nil {
+		t.Fatalf("encode composed chain: %v", err)
+	}
+	got, err := core.DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("decode composed chain: %v", err)
+	}
+	want, _ := json.Marshal(ct)
+	have, _ := json.Marshal(got.Contract)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("composed chain diverges in summary export after round trip")
+	}
+	re, err := core.EncodeArtifact(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatalf("decode∘encode is not the identity on the composed chain")
+	}
+}

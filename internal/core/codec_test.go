@@ -1,0 +1,314 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// richArtifact builds an artifact exercising every wire feature: all four
+// expression node kinds, nested operators, traces with PCVs and model
+// costs, multi-metric polynomial costs, PCV ranges, a nil witness next to
+// a populated one, and raw paths with port expressions, op tallies,
+// accesses, and packet writes.
+func richArtifact() *Artifact {
+	eq := symb.Bin{Op: symb.Eq, L: symb.Sym{Name: "pkt.dst"}, R: symb.Const{V: 0x0A000001}}
+	nested := symb.Bin{
+		Op: symb.LAnd,
+		L:  symb.Not{X: symb.Bin{Op: symb.Ult, L: symb.Sym{Name: "nat.occ"}, R: symb.Const{V: 4096}}},
+		R:  symb.Bin{Op: symb.Ne, L: symb.Sym{Name: "pkt.proto"}, R: symb.Const{V: 17}},
+	}
+	ev := nfir.CallEvent{
+		DS:     "flowtable",
+		Method: "get",
+		Outcome: nfir.Outcome{
+			Label:       "absent",
+			Results:     []symb.Expr{symb.Sym{Name: "ft.r0"}},
+			Constraints: []symb.Expr{symb.Bin{Op: symb.Eq, L: symb.Sym{Name: "ft.r0"}, R: symb.Const{V: 0}}},
+			Domains:     map[string]symb.Domain{"ft.r0": {Lo: 0, Hi: 1}},
+			Cost: map[perf.Metric]expr.Poly{
+				perf.Instructions: expr.FromTerms(map[expr.Mono]uint64{"": 40, "c": 7}),
+				perf.MemAccesses:  expr.FromTerms(map[expr.Mono]uint64{"c": 3}),
+			},
+			PCVs: []nfir.PCV{{Name: "c", Range: expr.Range{Lo: 0, Hi: 6}}},
+		},
+		ResultSyms: []string{"ft.r0"},
+	}
+	ct := &Contract{
+		NF:    "test-nf",
+		Level: "full",
+		Paths: []*PathContract{
+			{
+				ID:          0,
+				Action:      nfir.ActionForward,
+				Constraints: []symb.Expr{eq, nested},
+				Domains:     map[string]symb.Domain{"pkt.dst": {Lo: 0, Hi: 1<<32 - 1}},
+				Events:      "flowtable.get:absent",
+				Trace:       []nfir.CallEvent{ev},
+				Cost: map[perf.Metric]expr.Poly{
+					perf.Instructions: expr.FromTerms(map[expr.Mono]uint64{"": 120, "c": 7, "c^2": 2}),
+					perf.MemAccesses:  expr.FromTerms(map[expr.Mono]uint64{"": 30, "c": 3}),
+					perf.Cycles:       expr.FromTerms(map[expr.Mono]uint64{"": 4100, "c*m": 11}),
+				},
+				PCVRanges: map[string]expr.Range{"c": {Lo: 0, Hi: 6}, "m": {Lo: 1, Hi: 64}},
+				Witness:   map[string]uint64{"pkt.dst": 0x0A000001, "pkt.proto": 6},
+			},
+			{
+				ID:      1,
+				Action:  nfir.ActionDrop,
+				Events:  "",
+				Cost:    map[perf.Metric]expr.Poly{perf.Instructions: expr.FromTerms(map[expr.Mono]uint64{"": 55})},
+				Witness: nil, // solver Unknown: retained conservatively, no witness
+			},
+		},
+	}
+	paths := []*nfir.Path{
+		{
+			ID:          0,
+			Constraints: []symb.Expr{eq, nested},
+			Domains:     map[string]symb.Domain{"pkt.dst": {Lo: 0, Hi: 1<<32 - 1}},
+			Events:      []nfir.CallEvent{ev},
+			Action:      nfir.ActionForward,
+			Port:        symb.Bin{Op: symb.And, L: symb.Sym{Name: "ft.r0"}, R: symb.Const{V: 3}},
+			StatelessIC: 80,
+			StatelessMA: 20,
+			Ops: map[perf.OpClass]uint64{
+				perf.OpALU: 60, perf.OpBranch: 12, perf.OpLoad: 14, perf.OpStore: 6, perf.OpCall: 2,
+			},
+			Accesses: []nfir.SymAccess{
+				{Known: true, Addr: 0x1000, Size: 8, Store: false},
+				{Known: false, Size: 4, Store: true},
+			},
+			PCVRanges: map[string]expr.Range{"c": {Lo: 0, Hi: 6}},
+			PktWrites: map[uint64]nfir.PktWrite{
+				24: {Size: 4, Val: symb.Const{V: 0xC0A80001}},
+				2:  {Size: 2, Val: symb.Sym{Name: "nat.port"}},
+			},
+		},
+		{
+			ID:     1,
+			Action: nfir.ActionDrop,
+		},
+	}
+	return &Artifact{Key: strings.Repeat("ab", 32), Contract: ct, Paths: paths}
+}
+
+func TestCodecRoundTripRich(t *testing.T) {
+	a := richArtifact()
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("decode is not the inverse of encode:\n  in:  %+v\n  out: %+v", a, got)
+	}
+	re, err := EncodeArtifact(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatalf("encode is not deterministic across a round trip")
+	}
+	// Witness nil-vs-empty must survive: path 1 has no witness, and the
+	// wire bytes must say null (not omit the field, not say {}).
+	if !bytes.Contains(data, []byte(`"witness":null`)) {
+		t.Fatalf("nil witness not encoded as null:\n%s", data)
+	}
+}
+
+func TestCodecGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "artifact_v1.golden.json")
+	data, err := EncodeArtifact(richArtifact())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run TestCodecGolden -update ./internal/core` after an intentional schema change): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("artifact encoding drifted from the pinned version-%d schema; if intentional, bump ArtifactVersion and regenerate with -update", ArtifactVersion)
+	}
+	if _, err := DecodeArtifact(want); err != nil {
+		t.Fatalf("golden artifact no longer decodes: %v", err)
+	}
+}
+
+func TestCodecContractOnly(t *testing.T) {
+	a := &Artifact{Contract: richArtifact().Contract} // no key, no raw paths
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Key != "" || got.Paths != nil {
+		t.Fatalf("contract-only artifact grew key %q / %d raw paths", got.Key, len(got.Paths))
+	}
+	if !reflect.DeepEqual(a.Contract, got.Contract) {
+		t.Fatalf("contract-only round trip diverged")
+	}
+}
+
+func TestCodecEncodeRejects(t *testing.T) {
+	if _, err := EncodeArtifact(nil); err == nil {
+		t.Errorf("encoded a nil artifact")
+	}
+	if _, err := EncodeArtifact(&Artifact{}); err == nil {
+		t.Errorf("encoded an artifact without a contract")
+	}
+	ct := &Contract{NF: "x", Paths: []*PathContract{{ID: 0}}}
+	if _, err := EncodeArtifact(&Artifact{Contract: ct, Paths: []*nfir.Path{{}, {}}}); err == nil {
+		t.Errorf("encoded misaligned raw paths")
+	}
+	if _, err := EncodeArtifact(&Artifact{Contract: &Contract{NF: "x", Paths: []*PathContract{
+		{Constraints: []symb.Expr{nil}},
+	}}}); err == nil {
+		t.Errorf("encoded a nil expression")
+	}
+}
+
+func TestCodecDecodeRejects(t *testing.T) {
+	valid, err := EncodeArtifact(richArtifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(old, new string) []byte {
+		s := string(valid)
+		if !strings.Contains(s, old) {
+			t.Fatalf("mutation anchor %q not present in encoding", old)
+		}
+		return []byte(strings.Replace(s, old, new, 1))
+	}
+	cases := map[string][]byte{
+		"empty input":       []byte(""),
+		"not json":          []byte("boltstore1 junk"),
+		"truncated":         valid[:len(valid)/2],
+		"trailing data":     append(append([]byte{}, valid...), []byte(" {}")...),
+		"wrong format":      mutate(`"format":"gobolt-contract"`, `"format":"gobolt-contrakt"`),
+		"future version":    mutate(`"version":1`, `"version":2`),
+		"unknown field":     mutate(`"nf":"test-nf"`, `"nf":"test-nf","zzz":1`),
+		"unknown action":    mutate(`"action":"drop"`, `"action":"teleport"`),
+		"unknown operator":  mutate(`"op":"=="`, `"op":"==="`),
+		"unknown metric":    mutate(`"ic":`, `"IC":`),
+		"bad monomial":      mutate(`"c^2":2`, `"c^0":2`),
+		"zero coefficient":  mutate(`"c^2":2`, `"c^2":0`),
+		"whitespace":        mutate(`"version":1`, `"version": 1`),
+		"reordered fields":  mutate(`"format":"gobolt-contract","version":1`, `"version":1,"format":"gobolt-contract"`),
+		"malformed const":   mutate(`{"k":"c","v":167772161}`, `{"k":"c","v":167772161,"n":"x"}`),
+		"empty symbol name": mutate(`{"k":"s","n":"nat.port"}`, `{"k":"s","n":""}`),
+		"witness omitted":   mutate(`,"witness":null`, ``),
+	}
+	for name, data := range cases {
+		if _, err := DecodeArtifact(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt artifact", name)
+		}
+	}
+	// Misaligned raw paths: drop one raw path from the array.
+	var f map[string]json.RawMessage
+	if err := json.Unmarshal(valid, &f); err != nil {
+		t.Fatal(err)
+	}
+	var raws []json.RawMessage
+	if err := json.Unmarshal(f["raw_paths"], &raws); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := json.Marshal(raws[:1])
+	misaligned := bytes.Replace(valid, f["raw_paths"], one, 1)
+	if _, err := DecodeArtifact(misaligned); err == nil {
+		t.Errorf("decode accepted raw paths misaligned with contract paths")
+	}
+}
+
+// TestCodecDecodeNeverFolds pins that decoding reconstructs expression
+// trees verbatim: a stored (3 + 4) must stay Bin{Add,3,4}, not fold to 7
+// the way the symb.B constructor would.
+func TestCodecDecodeNeverFolds(t *testing.T) {
+	a := &Artifact{Contract: &Contract{NF: "x", Paths: []*PathContract{{
+		ID:          0,
+		Action:      nfir.ActionDrop,
+		Constraints: []symb.Expr{symb.Bin{Op: symb.Add, L: symb.Const{V: 3}, R: symb.Const{V: 4}}},
+		Witness:     nil,
+	}}}}
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := got.Contract.Paths[0].Constraints[0].(symb.Bin)
+	if !ok {
+		t.Fatalf("constant-foldable expression decoded as %T, want symb.Bin", got.Contract.Paths[0].Constraints[0])
+	}
+	if b.Op != symb.Add {
+		t.Fatalf("operator rewritten to %v", b.Op)
+	}
+}
+
+func FuzzContractCodec(f *testing.F) {
+	valid, err := EncodeArtifact(richArtifact())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	minimal, err := EncodeArtifact(&Artifact{Contract: &Contract{NF: "m", Level: "full"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(minimal)
+	f.Add([]byte(`{"format":"gobolt-contract","version":1,"contract":{"nf":"m","level":"","paths":[]}}`))
+	f.Add([]byte(`{"format":"gobolt-contract","version":9,"contract":null}`))
+	f.Add(valid[:len(valid)/3])
+	f.Add(bytes.ToUpper(valid))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(data)
+		if err != nil {
+			return // rejected is always a fine outcome for fuzz input
+		}
+		// Accepted input must be the canonical encoding of its content:
+		// decode ∘ encode is the identity on everything DecodeArtifact
+		// lets through.
+		re, err := EncodeArtifact(a)
+		if err != nil {
+			t.Fatalf("decoded artifact does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical artifact:\n in: %q\nout: %q", data, re)
+		}
+		b, err := DecodeArtifact(re)
+		if err != nil {
+			t.Fatalf("re-encoded artifact does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("decode unstable across round trip")
+		}
+	})
+}

@@ -42,6 +42,10 @@ type Scale struct {
 	// NoCache disables the process-wide contract cache, forcing every
 	// generation through the full pipeline (used by the cold benchmarks).
 	NoCache bool
+	// Cache, when non-nil, is used instead of the process-wide
+	// SharedCache (and overrides NoCache). The -store tooling and the
+	// warm-restart tests inject a disk-backed cache this way.
+	Cache *core.ContractCache
 }
 
 // Generator returns the production generator configured for this scale:
@@ -51,7 +55,10 @@ type Scale struct {
 func (sc Scale) Generator() *core.Generator {
 	g := core.NewGenerator()
 	g.Parallelism = sc.Parallelism
-	if !sc.NoCache {
+	switch {
+	case sc.Cache != nil:
+		g.Cache = sc.Cache
+	case !sc.NoCache:
 		g.Cache = core.SharedCache()
 	}
 	return g

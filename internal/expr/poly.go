@@ -67,6 +67,44 @@ func monoFromPowers(pow map[string]int) Mono {
 	return Mono(b.String())
 }
 
+// ParseMono validates an externally supplied monomial spelling and
+// returns it as a Mono. It accepts exactly the canonical form NewMono
+// produces — factors sorted lexicographically, powers > 1 rendered as
+// "name^k", no duplicate factors — so the contract codec can reject
+// corrupted or non-canonical stored polynomials instead of panicking in
+// Powers. The empty string is the constant monomial.
+func ParseMono(s string) (Mono, error) {
+	if s == "" {
+		return ConstMono, nil
+	}
+	pow := make(map[string]int)
+	prev := ""
+	for _, f := range strings.Split(s, "*") {
+		name, k := f, 1
+		if i := strings.IndexByte(f, '^'); i >= 0 {
+			name = f[:i]
+			var err error
+			k, err = strconv.Atoi(f[i+1:])
+			if err != nil || k < 2 {
+				return ConstMono, fmt.Errorf("expr: malformed monomial factor %q in %q", f, s)
+			}
+		}
+		if name == "" || strings.ContainsAny(name, "*^") {
+			return ConstMono, fmt.Errorf("expr: malformed monomial factor %q in %q", f, s)
+		}
+		if prev != "" && name <= prev {
+			return ConstMono, fmt.Errorf("expr: non-canonical monomial %q (factors unsorted or repeated)", s)
+		}
+		prev = name
+		pow[name] = k
+	}
+	m := monoFromPowers(pow)
+	if string(m) != s {
+		return ConstMono, fmt.Errorf("expr: non-canonical monomial %q", s)
+	}
+	return m, nil
+}
+
 // Powers decomposes the monomial into its per-variable powers.
 func (m Mono) Powers() map[string]int {
 	pow := make(map[string]int)

@@ -18,6 +18,21 @@ const (
 	ActionDrop
 )
 
+// ParseActionKind resolves an action's String name; unknown names
+// report ok=false. It is the strict inverse the contract codec decodes
+// stored paths with.
+func ParseActionKind(s string) (ActionKind, bool) {
+	switch s {
+	case "forward":
+		return ActionForward, true
+	case "drop":
+		return ActionDrop, true
+	case "none":
+		return ActionNone, true
+	}
+	return ActionNone, false
+}
+
 // String names the action.
 func (k ActionKind) String() string {
 	switch k {

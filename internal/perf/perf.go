@@ -60,6 +60,18 @@ func ParseMetric(s string) (Metric, error) {
 	}
 }
 
+// ParseOpClass resolves an OpClass's String name; unknown names report
+// ok=false. It is the strict inverse the contract codec decodes stored
+// per-path operation tallies with.
+func ParseOpClass(s string) (OpClass, bool) {
+	for c := OpClass(0); c < OpClass(NumOpClasses); c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // OpClass classifies an executed operation for the purpose of cycle-cost
 // lookup in a hardware model. The classes mirror the broad x86 cost
 // buckets of the Intel optimisation manual that the paper's conservative

@@ -59,6 +59,23 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", int(o))
 }
 
+// opBySpelling inverts opNames for ParseOp.
+var opBySpelling = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, s := range opNames {
+		m[s] = op
+	}
+	return m
+}()
+
+// ParseOp resolves an operator's String spelling back to the Op. It is
+// the strict inverse the contract codec decodes stored expressions with:
+// unknown spellings report ok=false rather than defaulting.
+func ParseOp(s string) (Op, bool) {
+	op, ok := opBySpelling[s]
+	return op, ok
+}
+
 // IsComparison reports whether the operator yields a boolean (0/1).
 func (o Op) IsComparison() bool {
 	switch o {
