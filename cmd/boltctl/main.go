@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"gobolt/internal/core"
 	"gobolt/internal/perf"
@@ -127,35 +126,10 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// resolveKey expands an unambiguous key prefix to the full stored key.
-func resolveKey(s *store.Store, prefix string) (string, error) {
-	if len(prefix) == 64 {
-		return prefix, nil
-	}
-	keys, err := s.Keys()
-	if err != nil {
-		return "", err
-	}
-	var matches []string
-	for _, k := range keys {
-		if strings.HasPrefix(k, prefix) {
-			matches = append(matches, k)
-		}
-	}
-	switch len(matches) {
-	case 0:
-		return "", fmt.Errorf("no stored contract matches %q", prefix)
-	case 1:
-		return matches[0], nil
-	default:
-		return "", fmt.Errorf("%q is ambiguous: matches %d stored contracts", prefix, len(matches))
-	}
-}
-
-// load resolves a key prefix and returns the artifact with its canonical
-// payload bytes.
+// load resolves a key prefix (store.Resolve) and returns the artifact
+// with its canonical payload bytes.
 func load(s *store.Store, prefix string) (*core.Artifact, []byte, error) {
-	key, err := resolveKey(s, prefix)
+	key, err := s.Resolve(prefix)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,11 +12,15 @@
 //	boltmon -trace uniform                  # watch a uniform workload
 //	boltmon -pcap trace.pcap [-inport P]    # watch a captured trace
 //	boltmon -benchjson BENCH_monitor.json   # monitored-vs-bare overhead
+//	boltmon -store DIR -nf N -key PREFIX    # monitor a stored contract
 //
 // Watch mode monitors the attack-tuned bridge by default; -nf NAME
 // watches a roster NF under uniform traffic instead. With -store DIR
 // contract generation is backed by the shared on-disk store, so a
-// contract bolt or boltbench already generated is loaded, not rebuilt.
+// contract bolt or boltbench already generated is loaded, not rebuilt;
+// with -key the contract MUST come from the store (wrong or missing keys
+// error — no silent regeneration). -shards N fans classification out to
+// N flow-hashed monitor shards over batched ingest (-batch).
 package main
 
 import (
@@ -53,6 +57,9 @@ func main() {
 		benchruns = flag.Int("benchruns", 3, "benchmark passes per mode (best-of)")
 		nfName    = flag.String("nf", "", "watch this roster NF instead of the attack-tuned bridge: "+nf.NamesList())
 		storeDir  = flag.String("store", "", "back contract generation with the on-disk store at this directory (shared with bolt/boltbench/boltctl)")
+		shards    = flag.Int("shards", 0, "flow-hashed monitor shards (0 or 1 = serial pooled path)")
+		batch     = flag.Int("batch", 0, "packets per shard ingest batch in sharded mode (0 = default)")
+		keyArg    = flag.String("key", "", "monitor with this stored contract (key or unambiguous prefix, requires -store and -nf); never regenerates")
 	)
 	flag.Parse()
 
@@ -67,13 +74,45 @@ func main() {
 	if *packets > 0 {
 		sc.Packets = *packets
 	}
+	sc.MonitorShards = *shards
+	sc.MonitorBatch = *batch
+	var st *store.Store
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		st = s
 		sc.Cache = core.NewContractCache()
 		sc.Cache.AttachDisk(s)
+	}
+
+	// -key mode: the contract is a durable artifact loaded by content key.
+	// Generation is refused outright — a missing or wrong key is an error,
+	// never a silent rebuild (the operator asked to monitor a *specific*
+	// reviewed contract).
+	var fixed *core.Contract
+	if *keyArg != "" {
+		if st == nil {
+			fatal(fmt.Errorf("-key requires -store"))
+		}
+		if *nfName == "" {
+			fatal(fmt.Errorf("-key requires -nf (the roster NF the stored contract describes)"))
+		}
+		key, err := st.Resolve(*keyArg)
+		if err != nil {
+			fatal(err)
+		}
+		payload, err := st.Get(key)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", key[:12], err))
+		}
+		a, err := core.DecodeArtifact(payload)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", key[:12], err))
+		}
+		fixed = a.Contract
+		fmt.Printf("monitoring stored contract %s (%s, %d paths)\n", key[:12], a.Contract.NF, len(a.Contract.Paths))
 	}
 
 	if *benchjson != "" {
@@ -93,12 +132,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mcfg := monitor.Config{Metric: m, Budget: *budget, Trigger: *trigger, Clear: *clearN}
+	mcfg := monitor.Config{
+		Metric: m, Budget: *budget, Trigger: *trigger, Clear: *clearN,
+		Shards: *shards, Batch: *batch,
+	}
 
 	var alerted bool
 	switch {
-	case *pcapPath != "" || *trace == "uniform":
-		alerted, err = watch(ctx, sc, mcfg, *nfName, *pcapPath, *inPort)
+	case fixed != nil || *pcapPath != "" || *trace == "uniform":
+		alerted, err = watch(ctx, sc, mcfg, *nfName, *pcapPath, *inPort, fixed)
 	case *trace == "attack" || *trace == "benign":
 		res, aerr := experiments.AttackDetection(sc)
 		if aerr != nil {
@@ -138,11 +180,19 @@ func main() {
 // calibrating a budget from benign traffic when none was given. An
 // empty nfName means the attack-tuned bridge the §5.2 experiments use;
 // any roster name watches that NF under uniform UDP (or bridge-frame)
-// traffic.
-func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, nfName, pcapPath string, inPort uint64) (bool, error) {
+// traffic. A non-nil fixed contract (the -key mode) is used as-is —
+// watch never generates one in that case.
+func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, nfName, pcapPath string, inPort uint64, fixed *core.Contract) (bool, error) {
 	// build returns a fresh instance each call: calibration and the
 	// monitored run must not share mutable NF state.
 	build := func() (*nf.Instance, *core.Contract, error) {
+		if fixed != nil {
+			inst, err := nf.Build(nfName, nf.BuildParams{Capacity: sc.TableCapacity})
+			if err != nil {
+				return nil, nil, err
+			}
+			return inst, fixed, nil
+		}
 		if nfName == "" {
 			br, ct, err := experiments.AttackBridge(sc)
 			if err != nil {

@@ -151,6 +151,24 @@ func groupKey(action nfir.ActionKind, sig string) string {
 	return action.String() + "|" + sig
 }
 
+// AppendGroupKey appends the classifier group key for (action, calls) to
+// dst and returns the extended slice — byte-for-byte what groupKey over
+// CallSig builds, without allocating. The monitor's per-packet hot path
+// keys its group lookup with this into a reused buffer.
+func AppendGroupKey(dst []byte, action nfir.ActionKind, calls []CallRecord) []byte {
+	dst = append(dst, action.String()...)
+	dst = append(dst, '|')
+	for i := range calls {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, calls[i].DS...)
+		dst = append(dst, '.')
+		dst = append(dst, calls[i].Method...)
+	}
+	return dst
+}
+
 func pathSig(trace []nfir.CallEvent) string {
 	parts := make([]string, len(trace))
 	for i, ev := range trace {
@@ -340,8 +358,18 @@ func (mp *matcherPath) match(obs *PacketObservation) bool {
 // deterministic). ok is false when no path matches — a packet the
 // contract does not cover, which the monitor surfaces as its own signal.
 func (c *Classifier) Classify(obs *PacketObservation) (*PathContract, bool) {
+	var key []byte
+	return c.ClassifyKeyed(obs, &key)
+}
+
+// ClassifyKeyed is Classify with a caller-owned key buffer: the group
+// key is built into *keyBuf (reusing its capacity) and the map lookup
+// converts it without allocating, so a steady-state classification does
+// no string building at all.
+func (c *Classifier) ClassifyKeyed(obs *PacketObservation, keyBuf *[]byte) (*PathContract, bool) {
+	*keyBuf = AppendGroupKey((*keyBuf)[:0], obs.Action, obs.Calls)
 	best := (*PathContract)(nil)
-	for _, mp := range c.groups[groupKey(obs.Action, CallSig(obs.Calls))] {
+	for _, mp := range c.groups[string(*keyBuf)] {
 		if mp.match(obs) {
 			if best == nil || mp.pc.ID < best.ID {
 				best = mp.pc
@@ -400,6 +428,87 @@ func AttachRecorder(env *nfir.Env, log *[]CallRecord) (restore func()) {
 	for name, ds := range env.DS {
 		orig[name] = ds
 		env.DS[name] = &recordingDS{name: name, inner: ds, log: log}
+	}
+	return func() {
+		for name, ds := range orig {
+			env.DS[name] = ds
+		}
+	}
+}
+
+// CallLog is a reusable call-record sink: Reset it per packet and the
+// steady state allocates nothing — records and their result copies land
+// in arenas whose capacity survives the reset. The monitor's pooled fast
+// path brackets runs with AttachCallLog instead of AttachRecorder.
+//
+// Records sliced out of a log are valid only until the next Reset; copy
+// them (CopyInto) to retain a packet's calls past its observation.
+type CallLog struct {
+	recs []CallRecord
+	res  []uint64
+}
+
+// Reset discards the current packet's records, keeping capacity. Earlier
+// Records() slices must not be read afterwards.
+func (l *CallLog) Reset() {
+	l.recs = l.recs[:0]
+	l.res = l.res[:0]
+}
+
+// Records returns the calls recorded since the last Reset.
+func (l *CallLog) Records() []CallRecord { return l.recs }
+
+// add appends one call, copying results into the log's arena. A grown
+// arena leaves earlier records pointing at the old backing array, which
+// still holds their values — no fixup needed.
+func (l *CallLog) add(ds, method string, results []uint64, outcome string) {
+	start := len(l.res)
+	l.res = append(l.res, results...)
+	l.recs = append(l.recs, CallRecord{
+		DS: ds, Method: method,
+		Results: l.res[start:len(l.res):len(l.res)],
+		Outcome: outcome,
+	})
+}
+
+// Append deep-copies records into the log's arenas (without resetting)
+// and returns the copied slice — how the sharded monitor hands a
+// packet's calls to another goroutine. The returned slice stays valid
+// until the log's next Reset.
+func (l *CallLog) Append(recs []CallRecord) []CallRecord {
+	from := len(l.recs)
+	for i := range recs {
+		r := &recs[i]
+		l.add(r.DS, r.Method, r.Results, r.Outcome)
+	}
+	return l.recs[from:len(l.recs):len(l.recs)]
+}
+
+// callLogDS is recordingDS over a pooled CallLog.
+type callLogDS struct {
+	name  string
+	inner nfir.ConcreteDS
+	log   *CallLog
+}
+
+// Invoke implements nfir.ConcreteDS.
+func (r *callLogDS) Invoke(method string, args []uint64, env *nfir.Env) ([]uint64, error) {
+	env.TakeOutcome() // drop any stale label from an unrecorded call
+	results, err := r.inner.Invoke(method, args, env)
+	if err != nil {
+		return results, err
+	}
+	r.log.add(r.name, method, results, env.TakeOutcome())
+	return results, nil
+}
+
+// AttachCallLog is AttachRecorder over a pooled CallLog: calls append to
+// log without per-call allocations once the arenas are warm.
+func AttachCallLog(env *nfir.Env, log *CallLog) (restore func()) {
+	orig := make(map[string]nfir.ConcreteDS, len(env.DS))
+	for name, ds := range env.DS {
+		orig[name] = ds
+		env.DS[name] = &callLogDS{name: name, inner: ds, log: log}
 	}
 	return func() {
 		for name, ds := range orig {

@@ -46,6 +46,12 @@ type Scale struct {
 	// SharedCache (and overrides NoCache). The -store tooling and the
 	// warm-restart tests inject a disk-backed cache this way.
 	Cache *core.ContractCache
+	// MonitorShards and MonitorBatch configure the online monitor the
+	// attack experiments build (boltmon -shards/-batch): shard count for
+	// the flow-hashed engines and packets per ingest batch. Zero means
+	// the monitor defaults (serial, batch 64).
+	MonitorShards int
+	MonitorBatch  int
 }
 
 // Generator returns the production generator configured for this scale:

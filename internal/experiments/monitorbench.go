@@ -92,7 +92,7 @@ func (r *AttackDetectionResult) Detected() bool {
 //  3. Control: an equal-rate benign burst (fresh seed) must not page.
 func AttackDetection(sc Scale) (*AttackDetectionResult, error) {
 	warmN := warmupFor(sc, classFlows(sc))
-	mcfg := monitor.Config{Trigger: 3, Clear: 8}
+	mcfg := monitor.Config{Trigger: 3, Clear: 8, Shards: sc.MonitorShards, Batch: sc.MonitorBatch}
 	ctx := context.Background()
 
 	// Phase 1: calibration.
@@ -207,29 +207,94 @@ func indent(s string) string {
 	return "  " + strings.Join(lines, "\n  ") + "\n"
 }
 
-// MonitorBenchResult quantifies the monitor's per-packet overhead.
-type MonitorBenchResult struct {
-	Workload   string  `json:"workload"`
-	Packets    int     `json:"packets"`
-	Runs       int     `json:"runs"`
-	BareNsPkt  float64 `json:"bare_ns_per_pkt"`
-	MonNsPkt   float64 `json:"monitored_ns_per_pkt"`
-	BarePPS    float64 `json:"bare_pkts_per_sec"`
-	MonPPS     float64 `json:"monitored_pkts_per_sec"`
+// benchStreamCount is the flow population of the overhead benchmark: 8
+// independent L2 conversations, enough for the flow hash to spread them
+// across every shard count the ablation sweeps.
+const benchStreamCount = 8
+
+// benchWorkload builds the shared benchmark workload: benchStreamCount
+// independent bridge conversations, interleaved into a warmup trace
+// (every station learned) and a measured trace. The measured trace is
+// stream-consistent — each conversation keeps one L3 identity — so every
+// monitored mode, serial through 8 shards, produces the identical merged
+// report over it.
+func benchWorkload(sc Scale) (warm, meas []traffic.Packet) {
+	warmN := warmupFor(sc, classFlows(sc))
+	warmPer := (warmN + benchStreamCount - 1) / benchStreamCount
+	measPer := sc.Packets * 4 / benchStreamCount
+	streams := traffic.BridgeStreams(traffic.StreamConfig{
+		Streams: benchStreamCount, PacketsPerStream: warmPer + measPer, Seed: 13,
+	})
+	warmStreams := make([][]traffic.Packet, len(streams))
+	measStreams := make([][]traffic.Packet, len(streams))
+	for i, s := range streams {
+		warmStreams[i], measStreams[i] = s[:warmPer], s[warmPer:]
+	}
+	warm = traffic.Interleave(42, 1_000, 1_000, warmStreams...)
+	meas = traffic.Interleave(43, 1_000+uint64(len(warm))*1_000, 1_000, measStreams...)
+	return warm, meas
+}
+
+// MonitorBenchRow is one monitored mode's cost in the ablation.
+type MonitorBenchRow struct {
+	// Mode is "unpooled" (the pre-pooling per-packet path: fresh
+	// observation and call-record allocations per packet), "pooled" (the
+	// serial arena-pooled fast path), or "sharded" (flow-hashed batched
+	// ingest into Shards engines).
+	Mode       string  `json:"mode"`
+	Shards     int     `json:"shards,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	NsPkt      float64 `json:"ns_per_pkt"`
+	PPS        float64 `json:"pkts_per_sec"`
 	OverheadPc float64 `json:"overhead_pct"`
 }
 
-// MonitorBench times a bridge replay bare (distill.Runner only) and
-// monitored (classification + bound evaluation + streaming state per
-// packet) and reports the per-packet cost of online enforcement. Each
-// mode takes the best of runs passes over a freshly warmed instance.
+// MonitorBenchResult quantifies the monitor's per-packet overhead across
+// the pooling/sharding/batching ablation, against the bare replay.
+type MonitorBenchResult struct {
+	Workload  string            `json:"workload"`
+	Packets   int               `json:"packets"`
+	Runs      int               `json:"runs"`
+	BareNsPkt float64           `json:"bare_ns_per_pkt"`
+	BarePPS   float64           `json:"bare_pkts_per_sec"`
+	Rows      []MonitorBenchRow `json:"rows"`
+}
+
+// Overhead returns the named row's overhead percentage (the headline
+// number is mode "pooled"); ok is false when the row was not measured.
+func (r MonitorBenchResult) Overhead(mode string, shards, batch int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.Shards == shards && row.Batch == batch {
+			return row.OverheadPc, true
+		}
+	}
+	return 0, false
+}
+
+// MonitorBench times the multi-stream bridge replay bare (distill.Runner
+// only) and under each monitor configuration of the ablation:
+//
+//   - unpooled: the per-packet path as it shipped pre-pooling (NoPool —
+//     fresh observation + call-record copies per packet),
+//   - pooled: the serial arena-pooled fast path (the default),
+//   - sharded {1,2,4} × batch 64, plus shards 2 × batch 1 as the
+//     batched-vs-unbatched ablation.
+//
+// Every mode replays the identical workload over a freshly warmed
+// instance and takes the best of runs passes. Note the NF execution
+// itself is serial (the instance is shared state); sharding parallelises
+// only the monitoring work, so on a single-CPU box the sharded rows
+// measure fan-out overhead, not speedup.
 func MonitorBench(sc Scale, runs int) (MonitorBenchResult, error) {
 	if runs <= 0 {
 		runs = 3
 	}
-	warmN := warmupFor(sc, classFlows(sc))
-	n := sc.Packets * 4
-	res := MonitorBenchResult{Workload: "bridge-uniform", Packets: n, Runs: runs}
+	warm, meas := benchWorkload(sc)
+	n := len(meas)
+	res := MonitorBenchResult{
+		Workload: fmt.Sprintf("bridge-streams(%d)", benchStreamCount),
+		Packets:  n, Runs: runs,
+	}
 	ctx := context.Background()
 
 	bare := func() (time.Duration, error) {
@@ -238,33 +303,34 @@ func MonitorBench(sc Scale, runs int) (MonitorBenchResult, error) {
 			return 0, err
 		}
 		runner := &distill.Runner{}
-		if _, err := runner.Run(br.Instance, attackBenign(sc, warmN, 1_000, 42)); err != nil {
+		if _, err := runner.Run(br.Instance, warm); err != nil {
 			return 0, err
 		}
-		pkts := attackBenign(sc, n, 1_000+uint64(warmN)*1_000, 13)
 		start := time.Now()
-		_, err = runner.Run(br.Instance, pkts)
+		_, err = runner.Run(br.Instance, meas)
 		return time.Since(start), err
 	}
-	monitored := func() (time.Duration, error) {
-		br, ct, err := AttackBridge(sc)
-		if err != nil {
-			return 0, err
+	monitored := func(mcfg monitor.Config) func() (time.Duration, error) {
+		return func() (time.Duration, error) {
+			br, ct, err := AttackBridge(sc)
+			if err != nil {
+				return 0, err
+			}
+			mon, err := monitor.New(ct, mcfg)
+			if err != nil {
+				return 0, err
+			}
+			if err := mon.Warm(ctx, br.Instance, warm); err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			_, err = mon.Run(ctx, br.Instance, meas)
+			d := time.Since(start)
+			if err == nil && mon.Unclassified() > 0 {
+				err = fmt.Errorf("monitorbench: %d packets unclassified", mon.Unclassified())
+			}
+			return d, err
 		}
-		mon, err := monitor.New(ct, monitor.Config{})
-		if err != nil {
-			return 0, err
-		}
-		if err := mon.Warm(ctx, br.Instance, attackBenign(sc, warmN, 1_000, 42)); err != nil {
-			return 0, err
-		}
-		pkts := attackBenign(sc, n, 1_000+uint64(warmN)*1_000, 13)
-		start := time.Now()
-		_, err = mon.Run(ctx, br.Instance, pkts)
-		if err == nil && mon.Unclassified() > 0 {
-			err = fmt.Errorf("monitorbench: %d packets unclassified", mon.Unclassified())
-		}
-		return time.Since(start), err
 	}
 
 	best := func(f func() (time.Duration, error)) (time.Duration, error) {
@@ -284,26 +350,48 @@ func MonitorBench(sc Scale, runs int) (MonitorBenchResult, error) {
 	if err != nil {
 		return res, err
 	}
-	monD, err := best(monitored)
-	if err != nil {
-		return res, err
-	}
 	res.BareNsPkt = float64(bareD.Nanoseconds()) / float64(n)
-	res.MonNsPkt = float64(monD.Nanoseconds()) / float64(n)
 	res.BarePPS = float64(n) / bareD.Seconds()
-	res.MonPPS = float64(n) / monD.Seconds()
-	res.OverheadPc = 100 * (res.MonNsPkt - res.BareNsPkt) / res.BareNsPkt
+
+	modes := []struct {
+		row MonitorBenchRow
+		cfg monitor.Config
+	}{
+		{MonitorBenchRow{Mode: "unpooled"}, monitor.Config{NoPool: true}},
+		{MonitorBenchRow{Mode: "pooled"}, monitor.Config{}},
+		{MonitorBenchRow{Mode: "sharded", Shards: 1, Batch: 64}, monitor.Config{Shards: 1, Batch: 64}},
+		{MonitorBenchRow{Mode: "sharded", Shards: 2, Batch: 64}, monitor.Config{Shards: 2, Batch: 64}},
+		{MonitorBenchRow{Mode: "sharded", Shards: 4, Batch: 64}, monitor.Config{Shards: 4, Batch: 64}},
+		{MonitorBenchRow{Mode: "sharded", Shards: 2, Batch: 1}, monitor.Config{Shards: 2, Batch: 1}},
+	}
+	for _, m := range modes {
+		d, err := best(monitored(m.cfg))
+		if err != nil {
+			return res, fmt.Errorf("mode %s/s%d/b%d: %w", m.row.Mode, m.row.Shards, m.row.Batch, err)
+		}
+		row := m.row
+		row.NsPkt = float64(d.Nanoseconds()) / float64(n)
+		row.PPS = float64(n) / d.Seconds()
+		row.OverheadPc = 100 * (row.NsPkt - res.BareNsPkt) / res.BareNsPkt
+		res.Rows = append(res.Rows, row)
+	}
 	return res, nil
 }
 
-// RenderMonitorBench prints the overhead comparison.
+// RenderMonitorBench prints the overhead ablation.
 func RenderMonitorBench(r MonitorBenchResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %12s %14s\n", "replay ("+r.Workload+")", "ns/pkt", "pkts/sec")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 56))
-	fmt.Fprintf(&b, "%-28s %12.0f %14.0f\n", "bare distill.Runner", r.BareNsPkt, r.BarePPS)
-	fmt.Fprintf(&b, "%-28s %12.0f %14.0f\n", "monitored", r.MonNsPkt, r.MonPPS)
-	fmt.Fprintf(&b, "(%d packets, best of %d runs, overhead %.1f%%)\n", r.Packets, r.Runs, r.OverheadPc)
+	fmt.Fprintf(&b, "%-28s %12s %14s %10s\n", "replay ("+r.Workload+")", "ns/pkt", "pkts/sec", "overhead")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 68))
+	fmt.Fprintf(&b, "%-28s %12.0f %14.0f %10s\n", "bare distill.Runner", r.BareNsPkt, r.BarePPS, "-")
+	for _, row := range r.Rows {
+		name := "monitored " + row.Mode
+		if row.Mode == "sharded" {
+			name = fmt.Sprintf("monitored shards=%d batch=%d", row.Shards, row.Batch)
+		}
+		fmt.Fprintf(&b, "%-28s %12.0f %14.0f %9.1f%%\n", name, row.NsPkt, row.PPS, row.OverheadPc)
+	}
+	fmt.Fprintf(&b, "(%d packets, best of %d runs)\n", r.Packets, r.Runs)
 	return b.String()
 }
 

@@ -59,7 +59,8 @@ func (k AlertKind) String() string {
 // come out.
 type Alert struct {
 	Kind AlertKind
-	// PacketIndex counts packets across the monitor's lifetime.
+	// PacketIndex counts packets across the monitor's lifetime, in
+	// arrival order — sharding never renumbers it.
 	PacketIndex int
 	// Time is the packet's arrival timestamp (ns).
 	Time uint64
@@ -73,7 +74,8 @@ type Alert struct {
 	Observed, Predicted, Budget uint64
 	// PCVs are the Distiller-observed PCV values for the packet.
 	PCVs map[string]uint64
-	// Window is the class's recent observed-cost history, oldest first.
+	// Window is the class's recent observed-cost history, oldest first
+	// (the owning shard's view in sharded mode).
 	Window []uint64
 }
 
@@ -121,60 +123,73 @@ type Config struct {
 	// Detailed attaches the detailed hardware model so cycles are
 	// measured and checked.
 	Detailed bool
+
+	// Shards splits classification across this many flow-hashed shards
+	// (default 1 — the serial monitor). Each shard owns its own
+	// classifier scratch, per-class ring/P²/hysteresis state and
+	// compiled-bound value vector; Run feeds them fixed-size batches over
+	// buffered channels, and Report/Alerts merge shard states
+	// deterministically (classes by label, alerts by packet index). On a
+	// trace whose flows are stream-consistent — every input class's
+	// packets hash to one shard — the merged output is byte-identical to
+	// the serial monitor's at any shard count.
+	Shards int
+	// Batch is the sharded ingest granularity in packets (default 64;
+	// 1 hands every packet off individually). Batch size never changes
+	// the merged output, only the amortization of the handoff.
+	Batch int
+	// FlowHash overrides the RSS-style flow hash assigning packets to
+	// shards (default FlowKey). Packets with equal hashes share a shard;
+	// the merge-layer identity guarantee is conditional on the hash
+	// keeping each input class on one shard.
+	FlowHash func(pkt []byte, inPort uint64) uint64
+	// NoPool disables the pooled allocation-free fast path (reused
+	// observations, arena-backed call records, keyed classification) and
+	// replays the original per-packet allocating path — the ablation
+	// lever monitorbench uses. Serial only.
+	NoPool bool
+
 	// OnAlert, when set, sees every alert as it fires (the pluggable
-	// pager hook); alerts are also retained on the monitor.
+	// pager hook); alerts are also retained on the monitor. In sharded
+	// mode it is called from shard goroutines — concurrently — as soon
+	// as a shard pages; the hook must be safe for concurrent use there.
 	OnAlert func(Alert)
 	// OnClassify, when set, sees every packet's classification (path is
 	// nil when no contract path matched) — the differential-test and
 	// debugging tap. The observation is reused between packets; copy
-	// anything retained past the call.
+	// anything retained past the call. Called from shard goroutines in
+	// sharded mode.
 	OnClassify func(obs *core.PacketObservation, path *core.PathContract)
 }
 
-// classState is the streaming state for one input class.
-type classState struct {
-	class       string
-	packets     int
-	violations  int
-	maxObserved uint64
-	maxPred     uint64
-	minHeadroom int64
-	ring        *ring
-	sketch      *quantileSketch
-	hys         hysteresis
-}
-
-// Monitor watches a packet stream against one contract.
+// Monitor watches a packet stream against one contract, optionally
+// sharded across flow-hashed engines.
 type Monitor struct {
 	ct       *core.Contract
-	cls      *core.Classifier
 	cfg      Config
 	runner   *distill.Runner
 	detailed *hwmodel.Detailed
 	pcvNames []string
 	// bounds holds each path's cost polynomials compiled onto the
-	// pcvNames order; vals is the per-packet value vector they read.
-	// BoundAt re-walks monomial strings and maps on every call — far too
-	// slow for the per-packet hot path (it dominated the whole replay).
+	// pcvNames order (shared read-only across shards; CompiledPoly.Eval
+	// is pure). BoundAt re-walks monomial strings and maps on every call
+	// — far too slow for the per-packet hot path.
 	bounds  map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly
 	classOf map[*core.PathContract]string // Class() concatenates per call
-	vals    []uint64
 
-	packets      int
-	unclassified int
-	firstUnclass int
-	violations   int
-	maxPred      uint64
-	classes      map[string]*classState
-	alerts       []Alert
+	engines []*engine
+	// packets counts ingested packets across the monitor's lifetime and
+	// assigns each its global index before sharding.
+	packets int
+
+	log core.CallLog // pooled per-packet call recorder scratch
+	obs core.PacketObservation
+
+	ing *ingester // non-nil while a sharded Run is draining
 }
 
 // New compiles the contract's classifier and returns a monitor.
 func New(ct *core.Contract, cfg Config) (*Monitor, error) {
-	cls, err := core.NewClassifier(ct)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Budget == 0 && cfg.ClockHz > 0 && cfg.TargetPPS > 0 {
 		cfg.Metric = perf.Cycles
 		cfg.Budget = uint64(cfg.ClockHz / cfg.TargetPPS)
@@ -192,11 +207,22 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 	if cfg.Quantile <= 0 || cfg.Quantile >= 1 {
 		cfg.Quantile = 0.99
 	}
-	m := &Monitor{
-		ct: ct, cls: cls, cfg: cfg,
-		firstUnclass: -1,
-		classes:      make(map[string]*classState),
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
+	if cfg.Shards > maxShards {
+		return nil, fmt.Errorf("monitor: %d shards exceeds the %d-shard cap", cfg.Shards, maxShards)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = defaultBatch
+	}
+	if cfg.FlowHash == nil {
+		cfg.FlowHash = FlowKey
+	}
+	if cfg.NoPool && cfg.Shards > 1 {
+		return nil, fmt.Errorf("monitor: NoPool is a serial-only ablation (got %d shards)", cfg.Shards)
+	}
+	m := &Monitor{ct: ct, cfg: cfg}
 	pcvSet := make(map[string]bool)
 	for _, p := range ct.Paths {
 		for v := range p.PCVRanges {
@@ -207,7 +233,6 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 		m.pcvNames = append(m.pcvNames, v)
 	}
 	sort.Strings(m.pcvNames)
-	m.vals = make([]uint64, len(m.pcvNames))
 	m.bounds = make(map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly, len(ct.Paths))
 	m.classOf = make(map[*core.PathContract]string, len(ct.Paths))
 	for _, p := range ct.Paths {
@@ -222,6 +247,14 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 		}
 		m.bounds[p] = &cb
 	}
+	m.engines = make([]*engine, cfg.Shards)
+	for i := range m.engines {
+		e, err := newEngine(m)
+		if err != nil {
+			return nil, err
+		}
+		m.engines[i] = e
+	}
 	m.runner = &distill.Runner{Level: cfg.Level}
 	if cfg.Detailed {
 		m.detailed = hwmodel.NewDetailed()
@@ -233,7 +266,37 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 // Run replays a workload through the instance with monitoring on: every
 // packet is measured, classified, and checked. State persists across
 // calls (same-monitor Warm/Run sequences share hardware-model warmth).
+// With Shards > 1 the classification work drains through the shard
+// goroutines and is fully merged before Run returns.
 func (m *Monitor) Run(ctx context.Context, inst *nf.Instance, pkts []traffic.Packet) ([]distill.Record, error) {
+	if m.cfg.NoPool {
+		return m.runUnpooled(ctx, inst, pkts)
+	}
+	restore := core.AttachCallLog(inst.Env, &m.log)
+	defer restore()
+	m.log.Reset()
+	if m.cfg.Shards > 1 {
+		m.startIngest()
+	}
+	m.runner.Observer = func(_ int, pkt traffic.Packet, rec *distill.Record) {
+		if m.ing != nil {
+			m.ing.enqueue(pkt, rec, m.log.Records())
+		} else {
+			m.observePooled(pkt, rec, m.log.Records())
+		}
+		m.log.Reset()
+	}
+	defer func() { m.runner.Observer = nil }()
+	defer m.finishIngest() // idempotent; drains even on a cancelled run
+	recs, err := m.runner.RunContext(ctx, inst, pkts)
+	m.finishIngest()
+	return recs, err
+}
+
+// runUnpooled is the pre-pooling per-packet path, kept verbatim as the
+// monitorbench ablation baseline: a fresh observation and copied call
+// records per packet, string-keyed classification.
+func (m *Monitor) runUnpooled(ctx context.Context, inst *nf.Instance, pkts []traffic.Packet) ([]distill.Record, error) {
 	var calls []core.CallRecord
 	restore := core.AttachRecorder(inst.Env, &calls)
 	defer restore()
@@ -253,161 +316,57 @@ func (m *Monitor) Warm(ctx context.Context, inst *nf.Instance, pkts []traffic.Pa
 	return err
 }
 
-// Observe feeds one measured packet directly (Run calls it per packet;
-// exposed for harnesses that drive their own runner).
+// Observe feeds one measured packet directly and synchronously (exposed
+// for harnesses that drive their own runner). In sharded configurations
+// the packet still lands on its flow-hashed shard's state, processed
+// inline on the caller's goroutine.
 func (m *Monitor) Observe(pkt traffic.Packet, rec *distill.Record, calls []core.CallRecord) {
 	idx := m.packets
 	m.packets++
-
-	pktLen := uint64(len(pkt.Data))
-	if pktLen > nfir.MaxPacket {
-		pktLen = nfir.MaxPacket
-	}
+	e := m.engines[m.shardOf(pkt.Data, pkt.InPort)]
 	obs := &core.PacketObservation{
-		Pkt: pkt.Data, InPort: pkt.InPort, Time: pkt.Time, PktLen: pktLen,
+		Pkt: pkt.Data, InPort: pkt.InPort, Time: pkt.Time, PktLen: obsPktLen(pkt.Data),
 		Action: rec.Action.Kind, Calls: calls,
 	}
-	path, ok := m.cls.Classify(obs)
-	if m.cfg.OnClassify != nil {
-		m.cfg.OnClassify(obs, path)
-	}
-	if !ok {
-		m.unclassified++
-		if m.firstUnclass < 0 {
-			m.firstUnclass = idx
-			m.fire(Alert{Kind: AlertUnclassified, PacketIndex: idx, Time: pkt.Time, Metric: m.cfg.Metric})
-		}
-		return
-	}
-
-	// The observed-PCV vector, exactly as the offline soundness check
-	// binds it: every PCV the contract mentions, 0 when unobserved.
-	for i, v := range m.pcvNames {
-		m.vals[i] = rec.PCVs[v]
-	}
-
-	// Violation detection on every measured metric.
-	checks := [perf.NumMetrics]struct {
-		metric   perf.Metric
-		observed uint64
-	}{
-		{perf.Instructions, rec.IC},
-		{perf.MemAccesses, rec.MA},
-	}
-	nChecks := 2
-	if m.detailed != nil {
-		checks[nChecks] = struct {
-			metric   perf.Metric
-			observed uint64
-		}{perf.Cycles, rec.Cycles}
-		nChecks++
-	}
-	st := m.classState(m.classOf[path])
-	st.packets++
-	for _, c := range checks[:nChecks] {
-		pred := m.boundAt(path, c.metric)
-		if c.observed > pred {
-			st.violations++
-			m.violations++
-			m.fire(Alert{
-				Kind: AlertViolation, PacketIndex: idx, Time: pkt.Time,
-				Class: m.classOf[path], PathID: path.ID, Metric: c.metric,
-				Observed: c.observed, Predicted: pred,
-				PCVs: m.pcvMap(), Window: st.ring.Snapshot(),
-			})
-		}
-	}
-
-	// Streaming per-class state and overload alerting on the budgeted
-	// metric: the *predicted* bound at the observed PCVs is the signal —
-	// it rises with the PCVs adversarial traffic inflates, ahead of any
-	// measurable collapse.
-	observed := metricValue(rec, m.cfg.Metric)
-	predicted := m.boundAt(path, m.cfg.Metric)
-	st.ring.Add(observed)
-	st.sketch.Add(float64(observed))
-	if observed > st.maxObserved {
-		st.maxObserved = observed
-	}
-	if predicted > st.maxPred {
-		st.maxPred = predicted
-	}
-	if predicted > m.maxPred {
-		m.maxPred = predicted
-	}
-	if m.cfg.Budget > 0 {
-		headroom := int64(m.cfg.Budget) - int64(predicted)
-		if st.packets == 1 || headroom < st.minHeadroom {
-			st.minHeadroom = headroom
-		}
-		fired, cleared := st.hys.Observe(predicted > m.cfg.Budget)
-		if fired {
-			m.fire(Alert{
-				Kind: AlertOverload, PacketIndex: idx, Time: pkt.Time,
-				Class: m.classOf[path], PathID: path.ID, Metric: m.cfg.Metric,
-				Observed: observed, Predicted: predicted, Budget: m.cfg.Budget,
-				PCVs: m.pcvMap(), Window: st.ring.Snapshot(),
-			})
-		}
-		if cleared {
-			m.fire(Alert{
-				Kind: AlertCleared, PacketIndex: idx, Time: pkt.Time,
-				Class: m.classOf[path], PathID: path.ID, Metric: m.cfg.Metric,
-				Predicted: predicted, Budget: m.cfg.Budget,
-			})
-		}
-	}
+	e.observe(idx, obs, rec.IC, rec.MA, rec.Cycles, rec.PCVs)
 }
 
-func (m *Monitor) classState(class string) *classState {
-	st, ok := m.classes[class]
-	if !ok {
-		st = &classState{
-			class:  class,
-			ring:   newRing(m.cfg.RingSize),
-			sketch: newQuantileSketch(m.cfg.Quantile),
-			hys:    hysteresis{Trigger: m.cfg.Trigger, Clear: m.cfg.Clear},
-		}
-		m.classes[class] = st
+// observePooled is Observe on the reused observation — the serial fast
+// path Run drives.
+func (m *Monitor) observePooled(pkt traffic.Packet, rec *distill.Record, calls []core.CallRecord) {
+	idx := m.packets
+	m.packets++
+	e := m.engines[m.shardOf(pkt.Data, pkt.InPort)]
+	m.obs = core.PacketObservation{
+		Pkt: pkt.Data, InPort: pkt.InPort, Time: pkt.Time, PktLen: obsPktLen(pkt.Data),
+		Action: rec.Action.Kind, Calls: calls,
 	}
-	return st
+	e.observe(idx, &m.obs, rec.IC, rec.MA, rec.Cycles, rec.PCVs)
 }
 
-func (m *Monitor) fire(a Alert) {
-	m.alerts = append(m.alerts, a)
-	if m.cfg.OnAlert != nil {
-		m.cfg.OnAlert(a)
+func (m *Monitor) shardOf(pkt []byte, inPort uint64) int {
+	if len(m.engines) == 1 {
+		return 0
 	}
+	return int(m.cfg.FlowHash(pkt, inPort) % uint64(len(m.engines)))
 }
 
-func metricValue(rec *distill.Record, metric perf.Metric) uint64 {
+func obsPktLen(data []byte) uint64 {
+	n := uint64(len(data))
+	if n > nfir.MaxPacket {
+		n = nfir.MaxPacket
+	}
+	return n
+}
+
+func metricValue(ic, ma, cycles uint64, metric perf.Metric) uint64 {
 	switch metric {
 	case perf.MemAccesses:
-		return rec.MA
+		return ma
 	case perf.Cycles:
-		return rec.Cycles
+		return cycles
 	}
-	return rec.IC
-}
-
-// boundAt evaluates a path's bound at the current PCV vector via the
-// pre-compiled polynomial, falling back to BoundAt for the rare path
-// whose cost mentions a variable outside the PCV-range set.
-func (m *Monitor) boundAt(p *core.PathContract, metric perf.Metric) uint64 {
-	if cp := m.bounds[p][metric]; cp != nil {
-		return cp.Eval(m.vals)
-	}
-	return p.BoundAt(metric, m.pcvMap())
-}
-
-// pcvMap materialises the current PCV vector as the map form alerts
-// carry; BoundAt over it reproduces exactly what boundAt computed.
-func (m *Monitor) pcvMap() map[string]uint64 {
-	out := make(map[string]uint64, len(m.pcvNames))
-	for i, v := range m.pcvNames {
-		out[v] = m.vals[i]
-	}
-	return out
+	return ic
 }
 
 func renderPCVs(pcvs map[string]uint64) string {
@@ -423,14 +382,28 @@ func renderPCVs(pcvs map[string]uint64) string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
-// Alerts returns every fired alert in order.
-func (m *Monitor) Alerts() []Alert { return m.alerts }
+// Alerts returns every fired alert, merged across shards by packet
+// index (per-shard firing order preserved; the unclassified page is
+// deduplicated to the globally first uncovered packet).
+func (m *Monitor) Alerts() []Alert { return m.mergedAlerts() }
 
-// Violations counts soundness violations seen so far.
-func (m *Monitor) Violations() int { return m.violations }
+// Violations counts soundness violations seen so far, across shards.
+func (m *Monitor) Violations() int {
+	n := 0
+	for _, e := range m.engines {
+		n += e.violations
+	}
+	return n
+}
 
-// Unclassified counts packets no contract path matched.
-func (m *Monitor) Unclassified() int { return m.unclassified }
+// Unclassified counts packets no contract path matched, across shards.
+func (m *Monitor) Unclassified() int {
+	n := 0
+	for _, e := range m.engines {
+		n += e.unclassified
+	}
+	return n
+}
 
 // Packets counts observed packets.
 func (m *Monitor) Packets() int { return m.packets }
@@ -438,13 +411,24 @@ func (m *Monitor) Packets() int { return m.packets }
 // MaxPredicted reports the largest predicted bound observed on the
 // budgeted metric — Calibrate uses it to turn a benign run into a
 // budget.
-func (m *Monitor) MaxPredicted() uint64 { return m.maxPred }
+func (m *Monitor) MaxPredicted() uint64 {
+	var worst uint64
+	for _, e := range m.engines {
+		if e.maxPred > worst {
+			worst = e.maxPred
+		}
+	}
+	return worst
+}
 
-// Overloaded reports whether any class currently has a raised page.
+// Overloaded reports whether any class on any shard currently has a
+// raised page — the fleet-level overload signal.
 func (m *Monitor) Overloaded() bool {
-	for _, st := range m.classes {
-		if st.hys.Paged() {
-			return true
+	for _, e := range m.engines {
+		for _, st := range e.classes {
+			if st.hys.Paged() {
+				return true
+			}
 		}
 	}
 	return false
@@ -456,7 +440,17 @@ func (m *Monitor) Overloaded() bool {
 // workflow: the contract plus expected traffic tells the operator what
 // "normal" costs, and the monitor pages when predictions leave that
 // envelope.
+//
+// The probe measures the same metric the budgeted monitor will: a
+// ClockHz/TargetPPS configuration budgets Cycles on the detailed model,
+// so the probe runs with Metric=Cycles and Detailed on before the
+// derivation fields are cleared (clearing them first made the probe
+// measure Instructions while the real monitor budgeted Cycles).
 func Calibrate(ctx context.Context, ct *core.Contract, cfg Config, inst *nf.Instance, benign []traffic.Packet, factor float64) (uint64, error) {
+	if cfg.ClockHz > 0 && cfg.TargetPPS > 0 {
+		cfg.Metric = perf.Cycles
+		cfg.Detailed = true
+	}
 	cfg.Budget = 0
 	cfg.ClockHz, cfg.TargetPPS = 0, 0
 	probe, err := New(ct, cfg)
@@ -476,34 +470,37 @@ func Calibrate(ctx context.Context, ct *core.Contract, cfg Config, inst *nf.Inst
 }
 
 // Report renders the monitor's state deterministically: classes sorted
-// by label, alerts in firing order. Byte-identical for identical traces.
+// by label, alerts in packet order. Byte-identical for identical traces,
+// and — on stream-consistent traces — byte-identical at any shard count.
 func (m *Monitor) Report() string {
 	var b strings.Builder
+	alerts := m.mergedAlerts()
 	fmt.Fprintf(&b, "Monitor report: %s (metric %s", m.ct.NF, m.cfg.Metric)
 	if m.cfg.Budget > 0 {
 		fmt.Fprintf(&b, ", budget %d", m.cfg.Budget)
 	}
 	fmt.Fprintf(&b, ")\n")
 	fmt.Fprintf(&b, "  packets %d, unclassified %d, violations %d, alerts %d\n",
-		m.packets, m.unclassified, m.violations, len(m.alerts))
-	labels := make([]string, 0, len(m.classes))
-	for l := range m.classes {
+		m.packets, m.Unclassified(), m.Violations(), len(alerts))
+	rows := m.mergedClasses()
+	labels := make([]string, 0, len(rows))
+	for l := range rows {
 		labels = append(labels, l)
 	}
 	sort.Strings(labels)
 	for _, l := range labels {
-		st := m.classes[l]
+		st := rows[l]
 		fmt.Fprintf(&b, "  class %-52s pkts %6d  max obs %8d  max pred %8d  p%02.0f %8.0f",
-			l, st.packets, st.maxObserved, st.maxPred, m.cfg.Quantile*100, st.sketch.Quantile())
+			l, st.packets, st.maxObserved, st.maxPred, m.cfg.Quantile*100, st.quantile)
 		if m.cfg.Budget > 0 {
 			fmt.Fprintf(&b, "  headroom %8d", st.minHeadroom)
 		}
-		if st.hys.Paged() {
+		if st.paged {
 			fmt.Fprintf(&b, "  PAGED")
 		}
 		fmt.Fprintf(&b, "\n")
 	}
-	for _, a := range m.alerts {
+	for _, a := range alerts {
 		fmt.Fprintf(&b, "  %s\n", a.String())
 	}
 	return b.String()

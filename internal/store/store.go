@@ -303,6 +303,35 @@ func (s *Store) Keys() ([]string, error) {
 	return keys, nil
 }
 
+// Resolve expands a key prefix to the full stored key. A 64-hex-char
+// prefix is returned as-is (it is already a full key); anything shorter
+// must match exactly one stored object's key or Resolve errors
+// (including on an empty store — ambiguity and absence are both
+// reported, never guessed).
+func (s *Store) Resolve(prefix string) (string, error) {
+	if len(prefix) == 64 {
+		return prefix, nil
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		return "", err
+	}
+	var matches []string
+	for _, k := range keys {
+		if strings.HasPrefix(k, prefix) {
+			matches = append(matches, k)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("no stored contract matches %q", prefix)
+	case 1:
+		return matches[0], nil
+	default:
+		return "", fmt.Errorf("%q is ambiguous: matches %d stored contracts", prefix, len(matches))
+	}
+}
+
 // scanObjects walks objects/, returning object keys and temp-file paths.
 func (s *Store) scanObjects() (keys []string, temps []string, err error) {
 	root := filepath.Join(s.dir, "objects")

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"gobolt/internal/packet"
+)
+
+// This file holds the multi-stream workload mode used by the sharded
+// monitor: generators that emit several independent per-flow streams
+// (each stream is one flow — one consistent set of headers — so a
+// flow-hash maps the whole stream to one shard), and Interleave, which
+// merges streams into a single replayable trace while preserving each
+// stream's internal packet order.
+//
+// The contract the sharded-monitor tests rely on: a trace built from
+// per-flow streams via Interleave is *stream-consistent* for any flow
+// hash that keys only on per-stream-constant fields (monitor.FlowKey
+// keys on protocol + IPv4 addresses, or the Ethernet header for
+// non-IPv4), so the sharded monitor's merged Report() is byte-identical
+// to the serial monitor's on these traces at every shard count.
+
+// Interleave deterministically merges streams into one trace:
+//   - per-stream packet order is preserved (stream packets appear as a
+//     subsequence of the output),
+//   - the merge order is a seeded weighted shuffle — at each step one of
+//     the non-empty streams is picked with probability proportional to
+//     its remaining length, which is exactly a uniform random interleaving
+//     over all order-preserving merges,
+//   - timestamps are re-stamped as startNS + i*gapNS so the merged trace
+//     looks like a single arrival sequence (gapNS 0 defaults to 10µs).
+//
+// The output is a fresh slice; Packet.Data is shared with the inputs
+// (generators never mutate emitted packets).
+func Interleave(seed int64, startNS, gapNS uint64, streams ...[]Packet) []Packet {
+	if gapNS == 0 {
+		gapNS = 10_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Packet, 0, total)
+	next := make([]int, len(streams)) // next unconsumed index per stream
+	now := startNS
+	for len(out) < total {
+		// Pick a stream weighted by remaining packets: this makes every
+		// order-preserving merge equally likely.
+		remaining := total - len(out)
+		pick := rng.Intn(remaining)
+		for si, s := range streams {
+			left := len(s) - next[si]
+			if pick < left {
+				p := s[next[si]]
+				p.Time = now
+				out = append(out, p)
+				next[si]++
+				break
+			}
+			pick -= left
+		}
+		now += gapNS
+	}
+	return out
+}
+
+// StreamConfig drives the per-flow stream generators.
+type StreamConfig struct {
+	// Streams is the number of independent flows to generate.
+	Streams int
+	// PacketsPerStream is each stream's length.
+	PacketsPerStream int
+	// InPort assigns stream i to port i % InPorts (0 means 1 port).
+	InPorts uint64
+	// Seed for determinism (per-stream derived seeds).
+	Seed int64
+}
+
+// UDPStreams generates Streams independent single-flow UDP streams. Each
+// stream has its own (src IP, dst IP, src port, dst port) 4-tuple with a
+// distinct IP pair, so any hash over the IP addresses spreads streams
+// across shards while keeping each stream on exactly one shard.
+func UDPStreams(cfg StreamConfig) [][]Packet {
+	if cfg.InPorts == 0 {
+		cfg.InPorts = 1
+	}
+	streams := make([][]Packet, cfg.Streams)
+	for si := 0; si < cfg.Streams; si++ {
+		src := addr4([4]byte{10, 1, byte(si >> 8), byte(si)})
+		dst := addr4([4]byte{192, 168, byte(si >> 8), byte(si)})
+		sp := uint16(2000 + si)
+		pkts := make([]Packet, cfg.PacketsPerStream)
+		for i := range pkts {
+			pkts[i] = Packet{
+				Data: packet.NewBuilder().
+					Ethernet(packet.MAC{2, 0, 0, 0, 0, 2}, packet.MAC{2, 0, 0, 1, byte(si >> 8), byte(si)}, packet.EtherTypeIPv4).
+					IPv4(src, dst, packet.ProtoUDP, 64, nil).
+					UDP(sp, 80).
+					Bytes(),
+				InPort: uint64(si) % cfg.InPorts,
+			}
+		}
+		streams[si] = pkts
+	}
+	return streams
+}
+
+// BridgeStreams generates Streams independent L2 conversations: stream i
+// is station-pair (A_i, B_i) exchanging frames (direction alternates, so
+// both MACs get learned). The encapsulated IPv4 pair is fixed per stream
+// in both directions — monitor.FlowKey hashes (proto, src IP, dst IP)
+// order-sensitively, and the bridge NF never reads L3 — so each stream
+// is exactly one flow to an IP-keyed hash.
+func BridgeStreams(cfg StreamConfig) [][]Packet {
+	if cfg.InPorts == 0 {
+		cfg.InPorts = 2
+	}
+	streams := make([][]Packet, cfg.Streams)
+	for si := 0; si < cfg.Streams; si++ {
+		a := packet.MAC{0x02, 0xA0, 0, 0, byte(si >> 8), byte(si)}
+		b := packet.MAC{0x02, 0xB0, 0, 0, byte(si >> 8), byte(si)}
+		srcIP := addr4([4]byte{10, 2, byte(si >> 8), byte(si)})
+		dstIP := addr4([4]byte{10, 3, byte(si >> 8), byte(si)})
+		portA := uint64(2*si) % cfg.InPorts
+		portB := uint64(2*si+1) % cfg.InPorts
+		pkts := make([]Packet, cfg.PacketsPerStream)
+		for i := range pkts {
+			src, dst, inPort := a, b, portA
+			if i%2 == 1 {
+				src, dst, inPort = b, a, portB
+			}
+			pkts[i] = Packet{
+				Data: packet.NewBuilder().
+					Ethernet(dst, src, packet.EtherTypeIPv4).
+					IPv4(srcIP, dstIP, packet.ProtoUDP, 64, nil).
+					UDP(uint16(1000+i%100), 80).
+					Bytes(),
+				InPort: inPort,
+			}
+		}
+		streams[si] = pkts
+	}
+	return streams
+}

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// streamTag identifies which stream a packet came from by its full wire
+// bytes minus the timestamp (stream generators never reuse Data slices
+// across streams, but comparing bytes keeps the test honest).
+func findStream(streams [][]Packet, p Packet) (stream, pos int) {
+	for si, s := range streams {
+		for pi, sp := range s {
+			if bytes.Equal(sp.Data, p.Data) && sp.InPort == p.InPort {
+				return si, pi
+			}
+		}
+	}
+	return -1, -1
+}
+
+func TestInterleavePreservesPerStreamOrder(t *testing.T) {
+	streams := UDPStreams(StreamConfig{Streams: 5, PacketsPerStream: 40, Seed: 1})
+	merged := Interleave(7, 1_000, 500, streams...)
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	if len(merged) != total {
+		t.Fatalf("merged %d packets, want %d", len(merged), total)
+	}
+	// Per-stream order: each stream's packets appear as a subsequence.
+	next := make([]int, len(streams))
+	for i, p := range merged {
+		matched := false
+		for si, s := range streams {
+			if next[si] < len(s) && &s[next[si]].Data[0] == &p.Data[0] {
+				next[si]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("merged packet %d is not the next packet of any stream", i)
+		}
+	}
+	for si, n := range next {
+		if n != len(streams[si]) {
+			t.Fatalf("stream %d: consumed %d of %d packets", si, n, len(streams[si]))
+		}
+	}
+	// Timestamps are re-stamped monotonically.
+	for i, p := range merged {
+		want := uint64(1_000) + uint64(i)*500
+		if p.Time != want {
+			t.Fatalf("packet %d time = %d, want %d", i, p.Time, want)
+		}
+	}
+}
+
+func TestInterleaveDeterministicAndSeedSensitive(t *testing.T) {
+	streams := BridgeStreams(StreamConfig{Streams: 4, PacketsPerStream: 25, Seed: 2})
+	a := Interleave(11, 0, 0, streams...)
+	b := Interleave(11, 0, 0, streams...)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) || a[i].InPort != b[i].InPort {
+			t.Fatalf("same seed diverges at packet %d", i)
+		}
+	}
+	c := Interleave(12, 0, 0, streams...)
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Data, c[i].Data) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical interleaving (possible but wildly unlikely)")
+	}
+}
+
+func TestUDPStreamsDistinctFlowIdentity(t *testing.T) {
+	streams := UDPStreams(StreamConfig{Streams: 8, PacketsPerStream: 3, InPorts: 2, Seed: 0})
+	if len(streams) != 8 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	// Each stream's packets share one L3 identity; identities are
+	// pairwise distinct across streams. FlowKey-relevant bytes for IPv4:
+	// protocol (offset 23) and addresses (26:34).
+	ids := make(map[string]int)
+	for si, s := range streams {
+		id := string(s[0].Data[23:24]) + string(s[0].Data[26:34])
+		for pi, p := range s {
+			got := string(p.Data[23:24]) + string(p.Data[26:34])
+			if got != id {
+				t.Fatalf("stream %d packet %d changes flow identity", si, pi)
+			}
+		}
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("streams %d and %d share a flow identity", prev, si)
+		}
+		ids[id] = si
+	}
+}
+
+func TestBridgeStreamsFixedIPPairBothDirections(t *testing.T) {
+	streams := BridgeStreams(StreamConfig{Streams: 6, PacketsPerStream: 10, Seed: 0})
+	ids := make(map[string]int)
+	for si, s := range streams {
+		id := string(s[0].Data[23:24]) + string(s[0].Data[26:34])
+		macs := make(map[string]bool)
+		for pi, p := range s {
+			got := string(p.Data[23:24]) + string(p.Data[26:34])
+			if got != id {
+				t.Fatalf("stream %d packet %d changes L3 identity across direction flip", si, pi)
+			}
+			macs[string(p.Data[6:12])] = true
+		}
+		if len(macs) != 2 {
+			t.Fatalf("stream %d uses %d source MACs, want 2 (both directions)", si, len(macs))
+		}
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("streams %d and %d share an L3 identity", prev, si)
+		}
+		ids[id] = si
+	}
+}
