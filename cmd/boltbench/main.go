@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	boltbench [-exp all|figure1|table3|microbench|table4|figure2|
+//	boltbench [-exp all|figure1|table3|microbench|bvm|table4|figure2|
 //	                table5|figure3|table6|table7|figure4|figure5|
 //	                fullstack|ablation|census|solverbench|chainbench]
 //	          [-scale default|quick] [-parallel N] [-nocache]
@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench, chainbench)")
+		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, bvm, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench, chainbench)")
 		scale     = flag.String("scale", "default", "experiment scale: default or quick")
 		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
 		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
@@ -89,6 +89,20 @@ func main() {
 		}
 		section("§5.1 microbenchmarks — hardware-model validation (P1–P3)")
 		fmt.Print(experiments.RenderMicrobench(rows))
+	}
+
+	if want("bvm") {
+		rows, err := experiments.BVMBench(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Bytecode frontend — contract generation and interpreter-trace classification")
+		fmt.Print(experiments.RenderBVMBench(rows))
+		for _, r := range rows {
+			if r.Unclass > 0 {
+				fatal(fmt.Errorf("%s: %d interpreter packets unclassified", r.NF, r.Unclass))
+			}
+		}
 	}
 
 	if want("table4") {

@@ -180,6 +180,11 @@ func cmdInspect(s *store.Store, prefix string, m perf.Metric, out io.Writer) err
 	fmt.Fprintf(out, "key:       %s\n", a.Key)
 	fmt.Fprintf(out, "nf:        %s\n", a.Contract.NF)
 	fmt.Fprintf(out, "level:     %s\n", a.Contract.Level)
+	frontend := a.Contract.Provenance
+	if frontend == "" {
+		frontend = "builtin"
+	}
+	fmt.Fprintf(out, "frontend:  %s\n", frontend)
 	fmt.Fprintf(out, "paths:     %d\n", len(a.Contract.Paths))
 	fmt.Fprintf(out, "raw paths: %d (composable: %t)\n", len(a.Paths), a.Paths != nil)
 	fmt.Fprintf(out, "bytes:     %d\n", len(payload))

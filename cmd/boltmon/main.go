@@ -13,9 +13,15 @@
 //	boltmon -pcap trace.pcap [-inport P]    # watch a captured trace
 //	boltmon -benchjson BENCH_monitor.json   # monitored-vs-bare overhead
 //	boltmon -store DIR -nf N -key PREFIX    # monitor a stored contract
+//	boltmon -bvm FILE [-expect quiet]       # interpreter-driven bytecode watch
 //
 // Watch mode monitors the attack-tuned bridge by default; -nf NAME
-// watches a roster NF under uniform traffic instead. With -store DIR
+// watches a roster NF under uniform traffic instead (bytecode roster
+// NFs run their compiled nfir like any builtin). -bvm FILE instead
+// loads a bytecode program and drives the *interpreter* per packet,
+// while the budget is calibrated on the compiled form — the two are
+// equivalent by construction, so the monitor staying quiet on benign
+// traffic is an end-to-end check of the frontend. With -store DIR
 // contract generation is backed by the shared on-disk store, so a
 // contract bolt or boltbench already generated is loaded, not rebuilt;
 // with -key the contract MUST come from the store (wrong or missing keys
@@ -30,7 +36,9 @@ import (
 	"os"
 	"os/signal"
 
+	"gobolt/internal/bvm"
 	"gobolt/internal/core"
+	"gobolt/internal/distill"
 	"gobolt/internal/experiments"
 	"gobolt/internal/monitor"
 	"gobolt/internal/nf"
@@ -56,6 +64,7 @@ func main() {
 		benchjson = flag.String("benchjson", "", "run the monitor overhead benchmark and write its JSON here")
 		benchruns = flag.Int("benchruns", 3, "benchmark passes per mode (best-of)")
 		nfName    = flag.String("nf", "", "watch this roster NF instead of the attack-tuned bridge: "+nf.NamesList())
+		bvmFile   = flag.String("bvm", "", "watch a .bvm bytecode program, driving the interpreter per packet")
 		storeDir  = flag.String("store", "", "back contract generation with the on-disk store at this directory (shared with bolt/boltbench/boltctl)")
 		shards    = flag.Int("shards", 0, "flow-hashed monitor shards (0 or 1 = serial pooled path)")
 		batch     = flag.Int("batch", 0, "packets per shard ingest batch in sharded mode (0 = default)")
@@ -139,6 +148,8 @@ func main() {
 
 	var alerted bool
 	switch {
+	case *bvmFile != "":
+		alerted, err = watchBVM(ctx, sc, mcfg, *bvmFile)
 	case fixed != nil || *pcapPath != "" || *trace == "uniform":
 		alerted, err = watch(ctx, sc, mcfg, *nfName, *pcapPath, *inPort, fixed)
 	case *trace == "attack" || *trace == "benign":
@@ -264,6 +275,89 @@ func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, nfNam
 		}
 	}
 	return false, nil
+}
+
+// watchBVM monitors a bytecode program with the interpreter in the data
+// path: the contract is generated from the compiled nfir (as always) and
+// the budget calibrated on a compiled-execution run, but the monitored
+// run executes the bytecode directly — any compiler/interpreter
+// disagreement shows up as unclassified packets or budget alerts.
+func watchBVM(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, path string) (bool, error) {
+	build := func() (*bvm.Unit, *nf.Instance, *core.Contract, error) {
+		unit, inst, err := nf.LoadBVMUnit(path, nf.BuildParams{Capacity: sc.TableCapacity})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ct, err := sc.Generator().Generate(inst.Prog, inst.Models)
+		return unit, inst, ct, err
+	}
+	gen := func(packets int, seed int64) []traffic.Packet {
+		return traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: packets, Flows: sc.TableCapacity / 4, NewFlowEvery: 16,
+			StartNS: 1_000, GapNS: 1_000, Seed: seed,
+		})
+	}
+
+	unit, inst, ct, err := build()
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("watching %s (%s, %d paths, interpreter-driven)\n", ct.NF, unit.Source, len(ct.Paths))
+	if mcfg.Budget == 0 {
+		_, calInst, calCt, err := build()
+		if err != nil {
+			return false, err
+		}
+		mcfg.Budget, err = monitor.Calibrate(ctx, calCt, mcfg, calInst, gen(sc.Packets, 41), 1.25)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("calibrated budget: %d %s/pkt\n", mcfg.Budget, mcfg.Metric)
+	}
+	mon, err := monitor.New(ct, mcfg)
+	if err != nil {
+		return false, err
+	}
+	if err := interpRun(ctx, unit, inst, mon, gen(sc.Packets*4, 13)); err != nil {
+		return false, err
+	}
+	fmt.Print(mon.Report())
+	for _, a := range mon.Alerts() {
+		if a.Kind == monitor.AlertOverload || a.Kind == monitor.AlertViolation {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// interpRun is the interpreter's analogue of Monitor.Run: one bvm.Run
+// per packet with the same metering, call logging and PCV capture the
+// nfir runner provides, each observation fed to the monitor inline.
+func interpRun(ctx context.Context, unit *bvm.Unit, inst *nf.Instance, mon *monitor.Monitor, pkts []traffic.Packet) error {
+	var log core.CallLog
+	core.AttachCallLog(inst.Env, &log)
+	meter := perf.NewMeter(nil)
+	inst.Env.Meter = meter
+	for i, p := range pkts {
+		if i%1024 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		inst.Env.ResetPacket(p.Data, p.InPort, p.Time)
+		log.Reset()
+		before := meter.Snapshot()
+		act, err := bvm.Run(unit.BC, inst.Env)
+		if err != nil {
+			return fmt.Errorf("packet %d: %w", i, err)
+		}
+		delta := meter.Since(before)
+		pcvs := make(map[string]uint64, len(inst.Env.PCVs()))
+		for k, v := range inst.Env.PCVs() {
+			pcvs[k] = v
+		}
+		rec := distill.Record{Action: act, IC: delta.Instructions, MA: delta.MemAccesses, PCVs: pcvs}
+		mon.Observe(p, &rec, log.Records())
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,451 @@
+package bvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler defaults: a flow table declared without explicit sizing gets
+// the roster's canonical evaluation configuration, so .bvm NFs line up
+// with the builtins they sit next to.
+const (
+	defaultCapacity      = 4096
+	defaultTimeoutNS     = uint64(3_600_000_000_000) // one hour
+	defaultGranularityNS = uint64(1_000_000)         // one millisecond
+	defaultLPMGroups     = 64
+)
+
+// Assemble parses the text assembly format into a Program. The format:
+//
+//	; comment
+//	.name  bvm-ratelimit          ; required: NF name
+//	.ports 2                      ; required: output port count
+//	.ds    flows flowtable keys=1 capacity=4096 timeout_ns=... granularity_ns=...
+//	.ds    tbl   lpm default=0 groups=64
+//	.route tbl   0x0A000000/8 1
+//	.ds    acl   rules default=0
+//	.rule  acl   smask=0xFF000000 sval=0x0A000000 action=1
+//
+//	start:                        ; labels end with ':'
+//	  ldpkt r4, 12, 2             ; operands: rN registers or immediates
+//	  jne   r4, 0x800, reject
+//	  call  flows.get
+//	  fwd   r0
+//	reject:
+//	  drop
+//
+// Assemble only checks syntax (and declaration well-formedness); Verify
+// is the safety gate.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	labels := map[string]int{}
+	type patch struct {
+		inst  int
+		label string
+		line  int
+	}
+	var patches []patch
+	sawName, sawPorts := false, false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		n := lineNo + 1
+
+		// Labels: one or more "name:" prefixes, then an optional
+		// instruction on the same line.
+		for {
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				break
+			}
+			first := fields[0]
+			if !strings.HasSuffix(first, ":") {
+				break
+			}
+			name := strings.TrimSuffix(first, ":")
+			if !isIdent(name) {
+				return nil, fmt.Errorf("bvm: line %d: bad label %q", n, first)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("bvm: line %d: duplicate label %q", n, name)
+			}
+			labels[name] = len(p.Insts)
+			line = strings.TrimSpace(strings.TrimPrefix(line, first))
+		}
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, ".") {
+			if err := parseDirective(p, line, n, &sawName, &sawPorts); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		inst, labelRef, err := parseInst(p, line, n)
+		if err != nil {
+			return nil, err
+		}
+		if labelRef != "" {
+			patches = append(patches, patch{inst: len(p.Insts), label: labelRef, line: n})
+		}
+		p.Insts = append(p.Insts, inst)
+	}
+
+	if !sawName {
+		return nil, fmt.Errorf("bvm: missing .name directive")
+	}
+	if !sawPorts {
+		return nil, fmt.Errorf("bvm: missing .ports directive")
+	}
+	for _, pt := range patches {
+		tgt, ok := labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("bvm: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Insts[pt.inst].Target = tgt
+	}
+	return p, nil
+}
+
+func parseDirective(p *Program, line string, n int, sawName, sawPorts *bool) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return fmt.Errorf("bvm: line %d: usage: .name IDENT", n)
+		}
+		p.Name = fields[1]
+		*sawName = true
+	case ".ports":
+		if len(fields) != 2 {
+			return fmt.Errorf("bvm: line %d: usage: .ports N", n)
+		}
+		v, err := parseNum(fields[1])
+		if err != nil || v == 0 || v > 256 {
+			return fmt.Errorf("bvm: line %d: .ports wants 1..256, got %q", n, fields[1])
+		}
+		p.Ports = v
+		*sawPorts = true
+	case ".ds":
+		if len(fields) < 3 {
+			return fmt.Errorf("bvm: line %d: usage: .ds NAME KIND [k=v ...]", n)
+		}
+		name := fields[1]
+		if !isIdent(name) {
+			return fmt.Errorf("bvm: line %d: bad data-structure name %q", n, name)
+		}
+		if p.Decl(name) != nil {
+			return fmt.Errorf("bvm: line %d: data structure %q redeclared", n, name)
+		}
+		d := DSDecl{Name: name}
+		switch fields[2] {
+		case "flowtable":
+			d.Kind = KindFlowTable
+			d.Keys = 1
+			d.Capacity = defaultCapacity
+			d.TimeoutNS = defaultTimeoutNS
+			d.GranularityNS = defaultGranularityNS
+		case "lpm":
+			d.Kind = KindLPM
+			d.MaxGroups = defaultLPMGroups
+		case "rules":
+			d.Kind = KindRules
+		default:
+			return fmt.Errorf("bvm: line %d: unknown data-structure kind %q (want flowtable, lpm, rules)", n, fields[2])
+		}
+		for _, kv := range fields[3:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bvm: line %d: bad option %q (want key=value)", n, kv)
+			}
+			v, err := parseNum(val)
+			if err != nil {
+				return fmt.Errorf("bvm: line %d: bad value in %q: %v", n, kv, err)
+			}
+			switch {
+			case d.Kind == KindFlowTable && key == "keys":
+				d.Keys = int(v)
+			case d.Kind == KindFlowTable && key == "capacity":
+				d.Capacity = int(v)
+			case d.Kind == KindFlowTable && key == "timeout_ns":
+				d.TimeoutNS = v
+			case d.Kind == KindFlowTable && key == "granularity_ns":
+				d.GranularityNS = v
+			case d.Kind == KindLPM && key == "default":
+				d.DefaultPort = v
+			case d.Kind == KindLPM && key == "groups":
+				d.MaxGroups = int(v)
+			case d.Kind == KindRules && key == "default":
+				d.DefaultAction = v
+			default:
+				return fmt.Errorf("bvm: line %d: unknown %s option %q", n, d.Kind, key)
+			}
+		}
+		if d.Kind == KindFlowTable {
+			if d.Keys < 1 || d.Keys > 3 {
+				return fmt.Errorf("bvm: line %d: flowtable keys wants 1..3, got %d", n, d.Keys)
+			}
+			if d.Capacity < 1 {
+				return fmt.Errorf("bvm: line %d: flowtable capacity must be positive", n)
+			}
+		}
+		p.DS = append(p.DS, d)
+	case ".route":
+		if len(fields) != 4 {
+			return fmt.Errorf("bvm: line %d: usage: .route DS PREFIX/LEN PORT", n)
+		}
+		d := p.Decl(fields[1])
+		if d == nil || d.Kind != KindLPM {
+			return fmt.Errorf("bvm: line %d: .route wants a declared lpm, got %q", n, fields[1])
+		}
+		pfxStr, lenStr, ok := strings.Cut(fields[2], "/")
+		if !ok {
+			return fmt.Errorf("bvm: line %d: bad route %q (want PREFIX/LEN)", n, fields[2])
+		}
+		pfx, err := parseNum(pfxStr)
+		if err != nil || pfx > 0xFFFFFFFF {
+			return fmt.Errorf("bvm: line %d: bad route prefix %q", n, pfxStr)
+		}
+		length, err := parseNum(lenStr)
+		if err != nil || length > 32 {
+			return fmt.Errorf("bvm: line %d: bad route length %q", n, lenStr)
+		}
+		port, err := parseNum(fields[3])
+		if err != nil || port > 0xFFFF {
+			return fmt.Errorf("bvm: line %d: bad route port %q", n, fields[3])
+		}
+		d.Routes = append(d.Routes, RouteDecl{Prefix: uint32(pfx), Length: int(length), Port: uint16(port)})
+	case ".rule":
+		if len(fields) < 2 {
+			return fmt.Errorf("bvm: line %d: usage: .rule DS [smask= sval= dmask= dval= proto= action=]", n)
+		}
+		d := p.Decl(fields[1])
+		if d == nil || d.Kind != KindRules {
+			return fmt.Errorf("bvm: line %d: .rule wants a declared rules set, got %q", n, fields[1])
+		}
+		var r RuleDecl
+		for _, kv := range fields[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bvm: line %d: bad option %q (want key=value)", n, kv)
+			}
+			v, err := parseNum(val)
+			if err != nil {
+				return fmt.Errorf("bvm: line %d: bad value in %q: %v", n, kv, err)
+			}
+			switch key {
+			case "smask":
+				r.SrcMask = v
+			case "sval":
+				r.SrcVal = v
+			case "dmask":
+				r.DstMask = v
+			case "dval":
+				r.DstVal = v
+			case "proto":
+				r.ProtoVal = v
+			case "action":
+				r.Action = v
+			default:
+				return fmt.Errorf("bvm: line %d: unknown rule option %q", n, key)
+			}
+		}
+		d.Rules = append(d.Rules, r)
+	default:
+		return fmt.Errorf("bvm: line %d: unknown directive %q", n, fields[0])
+	}
+	return nil
+}
+
+// parseInst parses one instruction line. A returned non-empty labelRef
+// means Target must be patched once all labels are known.
+func parseInst(p *Program, line string, n int) (Inst, string, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	if len(fields) == 0 {
+		return Inst{}, "", fmt.Errorf("bvm: line %d: empty instruction", n)
+	}
+	mnem := fields[0]
+	args := fields[1:]
+	inst := Inst{Line: n}
+	bad := func(usage string) (Inst, string, error) {
+		return Inst{}, "", fmt.Errorf("bvm: line %d: usage: %s", n, usage)
+	}
+
+	switch mnem {
+	case "mov", "add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh":
+		inst.Op = map[string]Op{
+			"mov": OpMov, "add": OpAdd, "sub": OpSub, "mul": OpMul,
+			"div": OpDiv, "mod": OpMod, "and": OpAnd, "or": OpOr,
+			"xor": OpXor, "lsh": OpLsh, "rsh": OpRsh,
+		}[mnem]
+		if len(args) != 2 {
+			return bad(mnem + " rd, (rs|imm)")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return Inst{}, "", fmt.Errorf("bvm: line %d: bad register %q", n, args[0])
+		}
+		src, err := parseOperand(args[1], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		inst.Reg, inst.A = rd, src
+	case "ldpkt":
+		inst.Op = OpLdPkt
+		if len(args) != 3 {
+			return bad("ldpkt rd, (rs|imm), size")
+		}
+		rd, ok := parseReg(args[0])
+		if !ok {
+			return Inst{}, "", fmt.Errorf("bvm: line %d: bad register %q", n, args[0])
+		}
+		off, err := parseOperand(args[1], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		size, err := parseSize(args[2], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		inst.Reg, inst.A, inst.Size = rd, off, size
+	case "stpkt":
+		inst.Op = OpStPkt
+		if len(args) != 3 {
+			return bad("stpkt off, (rs|imm), size")
+		}
+		off, err := parseOperand(args[0], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		val, err := parseOperand(args[1], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		size, err := parseSize(args[2], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		inst.A, inst.B, inst.Size = off, val, size
+	case "ja":
+		inst.Op = OpJa
+		if len(args) != 1 || !isIdent(args[0]) {
+			return bad("ja LABEL")
+		}
+		return inst, args[0], nil
+	case "jeq", "jne", "jlt", "jle", "jgt", "jge":
+		inst.Op = map[string]Op{
+			"jeq": OpJeq, "jne": OpJne, "jlt": OpJlt,
+			"jle": OpJle, "jgt": OpJgt, "jge": OpJge,
+		}[mnem]
+		if len(args) != 3 {
+			return bad(mnem + " rA, (rB|imm), LABEL")
+		}
+		ra, ok := parseReg(args[0])
+		if !ok {
+			return Inst{}, "", fmt.Errorf("bvm: line %d: bad register %q", n, args[0])
+		}
+		src, err := parseOperand(args[1], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		if !isIdent(args[2]) {
+			return Inst{}, "", fmt.Errorf("bvm: line %d: bad label %q", n, args[2])
+		}
+		inst.Reg, inst.A = ra, src
+		return inst, args[2], nil
+	case "call":
+		inst.Op = OpCall
+		if len(args) != 1 {
+			return bad("call ds.method")
+		}
+		ds, method, ok := strings.Cut(args[0], ".")
+		if !ok || !isIdent(ds) || !isIdent(method) {
+			return bad("call ds.method")
+		}
+		inst.DS, inst.Method = ds, method
+	case "fwd":
+		inst.Op = OpFwd
+		if len(args) != 1 {
+			return bad("fwd (rs|imm)")
+		}
+		src, err := parseOperand(args[0], n)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		inst.A = src
+	case "drop":
+		inst.Op = OpDrop
+		if len(args) != 0 {
+			return bad("drop")
+		}
+	default:
+		return Inst{}, "", fmt.Errorf("bvm: line %d: unknown instruction %q", n, mnem)
+	}
+	return inst, "", nil
+}
+
+func parseReg(s string) (uint8, bool) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || v >= NumRegs {
+		return 0, false
+	}
+	return uint8(v), true
+}
+
+func parseOperand(s string, n int) (Operand, error) {
+	if r, ok := parseReg(s); ok {
+		return R(r), nil
+	}
+	v, err := parseNum(s)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bvm: line %d: bad operand %q (want rN or a number)", n, s)
+	}
+	return Imm(v), nil
+}
+
+func parseSize(s string, n int) (int, error) {
+	v, err := parseNum(s)
+	if err != nil {
+		return 0, fmt.Errorf("bvm: line %d: bad size %q", n, s)
+	}
+	switch v {
+	case 1, 2, 4, 8:
+		return int(v), nil
+	}
+	return 0, fmt.Errorf("bvm: line %d: unsupported access size %d (want 1, 2, 4 or 8)", n, v)
+}
+
+func parseNum(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package bvm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripLines zeroes the source-line annotations so structural equality
+// can be checked across an assemble → disassemble → assemble trip (the
+// disassembly has its own line numbering).
+func stripLines(p *Program) *Program {
+	q := *p
+	q.Insts = append([]Inst(nil), p.Insts...)
+	for i := range q.Insts {
+		q.Insts[i].Line = 0
+	}
+	return &q
+}
+
+// TestRoundTrip pins the golden property of the text format: for every
+// shipped program, disassembling and reassembling yields a structurally
+// identical program, and the disassembly is a fixed point (disasm ∘ asm ∘
+// disasm = disasm).
+func TestRoundTrip(t *testing.T) {
+	for _, sh := range shippedSources(t) {
+		p1, err := Assemble(sh.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", sh.File, err)
+		}
+		text := Disassemble(p1)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: reassemble disassembly: %v\n%s", sh.File, err, text)
+		}
+		if !reflect.DeepEqual(stripLines(p1), stripLines(p2)) {
+			t.Errorf("%s: round-trip changed the program\noriginal: %#v\nround-trip: %#v", sh.File, p1, p2)
+		}
+		if again := Disassemble(p2); again != text {
+			t.Errorf("%s: disassembly is not a fixed point\nfirst:\n%s\nsecond:\n%s", sh.File, text, again)
+		}
+	}
+}
+
+// TestRoundTripLoop covers the jump/label machinery the shipped programs
+// use lightly: a bounded loop with a backward conditional edge and a
+// forward unconditional one.
+func TestRoundTripLoop(t *testing.T) {
+	src := `
+.name looper
+.ports 2
+  mov r6, 0
+  mov r7, 0
+loop:
+  add r7, 3
+  add r6, 1
+  jlt r6, 8, loop
+  jeq r7, 24, out
+  drop
+out:
+  fwd 1
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p1); err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(stripLines(p1), stripLines(p2)) {
+		t.Errorf("round-trip changed the program\n%s", text)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing name", ".ports 2\n drop\n", "missing .name"},
+		{"missing ports", ".name x\n drop\n", "missing .ports"},
+		{"bad register", ".name x\n.ports 2\n mov r11, 1\n drop\n", "bad register"},
+		{"unknown mnemonic", ".name x\n.ports 2\n frob r1, 1\n", "unknown instruction"},
+		{"undefined label", ".name x\n.ports 2\n ja nowhere\n", "undefined label"},
+		{"duplicate label", ".name x\n.ports 2\na:\na:\n drop\n", "duplicate label"},
+		{"bad size", ".name x\n.ports 2\n ldpkt r1, 0, 3\n drop\n", "size"},
+		{"bad ds kind", ".name x\n.ports 2\n.ds t ring\n drop\n", "kind"},
+		{"route on non-lpm", ".name x\n.ports 2\n.ds t flowtable keys=1\n.route t 0x0A000000/8 1\n drop\n", "lpm"},
+		{"ports range", ".name x\n.ports 0\n drop\n", "ports"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled without error, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want substring %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "bvm:") {
+				t.Errorf("error %q is missing the bvm prefix", err)
+			}
+		})
+	}
+}

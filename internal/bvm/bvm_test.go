@@ -1,0 +1,56 @@
+package bvm
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// shippedSources returns the .bvm programs shipped in the roster
+// (internal/nf/bvmdata), keyed by filename, in sorted order.
+func shippedSources(t testing.TB) []struct{ File, Src string } {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "nf", "bvmdata", "*.bvm"))
+	if err != nil {
+		t.Fatalf("glob bvmdata: %v", err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected at least 4 shipped .bvm programs, found %d", len(paths))
+	}
+	sort.Strings(paths)
+	out := make([]struct{ File, Src string }, 0, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		out = append(out, struct{ File, Src string }{filepath.Base(p), string(src)})
+	}
+	return out
+}
+
+// TestShippedProgramsLoad is the smoke test for the whole frontend: every
+// shipped program must assemble, verify, and compile to nfir that passes
+// the signature-aware validator.
+func TestShippedProgramsLoad(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sh := range shippedSources(t) {
+		u, err := Load(sh.Src, Options{Source: "bvm:" + sh.File})
+		if err != nil {
+			t.Fatalf("%s: %v", sh.File, err)
+		}
+		if u.Prog.Source != "bvm:"+sh.File {
+			t.Errorf("%s: provenance = %q", sh.File, u.Prog.Source)
+		}
+		if seen[u.BC.Name] {
+			t.Errorf("%s: duplicate program name %q", sh.File, u.BC.Name)
+		}
+		seen[u.BC.Name] = true
+	}
+	for _, want := range []string{"bvm-ratelimit", "bvm-acl", "bvm-decap", "bvm-scrub"} {
+		if !seen[want] {
+			t.Errorf("shipped set is missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package bvm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// ipipFrame builds an Ethernet/IPv4-in-IPv4 frame for bvm-decap: the
+// outer header carries proto and outerDst, the inner header (at offset
+// 34) carries ttl and innerDst.
+func ipipFrame(outerDst uint32, proto byte, innerDst uint32, ttl byte) []byte {
+	b := make([]byte, 64)
+	b[12], b[13] = 0x08, 0x00
+	b[14] = 0x45 // outer IPv4, no options
+	b[22] = 64   // outer TTL
+	b[23] = proto
+	binary.BigEndian.PutUint32(b[30:], outerDst)
+	b[34] = 0x45 // inner IPv4
+	b[42] = ttl
+	binary.BigEndian.PutUint32(b[50:], innerDst)
+	return b
+}
+
+// swapIPs returns a copy of an IPv4 frame with source and destination
+// addresses exchanged — the reply direction for bvm-acl.
+func swapIPs(pkt []byte) []byte {
+	out := append([]byte(nil), pkt...)
+	copy(out[26:30], pkt[30:34])
+	copy(out[30:34], pkt[26:30])
+	return out
+}
+
+const tunnelEndpoint = 0x0A636363 // 10.99.99.99
+
+// workloadFor builds a packet sequence that exercises every reachable
+// branch of a shipped NF: accepted and rejected traffic, hits and
+// misses, expiry windows and (for scrub) threshold crossings.
+func workloadFor(t testing.TB, name string) []traffic.Packet {
+	switch name {
+	case "bvm-ratelimit":
+		pkts := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: 300, Flows: 8, NewFlowEvery: 16,
+			StartNS: 1_000, GapNS: 1_000, Seed: 7,
+		})
+		// Non-IP frames take the header-check drop path.
+		pkts = append(pkts, traffic.Packet{Data: make([]byte, 60), Time: 999_000, InPort: 1})
+		return pkts
+	case "bvm-acl":
+		inside := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: 200, Flows: 8, StartNS: 1_000, GapNS: 1_000, Seed: 11,
+		})
+		var pkts []traffic.Packet
+		for i, p := range inside {
+			pkts = append(pkts, p) // port 0: rule match + pinhole insert
+			if i%3 == 0 {          // port 1: reply hitting the pinhole
+				pkts = append(pkts, traffic.Packet{Data: swapIPs(p.Data), Time: p.Time + 500, InPort: 1})
+			}
+			if i%7 == 0 { // port 1: unsolicited packet missing the table
+				pkts = append(pkts, traffic.Packet{Data: p.Data, Time: p.Time + 600, InPort: 1})
+			}
+		}
+		// Outside the accepted 10/8 range: rule-scan deny.
+		denied := append([]byte(nil), inside[0].Data...)
+		denied[26] = 172
+		pkts = append(pkts, traffic.Packet{Data: denied, Time: 900_000, InPort: 0})
+		return pkts
+	case "bvm-decap":
+		var pkts []traffic.Packet
+		innerDsts := []uint32{0x0A010101, 0xC0A80505, 0xAC10FF01, 0x08080808}
+		now := uint64(1_000)
+		for i := 0; i < 40; i++ {
+			ttl := byte(1 + i%4) // includes TTL 1 (expired-in-tunnel drop)
+			pkts = append(pkts, traffic.Packet{
+				Data: ipipFrame(tunnelEndpoint, 4, innerDsts[i%len(innerDsts)], ttl),
+				Time: now, InPort: uint64(i % 4),
+			})
+			now += 1_000
+		}
+		// Not for the endpoint; not IPIP; not IPv4 at all.
+		pkts = append(pkts,
+			traffic.Packet{Data: ipipFrame(0x0A636364, 4, 0x0A010101, 9), Time: now, InPort: 0},
+			traffic.Packet{Data: ipipFrame(tunnelEndpoint, 17, 0x0A010101, 9), Time: now + 1, InPort: 1},
+			traffic.Packet{Data: make([]byte, 60), Time: now + 2, InPort: 2},
+		)
+		return pkts
+	case "bvm-scrub":
+		// A tiny flow population over a one-second window: heavy sources
+		// cross the 64-packet threshold and get scrubbed; a quiet gap
+		// afterwards lets expiry evict them and unblock.
+		pkts := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: 400, Flows: 3, StartNS: 1_000, GapNS: 2_000_000, Seed: 3,
+		})
+		late := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: 40, Flows: 3, StartNS: 5_000_000_000, GapNS: 2_000_000, Seed: 3,
+		})
+		return append(pkts, late...)
+	default:
+		t.Fatalf("no workload for %q", name)
+		return nil
+	}
+}
+
+// TestContractsClassifyInterpreterTraces is the end-to-end acceptance
+// gate for the frontend: generate each shipped program's contract from
+// its compiled nfir, then run the *interpreter* over a workload that
+// visits every reachable branch and require the classifier to place
+// every packet on a contract path — zero UNCLASSIFIED.
+func TestContractsClassifyInterpreterTraces(t *testing.T) {
+	for _, unit := range fuzzUnits(t) {
+		if unit.BC.Name == "fuzz-loop" {
+			continue
+		}
+		unit := unit
+		t.Run(unit.BC.Name, func(t *testing.T) {
+			env := nfir.NewEnv()
+			models, err := unit.Instantiate(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := core.NewGenerator().Generate(unit.Prog, models)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			cl, err := core.NewClassifier(ct)
+			if err != nil {
+				t.Fatalf("classifier: %v", err)
+			}
+			var log core.CallLog
+			core.AttachCallLog(env, &log)
+			env.Meter = perf.NewMeter(nil)
+
+			classified := map[int]int{}
+			pktBuf := make([]byte, nfir.MaxPacket)
+			for i, p := range workloadFor(t, unit.BC.Name) {
+				env.ResetPacket(p.Data, p.InPort, p.Time)
+				log.Reset()
+				act, err := Run(unit.BC, env)
+				if err != nil {
+					t.Fatalf("packet %d: interpreter: %v", i, err)
+				}
+				// Classify against the pre-run bytes: the program may
+				// mutate the packet (decap rewrites the inner TTL).
+				copy(pktBuf, p.Data)
+				for j := len(p.Data); j < len(pktBuf); j++ {
+					pktBuf[j] = 0
+				}
+				obs := &core.PacketObservation{
+					Pkt: pktBuf, InPort: p.InPort, Time: p.Time,
+					PktLen: uint64(len(p.Data)), Action: act.Kind, Calls: log.Records(),
+				}
+				pc, ok := cl.Classify(obs)
+				if !ok {
+					t.Fatalf("packet %d UNCLASSIFIED (action=%v calls=%s)", i, act.Kind, core.CallSig(log.Records()))
+				}
+				classified[pc.ID]++
+			}
+			if len(classified) < 2 {
+				t.Errorf("workload only exercised %d contract path(s); want branch coverage", len(classified))
+			}
+			t.Logf("%s: %d paths in contract, %d visited", unit.BC.Name, len(ct.Paths), len(classified))
+		})
+	}
+}
+
+// TestEquivalenceShipped drives the differential oracle over the same
+// realistic workloads deterministically (the fuzz target's seed corpus
+// can't promise stateful coverage; this can).
+func TestEquivalenceShipped(t *testing.T) {
+	for _, unit := range fuzzUnits(t) {
+		if unit.BC.Name == "fuzz-loop" {
+			continue
+		}
+		unit := unit
+		t.Run(unit.BC.Name, func(t *testing.T) {
+			e := newEquivNF(t, unit)
+			for _, p := range workloadFor(t, unit.BC.Name) {
+				e.step(t, p.Data, p.InPort, p.Time)
+			}
+		})
+	}
+}

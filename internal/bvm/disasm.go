@@ -1,0 +1,80 @@
+package bvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a program back into the text assembly format.
+// The output reassembles to a structurally identical program (modulo
+// source line numbers) — the round-trip the golden tests pin.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".name %s\n", p.Name)
+	fmt.Fprintf(&b, ".ports %d\n", p.Ports)
+	for i := range p.DS {
+		d := &p.DS[i]
+		switch d.Kind {
+		case KindFlowTable:
+			fmt.Fprintf(&b, ".ds %s flowtable keys=%d capacity=%d timeout_ns=%d granularity_ns=%d\n",
+				d.Name, d.Keys, d.Capacity, d.TimeoutNS, d.GranularityNS)
+		case KindLPM:
+			fmt.Fprintf(&b, ".ds %s lpm default=%d groups=%d\n", d.Name, d.DefaultPort, d.MaxGroups)
+			for _, r := range d.Routes {
+				fmt.Fprintf(&b, ".route %s 0x%08x/%d %d\n", d.Name, r.Prefix, r.Length, r.Port)
+			}
+		case KindRules:
+			fmt.Fprintf(&b, ".ds %s rules default=%d\n", d.Name, d.DefaultAction)
+			for _, r := range d.Rules {
+				fmt.Fprintf(&b, ".rule %s smask=0x%x sval=0x%x dmask=0x%x dval=0x%x proto=%d action=%d\n",
+					d.Name, r.SrcMask, r.SrcVal, r.DstMask, r.DstVal, r.ProtoVal, r.Action)
+			}
+		}
+	}
+
+	// Name every jump target L<index>.
+	targets := map[int]bool{}
+	for _, in := range p.Insts {
+		if in.Op.IsJump() {
+			targets[in.Target] = true
+		}
+	}
+	var order []int
+	for t := range targets {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	label := func(t int) string { return fmt.Sprintf("L%d", t) }
+
+	b.WriteByte('\n')
+	for i, in := range p.Insts {
+		if targets[i] {
+			fmt.Fprintf(&b, "%s:\n", label(i))
+		}
+		switch {
+		case in.Op == OpMov || in.Op.IsALU():
+			fmt.Fprintf(&b, "  %s %s, %s\n", in.Op, regName(in.Reg), in.A)
+		case in.Op == OpLdPkt:
+			fmt.Fprintf(&b, "  ldpkt %s, %s, %d\n", regName(in.Reg), in.A, in.Size)
+		case in.Op == OpStPkt:
+			fmt.Fprintf(&b, "  stpkt %s, %s, %d\n", in.A, in.B, in.Size)
+		case in.Op == OpJa:
+			fmt.Fprintf(&b, "  ja %s\n", label(in.Target))
+		case in.Op.IsCondJump():
+			fmt.Fprintf(&b, "  %s %s, %s, %s\n", in.Op, regName(in.Reg), in.A, label(in.Target))
+		case in.Op == OpCall:
+			fmt.Fprintf(&b, "  call %s.%s\n", in.DS, in.Method)
+		case in.Op == OpFwd:
+			fmt.Fprintf(&b, "  fwd %s\n", in.A)
+		case in.Op == OpDrop:
+			fmt.Fprintf(&b, "  drop\n")
+		default:
+			fmt.Fprintf(&b, "  ; unknown %s\n", in.Op)
+		}
+	}
+	if targets[len(p.Insts)] {
+		fmt.Fprintf(&b, "%s:\n", label(len(p.Insts)))
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+// Package bvm is the bytecode frontend: an eBPF-flavored register
+// machine whose programs are data (a human-writable assembly format),
+// verified before use and compiled into nfir for the existing contract
+// pipeline. A concrete interpreter executes the same bytecode directly
+// against an nfir.Env — sharing the data-structure library, the PCV
+// observation channel and the perf.Meter — and serves as the
+// differential oracle for the compiler: interpreting a verified program
+// and concretely executing its compiled nfir must agree packet for
+// packet on action, instruction count, memory accesses and PCVs.
+//
+// The machine has eleven 64-bit registers r0..r10. At entry r1 holds
+// the arrival port, r2 the packet length and r3 the arrival timestamp
+// in nanoseconds. Helper calls (call ds.method) take their arguments in
+// r1..r5, return their first result in r0 and their second (if any) in
+// r1, and clobber r1..r5: the verifier rejects reads of r1..r5 after a
+// call until they are written again, which is what lets the interpreter
+// and compiled code leave the physical values alone. r6..r10 survive
+// calls.
+//
+// Every instruction lowers to a fixed nfir shape with a fixed cost, so
+// cost parity with the compiled program holds by construction:
+//
+//	mov           → Assign (free)
+//	alu op        → Assign of a Bin (1 instruction of the op's class)
+//	ldpkt         → Assign of a PktLoad (1 instruction + 1 memory access)
+//	stpkt         → PktStore (1 instruction + 1 memory access)
+//	jcc           → If with a comparison condition (1 branch instruction)
+//	ja            → free (control structure only)
+//	call          → Call with register arguments (the helper charges itself)
+//	fwd / drop    → Forward / Drop (free)
+package bvm
+
+import "fmt"
+
+// NumRegs is the register file size (r0..r10).
+const NumRegs = 11
+
+// MaxInsts bounds program length; the verifier rejects longer programs.
+const MaxInsts = 4096
+
+// MaxCallArgs is the number of argument registers (r1..r5).
+const MaxCallArgs = 5
+
+// Op is a bytecode opcode.
+type Op uint8
+
+const (
+	OpMov Op = iota // mov rd, src
+	OpAdd           // add rd, src   (rd = rd op src; likewise below)
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpLsh
+	OpRsh
+	OpLdPkt // ldpkt rd, off, size  (big-endian packet load)
+	OpStPkt // stpkt off, val, size (big-endian packet store)
+	OpJa    // ja LABEL
+	OpJeq   // jeq rA, src, LABEL   (conditional jumps, unsigned compares)
+	OpJne
+	OpJlt
+	OpJle
+	OpJgt
+	OpJge
+	OpCall // call ds.method
+	OpFwd  // fwd src
+	OpDrop // drop
+	opEnd  // sentinel: first invalid opcode
+)
+
+var opNames = [...]string{
+	OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpMod: "mod", OpAnd: "and", OpOr: "or", OpXor: "xor", OpLsh: "lsh",
+	OpRsh: "rsh", OpLdPkt: "ldpkt", OpStPkt: "stpkt", OpJa: "ja",
+	OpJeq: "jeq", OpJne: "jne", OpJlt: "jlt", OpJle: "jle", OpJgt: "jgt",
+	OpJge: "jge", OpCall: "call", OpFwd: "fwd", OpDrop: "drop",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsALU reports whether op is a two-operand ALU instruction (not mov).
+func (op Op) IsALU() bool { return op >= OpAdd && op <= OpRsh }
+
+// IsJump reports whether op transfers control to Target.
+func (op Op) IsJump() bool { return op >= OpJa && op <= OpJge }
+
+// IsCondJump reports whether op is a conditional jump.
+func (op Op) IsCondJump() bool { return op >= OpJeq && op <= OpJge }
+
+// Operand is a register-or-immediate source operand.
+type Operand struct {
+	IsReg bool
+	Reg   uint8
+	Imm   uint64
+}
+
+// R makes a register operand.
+func R(r uint8) Operand { return Operand{IsReg: true, Reg: r} }
+
+// Imm makes an immediate operand.
+func Imm(v uint64) Operand { return Operand{Imm: v} }
+
+func (o Operand) String() string {
+	if o.IsReg {
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	if o.Imm > 255 {
+		return fmt.Sprintf("0x%x", o.Imm)
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+// Inst is one decoded instruction. Field use by opcode:
+//
+//	mov/alu : Reg = destination, A = source
+//	ldpkt   : Reg = destination, A = packet offset, Size
+//	stpkt   : A = packet offset (immediate only), B = value, Size
+//	jcc     : Reg = left operand, A = right operand, Target
+//	ja      : Target
+//	call    : DS, Method
+//	fwd     : A = output port
+type Inst struct {
+	Op     Op
+	Reg    uint8
+	A      Operand
+	B      Operand
+	Size   int
+	Target int
+	DS     string
+	Method string
+	// Line is the 1-based source line, for diagnostics; zero when the
+	// instruction was built programmatically.
+	Line int
+}
+
+// DSKind enumerates the data-structure kinds a program can declare.
+type DSKind uint8
+
+const (
+	KindFlowTable DSKind = iota // dslib.FlowTable: expire/get/peek/put
+	KindLPM                     // dslib.Dir248: get
+	KindRules                   // dslib.RuleSet: match
+)
+
+func (k DSKind) String() string {
+	switch k {
+	case KindFlowTable:
+		return "flowtable"
+	case KindLPM:
+		return "lpm"
+	case KindRules:
+		return "rules"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// RouteDecl is one .route line of an lpm declaration.
+type RouteDecl struct {
+	Prefix uint32
+	Length int
+	Port   uint16
+}
+
+// RuleDecl is one .rule line of a rules declaration.
+type RuleDecl struct {
+	SrcMask, SrcVal uint64
+	DstMask, DstVal uint64
+	ProtoVal        uint64
+	Action          uint64
+}
+
+// DSDecl is one declared data-structure instance (.ds directive).
+type DSDecl struct {
+	Name string
+	Kind DSKind
+
+	// Flowtable configuration.
+	Keys          int
+	Capacity      int
+	TimeoutNS     uint64
+	GranularityNS uint64
+
+	// LPM configuration.
+	DefaultPort uint64
+	MaxGroups   int
+	Routes      []RouteDecl
+
+	// Rules configuration.
+	DefaultAction uint64
+	Rules         []RuleDecl
+}
+
+// Sig is one helper method's calling convention: Args values are taken
+// from r1..rArgs, the first result lands in r0, the second in r1.
+type Sig struct {
+	Args    int
+	Results int
+}
+
+// Methods returns the helper table of a declaration: every callable
+// method with its signature. The flow-table arities depend on the
+// declared key width.
+func (d *DSDecl) Methods() map[string]Sig {
+	switch d.Kind {
+	case KindFlowTable:
+		k := d.Keys
+		return map[string]Sig{
+			"expire": {Args: 1, Results: 1},     // (now) → expired-count
+			"get":    {Args: k + 1, Results: 2}, // (key..., now) → value, found
+			"peek":   {Args: k, Results: 2},     // (key...) → value, found
+			"put":    {Args: k + 2, Results: 1}, // (key..., value, now) → status
+		}
+	case KindLPM:
+		return map[string]Sig{
+			"get": {Args: 1, Results: 1}, // (ip) → port
+		}
+	case KindRules:
+		return map[string]Sig{
+			"match": {Args: 5, Results: 1}, // (src, dst, sport, dport, proto) → action
+		}
+	}
+	return nil
+}
+
+// Program is one assembled bytecode unit: header, data-structure
+// declarations and the instruction stream.
+type Program struct {
+	Name  string
+	Ports uint64
+	DS    []DSDecl
+	Insts []Inst
+}
+
+// Decl returns the declaration named name, or nil.
+func (p *Program) Decl(name string) *DSDecl {
+	for i := range p.DS {
+		if p.DS[i].Name == name {
+			return &p.DS[i]
+		}
+	}
+	return nil
+}
+
+func regName(r uint8) string { return fmt.Sprintf("r%d", r) }

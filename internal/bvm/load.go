@@ -1,0 +1,64 @@
+package bvm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gobolt/internal/nfir"
+)
+
+// Options configure Load.
+type Options struct {
+	// Source is the provenance label recorded on the compiled program
+	// and its contracts (conventionally "bvm:<basename>").
+	Source string
+	// Build tunes data-structure instantiation.
+	Build BuildOptions
+}
+
+// Unit is a loaded bytecode NF: the verified bytecode and its compiled
+// nfir form, ready to be instantiated any number of times.
+type Unit struct {
+	BC     *Program
+	Prog   *nfir.Program
+	Source string
+	opts   BuildOptions
+}
+
+// Instantiate links the unit's declared data structures into env and
+// returns their symbolic models, honoring the build options Load was
+// given so every instance of the unit is configured identically.
+func (u *Unit) Instantiate(env *nfir.Env) (map[string]nfir.Model, error) {
+	return u.BC.BuildDS(env, u.opts)
+}
+
+// Load assembles, verifies and compiles one .bvm source text. The
+// returned Unit shares one compiled program across instantiations, so
+// every instance has the same contract cache key.
+func Load(src string, opts Options) (*Unit, error) {
+	bc, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(bc); err != nil {
+		return nil, err
+	}
+	prog, err := Compile(bc, opts.Source)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{BC: bc, Prog: prog, Source: opts.Source, opts: opts.Build}, nil
+}
+
+// LoadFile is Load on a file, with provenance "bvm:<basename>" — the
+// basename (not the full path) so loading the same program from
+// different directories, or from the embedded roster data, yields the
+// same contract identity.
+func LoadFile(path string, build BuildOptions) (*Unit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bvm: %w", err)
+	}
+	return Load(string(data), Options{Source: "bvm:" + filepath.Base(path), Build: build})
+}

@@ -1,0 +1,387 @@
+package bvm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Verification limits. The walk budget bounds the verifier's (and
+// compiler's) own work on the unrolled control-flow tree; MaxLoopTrips
+// bounds any single proven loop.
+const (
+	MaxLoopTrips = 100_000
+	walkBudget   = 200_000
+)
+
+// Verify is the safety gate between untrusted bytecode and the
+// pipeline. It rejects, with a specific diagnostic and never a panic:
+//
+//   - malformed encodings (bad opcodes, registers, sizes, jump targets)
+//   - calls to undeclared data structures or unknown methods
+//   - unreachable instructions and control that can fall off the end
+//   - unbounded loops: every back-edge must be a bottom-tested
+//     jlt/jle on a counter register that the loop body only ever
+//     advances by a constant, giving a provable trip count
+//   - reads of uninitialized registers, including r1..r5 after a call
+//     clobbers them (tracked path-sensitively over the unrolled walk)
+//   - packet loads/stores whose offset interval may exceed MaxPacket
+//   - divisions whose divisor interval contains zero
+//
+// The same interval-tracking walk backs the compiler, so "verified"
+// means exactly "compilable": Compile cannot fail on a verified
+// program.
+func Verify(p *Program) error {
+	if err := verifyStructure(p); err != nil {
+		return err
+	}
+	_, err := newWalker(p).run()
+	return err
+}
+
+func instErr(p *Program, pc int, format string, args ...any) error {
+	loc := fmt.Sprintf("inst %d", pc)
+	if pc >= 0 && pc < len(p.Insts) && p.Insts[pc].Line > 0 {
+		loc = fmt.Sprintf("inst %d (line %d)", pc, p.Insts[pc].Line)
+	}
+	return fmt.Errorf("bvm: %s: %s: %s", p.Name, loc, fmt.Sprintf(format, args...))
+}
+
+// verifyStructure runs the flow-insensitive checks: encoding validity,
+// declaration lookups, reachability and the back-edge trip-count proof.
+func verifyStructure(p *Program) error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("bvm: %s: empty program", p.Name)
+	}
+	if len(p.Insts) > MaxInsts {
+		return fmt.Errorf("bvm: %s: program too long (%d insts, max %d)", p.Name, len(p.Insts), MaxInsts)
+	}
+	if p.Ports == 0 || p.Ports > 256 {
+		return fmt.Errorf("bvm: %s: ports must be 1..256, got %d", p.Name, p.Ports)
+	}
+	for i := range p.DS {
+		d := &p.DS[i]
+		if d.Kind > KindRules {
+			return fmt.Errorf("bvm: %s: data structure %q has unknown kind %d", p.Name, d.Name, d.Kind)
+		}
+		if d.Kind == KindFlowTable && (d.Keys < 1 || d.Keys > 3) {
+			return fmt.Errorf("bvm: %s: flowtable %q keys must be 1..3, got %d", p.Name, d.Name, d.Keys)
+		}
+		for j := range p.DS[:i] {
+			if p.DS[j].Name == d.Name {
+				return fmt.Errorf("bvm: %s: data structure %q redeclared", p.Name, d.Name)
+			}
+		}
+	}
+
+	for pc := range p.Insts {
+		in := &p.Insts[pc]
+		if in.Op >= opEnd {
+			return instErr(p, pc, "invalid opcode %d", uint8(in.Op))
+		}
+		if in.Reg >= NumRegs {
+			return instErr(p, pc, "invalid register r%d", in.Reg)
+		}
+		for _, o := range []Operand{in.A, in.B} {
+			if o.IsReg && o.Reg >= NumRegs {
+				return instErr(p, pc, "invalid register r%d", o.Reg)
+			}
+		}
+		switch {
+		case in.Op == OpLdPkt || in.Op == OpStPkt:
+			switch in.Size {
+			case 1, 2, 4, 8:
+			default:
+				return instErr(p, pc, "unsupported access size %d", in.Size)
+			}
+			if in.Op == OpStPkt && in.A.IsReg {
+				// The symbolic engine cannot model stores at symbolic
+				// offsets, so the ISA pins store offsets to immediates.
+				return instErr(p, pc, "stpkt offset must be an immediate")
+			}
+		case in.Op.IsJump():
+			if in.Target < 0 || in.Target >= len(p.Insts) {
+				return instErr(p, pc, "jump target %d out of range", in.Target)
+			}
+		case in.Op == OpCall:
+			d := p.Decl(in.DS)
+			if d == nil {
+				return instErr(p, pc, "call to undeclared data structure %q", in.DS)
+			}
+			sig, ok := d.Methods()[in.Method]
+			if !ok {
+				return instErr(p, pc, "%s %s has no method %q", d.Kind, in.DS, in.Method)
+			}
+			if sig.Args > MaxCallArgs {
+				return instErr(p, pc, "helper %s.%s wants %d args, only r1..r%d exist", in.DS, in.Method, sig.Args, MaxCallArgs)
+			}
+		case in.Op == OpFwd:
+			if !in.A.IsReg && in.A.Imm >= p.Ports {
+				return instErr(p, pc, "forward to port %d out of range (ports=%d)", in.A.Imm, p.Ports)
+			}
+		case (in.Op == OpDiv || in.Op == OpMod) && !in.A.IsReg && in.A.Imm == 0:
+			return instErr(p, pc, "division by zero immediate")
+		}
+	}
+
+	// Reachability over the static CFG.
+	reach := make([]bool, len(p.Insts))
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := &p.Insts[pc]
+		push := func(t int) {
+			if t < len(p.Insts) && !reach[t] {
+				reach[t] = true
+				work = append(work, t)
+			}
+		}
+		switch {
+		case in.Op == OpFwd || in.Op == OpDrop:
+		case in.Op == OpJa:
+			push(in.Target)
+		case in.Op.IsCondJump():
+			push(in.Target)
+			push(pc + 1)
+		default:
+			push(pc + 1)
+		}
+	}
+	for pc, r := range reach {
+		if !r {
+			return instErr(p, pc, "instruction is unreachable")
+		}
+	}
+
+	// Back-edge trip-count proof: loops must be bottom-tested on a
+	// counter the body provably advances.
+	for pc := range p.Insts {
+		in := &p.Insts[pc]
+		if !in.Op.IsJump() || in.Target > pc {
+			continue
+		}
+		if in.Op == OpJa {
+			return instErr(p, pc, "unbounded loop: unconditional back-edge (loops must be bottom-tested with jlt/jle)")
+		}
+		if in.Op != OpJlt && in.Op != OpJle {
+			return instErr(p, pc, "unbounded loop: back-edge must be jlt/jle on a counter register")
+		}
+		if in.A.IsReg {
+			return instErr(p, pc, "unbounded loop: back-edge comparison bound must be an immediate")
+		}
+		counter, bound := in.Reg, in.A.Imm
+		minStep := uint64(math.MaxUint64)
+		for b := in.Target; b <= pc; b++ {
+			body := &p.Insts[b]
+			writes := false
+			switch {
+			case body.Op == OpMov || body.Op.IsALU():
+				writes = body.Reg == counter
+			case body.Op == OpLdPkt:
+				writes = body.Reg == counter
+			case body.Op == OpCall:
+				if counter <= MaxCallArgs {
+					return instErr(p, pc, "call at inst %d clobbers loop counter r%d (use r6..r10)", b, counter)
+				}
+			}
+			if !writes {
+				continue
+			}
+			if b == pc {
+				continue
+			}
+			if body.Op != OpAdd || body.A.IsReg {
+				return instErr(p, pc, "loop counter r%d must only be advanced by 'add r%d, imm' in the body (inst %d)", counter, counter, b)
+			}
+			if body.A.Imm == 0 {
+				return instErr(p, pc, "loop counter increment at inst %d must be ≥ 1", b)
+			}
+			if body.A.Imm < minStep {
+				minStep = body.A.Imm
+			}
+		}
+		if minStep == math.MaxUint64 {
+			return instErr(p, pc, "unbounded loop: body never advances counter r%d", counter)
+		}
+		trips := bound/minStep + 2
+		if trips > MaxLoopTrips {
+			return instErr(p, pc, "loop trip bound %d exceeds %d", trips, MaxLoopTrips)
+		}
+	}
+	return nil
+}
+
+// ival is the abstract value of one register: an unsigned interval plus
+// an initialization bit. Uninitialized registers have init == false and
+// any read of one is rejected.
+type ival struct {
+	init   bool
+	lo, hi uint64
+}
+
+func exact(v uint64) ival { return ival{init: true, lo: v, hi: v} }
+
+var fullIval = ival{init: true, lo: 0, hi: math.MaxUint64}
+
+func (v ival) singleton() bool { return v.lo == v.hi }
+
+// aluIval is the interval transfer function for ALU ops. It is sound
+// but deliberately simple: anything it cannot bound becomes the full
+// interval. Semantics mirror symb.ApplyOp (the shared concrete
+// semantics), including shift-beyond-width and the verifier separately
+// rejecting divisors whose interval contains zero.
+func aluIval(op Op, a, b ival) ival {
+	switch op {
+	case OpAdd:
+		if a.hi > math.MaxUint64-b.hi {
+			return fullIval
+		}
+		return ival{init: true, lo: a.lo + b.lo, hi: a.hi + b.hi}
+	case OpSub:
+		if a.lo >= b.hi {
+			return ival{init: true, lo: a.lo - b.hi, hi: a.hi - b.lo}
+		}
+		return fullIval
+	case OpMul:
+		if a.hi != 0 && b.hi != 0 && a.hi > math.MaxUint64/b.hi {
+			return fullIval
+		}
+		return ival{init: true, lo: a.lo * b.lo, hi: a.hi * b.hi}
+	case OpDiv:
+		if b.lo == 0 {
+			return fullIval // rejected separately; keep the transfer total
+		}
+		return ival{init: true, lo: a.lo / b.hi, hi: a.hi / b.lo}
+	case OpMod:
+		if b.lo == 0 {
+			return fullIval
+		}
+		return ival{init: true, lo: 0, hi: b.hi - 1}
+	case OpAnd:
+		return ival{init: true, lo: 0, hi: min(a.hi, b.hi)}
+	case OpOr, OpXor:
+		m := a.hi | b.hi
+		if m == math.MaxUint64 {
+			return fullIval
+		}
+		// Result fits in the union of the operands' bit widths.
+		return ival{init: true, lo: 0, hi: 1<<bits.Len64(m) - 1}
+	case OpLsh:
+		if b.singleton() {
+			s := b.lo
+			if s >= 64 {
+				return exact(0) // symb.ApplyOp: shift ≥ width yields 0
+			}
+			if a.hi <= math.MaxUint64>>s {
+				return ival{init: true, lo: a.lo << s, hi: a.hi << s}
+			}
+		}
+		return fullIval
+	case OpRsh:
+		if b.singleton() {
+			s := b.lo
+			if s >= 64 {
+				return exact(0)
+			}
+			return ival{init: true, lo: a.lo >> s, hi: a.hi >> s}
+		}
+		return ival{init: true, lo: 0, hi: a.hi}
+	}
+	return fullIval
+}
+
+// decideCmp evaluates a comparison over intervals: decided reports
+// whether every concrete pair in a×b agrees, and then taken is that
+// shared verdict.
+func decideCmp(op Op, a, b ival) (decided, taken bool) {
+	switch op {
+	case OpJeq:
+		if a.hi < b.lo || b.hi < a.lo {
+			return true, false
+		}
+		if a.singleton() && b.singleton() && a.lo == b.lo {
+			return true, true
+		}
+	case OpJne:
+		d, t := decideCmp(OpJeq, a, b)
+		return d, d && !t
+	case OpJlt:
+		if a.hi < b.lo {
+			return true, true
+		}
+		if a.lo >= b.hi {
+			return true, false
+		}
+	case OpJle:
+		if a.hi <= b.lo {
+			return true, true
+		}
+		if a.lo > b.hi {
+			return true, false
+		}
+	case OpJgt:
+		d, t := decideCmp(OpJle, a, b)
+		return d, d && !t
+	case OpJge:
+		d, t := decideCmp(OpJlt, a, b)
+		return d, d && !t
+	}
+	return false, false
+}
+
+// refineCmp narrows a register's interval after an undecided comparison
+// against a singleton bound k, on the branch where the comparison's
+// outcome is known. Because the comparison was undecided, the edge
+// cases that would underflow (k == 0 for jlt) cannot arise.
+func refineCmp(op Op, v ival, k uint64, taken bool) ival {
+	switch op {
+	case OpJeq:
+		if taken {
+			return exact(k)
+		}
+		return excludeEdge(v, k)
+	case OpJne:
+		if taken {
+			return excludeEdge(v, k)
+		}
+		return exact(k)
+	case OpJlt:
+		if taken {
+			v.hi = min(v.hi, k-1)
+		} else {
+			v.lo = max(v.lo, k)
+		}
+	case OpJle:
+		if taken {
+			v.hi = min(v.hi, k)
+		} else {
+			v.lo = max(v.lo, k+1)
+		}
+	case OpJgt:
+		if taken {
+			v.lo = max(v.lo, k+1)
+		} else {
+			v.hi = min(v.hi, k)
+		}
+	case OpJge:
+		if taken {
+			v.lo = max(v.lo, k)
+		} else {
+			v.hi = min(v.hi, k-1)
+		}
+	}
+	return v
+}
+
+// excludeEdge removes k from the interval when k sits on an edge (the
+// only exclusion an interval can represent).
+func excludeEdge(v ival, k uint64) ival {
+	if v.lo == k && v.hi > k {
+		v.lo = k + 1
+	} else if v.hi == k && v.lo < k {
+		v.hi = k - 1
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package bvm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedCorpus runs the golden corpus under testdata/malformed:
+// each program's first line declares the diagnostic the verifier must
+// produce ("; expect: <substring>"). Every entry must assemble (the
+// defects are semantic, not syntactic), then be rejected by Verify with
+// that diagnostic — never a panic — and Compile must refuse it too.
+func TestMalformedCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.bvm"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no malformed corpus found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, _, _ := strings.Cut(string(src), "\n")
+			want := strings.TrimSpace(strings.TrimPrefix(first, "; expect:"))
+			if want == first || want == "" {
+				t.Fatalf("%s: first line must be \"; expect: <diagnostic>\"", path)
+			}
+			p, err := Assemble(string(src))
+			if err != nil {
+				t.Fatalf("corpus entry failed to assemble (defects must be semantic): %v", err)
+			}
+			verr := Verify(p)
+			if verr == nil {
+				t.Fatalf("Verify accepted the program, want diagnostic containing %q", want)
+			}
+			if !strings.Contains(verr.Error(), want) {
+				t.Errorf("Verify() = %q, want substring %q", verr, want)
+			}
+			if _, cerr := Compile(p, ""); cerr == nil {
+				t.Errorf("Compile accepted a program Verify rejects")
+			}
+		})
+	}
+}
+
+// TestVerifyAcceptsBoundedLoop pins the positive side of the loop rule:
+// a bottom-tested counter loop within the trip bound verifies, and its
+// compiled form unrolls (no loop constructs survive into nfir).
+func TestVerifyAcceptsBoundedLoop(t *testing.T) {
+	src := `
+.name ok-loop
+.ports 2
+  mov r6, 0
+  mov r7, 0
+loop:
+  add r7, 2
+  add r6, 1
+  jlt r6, 16, loop
+  fwd 1
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("bounded loop rejected: %v", err)
+	}
+	prog, err := Compile(p, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if s := prog.String(); strings.Contains(s, "while") {
+		t.Errorf("compiled nfir still contains loop constructs:\n%s", s)
+	}
+	// 16 iterations of "add r7, 2" must appear unrolled in the body.
+	if n := strings.Count(prog.String(), "r7 = (r7 + 2)"); n != 16 {
+		t.Errorf("expected the loop body unrolled 16 times, found %d copies", n)
+	}
+}
+
+// FuzzVerifier feeds arbitrary text through the whole loader: the
+// assembler and verifier may reject, but must never panic, and any
+// program that passes Verify must compile and self-validate.
+func FuzzVerifier(f *testing.F) {
+	f.Add(".name x\n.ports 2\n drop\n")
+	f.Add(".name x\n.ports 2\n mov r6, 0\nloop:\n add r6, 1\n jlt r6, 8, loop\n fwd 1\n")
+	f.Add(".name x\n.ports 4\n.ds t flowtable keys=2\n mov r1, 1\n mov r2, 2\n mov r3, r3\n call t.get\n fwd r0\n")
+	f.Add(".name x\n.ports 2\n.ds t lpm default=1 groups=8\n.route t 0x0A000000/8 0\n ldpkt r1, 30, 4\n call t.get\n fwd r0\n")
+	f.Add(".name x\n.ports 2\n ldpkt r4, 1512, 4\n drop\n")
+	f.Add("garbage ; not a program")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if err := Verify(p); err != nil {
+			return
+		}
+		// Verified programs must lower cleanly.
+		if _, err := Compile(p, "fuzz"); err != nil {
+			t.Fatalf("verified program failed to compile: %v\n%s", err, src)
+		}
+	})
+}

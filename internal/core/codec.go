@@ -76,9 +76,10 @@ type artFile struct {
 }
 
 type artContract struct {
-	NF    string     `json:"nf"`
-	Level string     `json:"level"`
-	Paths []*artPath `json:"paths"`
+	NF         string     `json:"nf"`
+	Level      string     `json:"level"`
+	Provenance string     `json:"provenance,omitempty"`
+	Paths      []*artPath `json:"paths"`
 }
 
 type artPath struct {
@@ -201,7 +202,7 @@ func encContract(ct *Contract) (*artContract, error) {
 	if ct.NF == "" {
 		return nil, fmt.Errorf("core: contract has no NF name")
 	}
-	ac := &artContract{NF: ct.NF, Level: ct.Level, Paths: make([]*artPath, 0, len(ct.Paths))}
+	ac := &artContract{NF: ct.NF, Level: ct.Level, Provenance: ct.Provenance, Paths: make([]*artPath, 0, len(ct.Paths))}
 	for i, p := range ct.Paths {
 		ap, err := encPath(p)
 		if err != nil {
@@ -526,7 +527,7 @@ func decContract(ac *artContract) (*Contract, error) {
 	if ac.NF == "" {
 		return nil, fmt.Errorf("core: artifact contract has no NF name")
 	}
-	ct := &Contract{NF: ac.NF, Level: ac.Level}
+	ct := &Contract{NF: ac.NF, Level: ac.Level, Provenance: ac.Provenance}
 	if ac.Paths != nil {
 		ct.Paths = make([]*PathContract, 0, len(ac.Paths))
 	}

@@ -312,3 +312,35 @@ func FuzzContractCodec(f *testing.F) {
 		}
 	})
 }
+
+// TestCodecProvenance pins the provenance field's wire behavior: it
+// survives a round trip, is omitted entirely when empty (so every
+// pre-existing artifact and the golden file are byte-stable), and is
+// covered by the canonical re-encode identity.
+func TestCodecProvenance(t *testing.T) {
+	a := richArtifact()
+	a.Contract.Provenance = "bvm:ratelimit.bvm"
+	data, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"provenance":"bvm:ratelimit.bvm"`)) {
+		t.Fatalf("provenance missing from wire bytes:\n%s", data)
+	}
+	got, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Contract.Provenance != "bvm:ratelimit.bvm" {
+		t.Fatalf("provenance = %q after round trip", got.Contract.Provenance)
+	}
+
+	a.Contract.Provenance = ""
+	data, err = EncodeArtifact(a)
+	if err != nil {
+		t.Fatalf("encode empty: %v", err)
+	}
+	if bytes.Contains(data, []byte("provenance")) {
+		t.Fatalf("empty provenance must be omitted from the wire:\n%s", data)
+	}
+}

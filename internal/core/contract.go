@@ -84,6 +84,11 @@ type Contract struct {
 	NF string
 	// Level records whether framework costs are included.
 	Level string
+	// Provenance records the frontend that produced the analysed
+	// program (e.g. "bvm:ratelimit.bvm"); empty means a hand-written
+	// builtin. It travels through the artifact codec so stored
+	// contracts remember where they came from.
+	Provenance string
 	// Paths lists every feasible path.
 	Paths []*PathContract
 }

@@ -188,7 +188,7 @@ func (g *Generator) solvePath(ctx context.Context, prog *nfir.Program, pa *nfir.
 // exploration order, become the Contract. IDs are assigned sequentially
 // so they are stable across pool widths.
 func (g *Generator) assembleContract(prog *nfir.Program, pcs []*PathContract) *Contract {
-	ct := &Contract{NF: prog.Name, Level: g.Level.String(), Paths: make([]*PathContract, 0, len(pcs))}
+	ct := &Contract{NF: prog.Name, Level: g.Level.String(), Provenance: prog.Source, Paths: make([]*PathContract, 0, len(pcs))}
 	for _, pc := range pcs {
 		pc.ID = len(ct.Paths)
 		ct.Paths = append(ct.Paths, pc)

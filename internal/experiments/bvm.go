@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"gobolt/internal/bvm"
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/traffic"
+)
+
+// BVMRow is one bytecode roster NF's end-to-end result: contract
+// generation from the compiled nfir, then an interpreter-driven replay
+// classified against that contract. Unclassified must be zero — the
+// bytecode frontend's acceptance bar.
+type BVMRow struct {
+	NF        string
+	Frontend  string
+	Paths     int
+	GenMS     float64
+	Packets   int
+	Unclass   int
+	MaxObsIC  uint64
+	MaxPredIC string
+}
+
+// BVMBench runs every bytecode NF in the roster through the whole
+// pipeline: load → verify → compile → contract → interpreter replay →
+// classification.
+func BVMBench(sc Scale) ([]BVMRow, error) {
+	var rows []BVMRow
+	for _, e := range nf.Roster() {
+		if e.Provenance == "" {
+			continue
+		}
+		unit, inst, err, ok := nf.BVMUnit(e.Name, nf.BuildParams{Capacity: sc.TableCapacity})
+		if !ok {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		start := time.Now()
+		ct, err := sc.Generator().Generate(inst.Prog, inst.Models)
+		if err != nil {
+			return nil, fmt.Errorf("%s: generate: %w", e.Name, err)
+		}
+		genMS := float64(time.Since(start).Microseconds()) / 1000
+		cl, err := core.NewClassifier(ct)
+		if err != nil {
+			return nil, fmt.Errorf("%s: classifier: %w", e.Name, err)
+		}
+
+		row := BVMRow{NF: e.Name, Frontend: e.Provenance, Paths: len(ct.Paths), GenMS: genMS}
+		var log core.CallLog
+		core.AttachCallLog(inst.Env, &log)
+		meter := perf.NewMeter(nil)
+		inst.Env.Meter = meter
+		pktBuf := make([]byte, nfir.MaxPacket)
+		for i, p := range bvmWorkload(e.Name, sc) {
+			inst.Env.ResetPacket(p.Data, p.InPort, p.Time)
+			log.Reset()
+			before := meter.Snapshot()
+			act, err := bvm.Run(unit.BC, inst.Env)
+			if err != nil {
+				return nil, fmt.Errorf("%s: packet %d: %w", e.Name, i, err)
+			}
+			obsIC := meter.Since(before).Instructions
+			if obsIC > row.MaxObsIC {
+				row.MaxObsIC = obsIC
+			}
+			// Classify against the pre-run bytes (the NF may rewrite the
+			// packet in place, e.g. decap's TTL decrement).
+			n := copy(pktBuf, p.Data)
+			for j := n; j < len(pktBuf); j++ {
+				pktBuf[j] = 0
+			}
+			obs := &core.PacketObservation{
+				Pkt: pktBuf, InPort: p.InPort, Time: p.Time,
+				PktLen: uint64(len(p.Data)), Action: act.Kind, Calls: log.Records(),
+			}
+			pc, ok := cl.Classify(obs)
+			if !ok {
+				row.Unclass++
+			} else if row.MaxPredIC == "" || pc.Cost[perf.Instructions].String() > row.MaxPredIC {
+				row.MaxPredIC = pc.Cost[perf.Instructions].String()
+			}
+			row.Packets++
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// bvmWorkload builds a branch-covering workload for one bytecode NF.
+func bvmWorkload(name string, sc Scale) []traffic.Packet {
+	n := sc.Packets
+	if n <= 0 {
+		n = 1000
+	}
+	switch name {
+	case "bvm-decap":
+		endpoint := uint32(0x0A636363)
+		innerDsts := []uint32{0x0A010101, 0xC0A80505, 0xAC10FF01, 0x08080808}
+		var pkts []traffic.Packet
+		now := uint64(1_000)
+		for i := 0; i < n; i++ {
+			b := make([]byte, 64)
+			b[12], b[13] = 0x08, 0x00
+			b[14] = 0x45
+			b[22] = 64
+			b[23] = 4
+			binary.BigEndian.PutUint32(b[30:], endpoint)
+			b[34] = 0x45
+			b[42] = byte(1 + i%8)
+			binary.BigEndian.PutUint32(b[50:], innerDsts[i%len(innerDsts)])
+			switch i % 17 { // sprinkle the drop branches in
+			case 5:
+				b[23] = 17 // not IPIP
+			case 11:
+				binary.BigEndian.PutUint32(b[30:], endpoint+1) // not for us
+			}
+			pkts = append(pkts, traffic.Packet{Data: b, Time: now, InPort: uint64(i % 4)})
+			now += 1_000
+		}
+		return pkts
+	case "bvm-acl":
+		inside := traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: n / 2, Flows: sc.TableCapacity / 4, StartNS: 1_000, GapNS: 1_000, Seed: 11,
+		})
+		var pkts []traffic.Packet
+		for i, p := range inside {
+			pkts = append(pkts, p)
+			if i%2 == 0 { // reply direction through the pinhole
+				r := append([]byte(nil), p.Data...)
+				copy(r[26:30], p.Data[30:34])
+				copy(r[30:34], p.Data[26:30])
+				pkts = append(pkts, traffic.Packet{Data: r, Time: p.Time + 500, InPort: 1})
+			}
+		}
+		return pkts
+	case "bvm-scrub":
+		// Few flows at a high rate: heavy sources cross the threshold.
+		return traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: n, Flows: 3, StartNS: 1_000, GapNS: 2_000_000, Seed: 3,
+		})
+	default:
+		return traffic.UDPFlows(traffic.UDPFlowConfig{
+			Packets: n, Flows: sc.TableCapacity / 4, NewFlowEvery: 16,
+			StartNS: 1_000, GapNS: 1_000, Seed: 7,
+		})
+	}
+}
+
+// RenderBVMBench formats the bytecode frontend results.
+func RenderBVMBench(rows []BVMRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-20s %6s %9s %9s %8s %9s\n",
+		"NF", "FRONTEND", "PATHS", "GEN(ms)", "PACKETS", "UNCLASS", "maxIC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %-20s %6d %9.1f %9d %8d %9d\n",
+			r.NF, r.Frontend, r.Paths, r.GenMS, r.Packets, r.Unclass, r.MaxObsIC)
+	}
+	return b.String()
+}

@@ -52,7 +52,19 @@ type RosterEntry struct {
 	Name string
 	// Summary is the one-line description -nf help prints.
 	Summary string
-	Build   func(BuildParams) (*Instance, error)
+	// Provenance records which frontend defines the NF: empty for the
+	// hand-written builtins, "bvm:<file>" for bytecode NFs loaded from
+	// data. Contracts generated from the NF carry the same label.
+	Provenance string
+	Build      func(BuildParams) (*Instance, error)
+}
+
+// ProvenanceLabel renders Provenance for listings ("builtin" when empty).
+func (e RosterEntry) ProvenanceLabel() string {
+	if e.Provenance == "" {
+		return "builtin"
+	}
+	return e.Provenance
 }
 
 // roster is the single source of truth for every NF name the command

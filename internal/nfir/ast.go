@@ -170,6 +170,11 @@ type Program struct {
 	Body []Stmt
 	// NumPorts bounds InPort (domain [0, NumPorts-1]).
 	NumPorts uint64
+	// Source records the frontend that produced the program (e.g.
+	// "bvm:ratelimit.bvm"); empty means a hand-written builtin. It is
+	// part of the program's printed identity (and therefore its contract
+	// cache key) only when set, so builtin keys are unchanged.
+	Source string
 }
 
 // Convenience constructors keep NF definitions readable.

@@ -10,7 +10,11 @@ import (
 // debugging output (cmd/bolt -paths, DESIGN.md listings).
 func (p *Program) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "nf %s(ports=%d):\n", p.Name, p.NumPorts)
+	if p.Source != "" {
+		fmt.Fprintf(&b, "nf %s(ports=%d, src=%s):\n", p.Name, p.NumPorts, p.Source)
+	} else {
+		fmt.Fprintf(&b, "nf %s(ports=%d):\n", p.Name, p.NumPorts)
+	}
 	printStmts(&b, p.Body, 1)
 	return b.String()
 }

@@ -12,17 +12,50 @@ import (
 // be nil to skip the registry check.
 func (p *Program) Validate(dsNames map[string]bool) []error {
 	v := &validator{ds: dsNames}
+	return v.run(p)
+}
+
+// DSSig describes one data-structure method for signature-aware
+// validation: the exact argument count its Invoke expects and how many
+// results it returns.
+type DSSig struct {
+	Args    int
+	Results int
+}
+
+// ValidateWithSigs runs Validate's checks plus the signature-level ones
+// a code-generating frontend needs and a hand author usually gets right
+// by construction: calls must name a known method and match its arity,
+// must not bind more results than the method returns (a read of such a
+// local would observe a value — often a model PCV — the runtime never
+// produced), and constant Forward ports must be within NumPorts.
+// Hand-written NFs use pseudo-ports (the bridge's flood port) on
+// purpose, which is why the port-range check lives here and not in
+// Validate.
+func (p *Program) ValidateWithSigs(sigs map[string]map[string]DSSig) []error {
+	ds := make(map[string]bool, len(sigs))
+	for name := range sigs {
+		ds[name] = true
+	}
+	v := &validator{ds: ds, sigs: sigs, strictPorts: true, ports: p.NumPorts}
+	return v.run(p)
+}
+
+type validator struct {
+	ds          map[string]bool
+	sigs        map[string]map[string]DSSig
+	strictPorts bool
+	ports       uint64
+	errs        []error
+}
+
+func (v *validator) run(p *Program) []error {
 	defined := map[string]bool{}
 	terminates := v.checkStmts(p.Body, defined, "body")
 	if !terminates {
 		v.errs = append(v.errs, fmt.Errorf("%s: not every path ends in Forward or Drop", p.Name))
 	}
 	return v.errs
-}
-
-type validator struct {
-	ds   map[string]bool
-	errs []error
 }
 
 // checkStmts validates a statement list, updating the defined-locals set
@@ -81,6 +114,16 @@ func (v *validator) checkStmt(s Stmt, defined map[string]bool, where string) boo
 		}
 		if v.ds != nil && !v.ds[x.DS] {
 			v.errs = append(v.errs, fmt.Errorf("%s: call to unregistered data structure %q", where, x.DS))
+		} else if v.sigs != nil {
+			sig, ok := v.sigs[x.DS][x.Method]
+			switch {
+			case !ok:
+				v.errs = append(v.errs, fmt.Errorf("%s: %s has no method %q", where, x.DS, x.Method))
+			case len(x.Args) != sig.Args:
+				v.errs = append(v.errs, fmt.Errorf("%s: %s.%s wants %d args, call passes %d", where, x.DS, x.Method, sig.Args, len(x.Args)))
+			case len(x.Dsts) > sig.Results:
+				v.errs = append(v.errs, fmt.Errorf("%s: %s.%s returns %d results, call binds %d", where, x.DS, x.Method, sig.Results, len(x.Dsts)))
+			}
 		}
 		for _, d := range x.Dsts {
 			defined[d] = true
@@ -101,6 +144,11 @@ func (v *validator) checkStmt(s Stmt, defined map[string]bool, where string) boo
 		return false
 	case Forward:
 		v.checkExpr(x.Port, defined, where)
+		if v.strictPorts && v.ports > 0 {
+			if c, ok := x.Port.(Const); ok && c.V >= v.ports {
+				v.errs = append(v.errs, fmt.Errorf("%s: forward to constant port %d out of range (ports=%d)", where, c.V, v.ports))
+			}
+		}
 		return true
 	case DropStmt:
 		return true

@@ -204,3 +204,92 @@ func shippedPrograms(t *testing.T) []shipped {
 	}
 	return []shipped{{prog: router, ds: map[string]bool{"lpm": true}}}
 }
+
+// TestValidateWithSigs covers the signature-aware layer the bytecode
+// compiler self-checks against: method existence, call arity, result
+// binding and strict constant-port range — shapes a frontend bug would
+// emit but hand-written builtins never do.
+func TestValidateWithSigs(t *testing.T) {
+	sigs := map[string]map[string]DSSig{
+		"tbl": {
+			"get": {Args: 2, Results: 2},
+			"put": {Args: 3, Results: 1},
+		},
+	}
+	base := func(body ...Stmt) *Program {
+		return &Program{Name: "sig-test", NumPorts: 2, Body: body}
+	}
+	cases := []struct {
+		name string
+		prog *Program
+		want string // "" means must validate cleanly
+	}{
+		{
+			name: "clean",
+			prog: base(
+				Invoke("tbl", "get", []Expr{C(1), Now{}}, "v", "ok"),
+				IfElse(Eq(L("ok"), C(1)), []Stmt{Fwd(C(1))}, []Stmt{Drop()}),
+			),
+		},
+		{
+			name: "unknown method",
+			prog: base(Invoke("tbl", "evict", []Expr{C(1)}, "v"), Drop()),
+			want: `tbl has no method "evict"`,
+		},
+		{
+			name: "arity mismatch",
+			prog: base(Invoke("tbl", "get", []Expr{C(1)}, "v"), Drop()),
+			want: "tbl.get wants 2 args, call passes 1",
+		},
+		{
+			name: "excess result binding",
+			prog: base(Invoke("tbl", "put", []Expr{C(1), C(2), Now{}}, "st", "extra"), Drop()),
+			want: "tbl.put returns 1 results, call binds 2",
+		},
+		{
+			name: "constant port out of range",
+			prog: base(Fwd(C(7))),
+			want: "forward to constant port 7 out of range (ports=2)",
+		},
+		{
+			name: "undeclared data structure",
+			prog: base(Invoke("ghost", "get", []Expr{C(1), Now{}}, "v"), Drop()),
+			want: `call to unregistered data structure "ghost"`,
+		},
+		{
+			name: "unbound result read",
+			prog: base(
+				Invoke("tbl", "get", []Expr{C(1), Now{}}, "v"),
+				Fwd(L("missing")),
+			),
+			want: `"missing"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := tc.prog.ValidateWithSigs(sigs)
+			if tc.want == "" {
+				if len(errs) != 0 {
+					t.Fatalf("clean program reported: %v", errs)
+				}
+				return
+			}
+			if !errorsContain(errs, tc.want) {
+				t.Fatalf("errs = %v, want one containing %q", errs, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateWithSigsKeepsFloodPorts pins that the strict port check
+// lives only in the signature-aware layer: the base Validate must keep
+// accepting the bridge's flood-port sentinel (0xFFFF ≥ NumPorts).
+func TestValidateWithSigsKeepsFloodPorts(t *testing.T) {
+	p := &Program{Name: "flood", NumPorts: 4, Body: []Stmt{Fwd(C(0xFFFF))}}
+	if errs := p.Validate(nil); len(errs) != 0 {
+		t.Fatalf("base Validate rejected the flood sentinel: %v", errs)
+	}
+	if errs := p.ValidateWithSigs(nil); !errorsContain(errs, "out of range") {
+		t.Fatalf("strict validation accepted port 0xFFFF: %v", errs)
+	}
+}
