@@ -5,7 +5,8 @@
 //
 //	boltbench [-exp all|figure1|table3|microbench|bvm|table4|figure2|
 //	                table5|figure3|table6|table7|figure4|figure5|
-//	                fullstack|ablation|census|solverbench|chainbench]
+//	                fullstack|ablation|census|shardbench|solverbench|
+//	                chainbench]
 //	          [-scale default|quick] [-parallel N] [-nocache]
 //	          [-store DIR] [-benchjson FILE] [-v]
 //
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, bvm, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, solverbench, chainbench)")
+		exp       = flag.String("exp", "all", "experiment to run (all, figure1, table3, microbench, bvm, table4, figure2, table5, figure3, table6, table7, figure4, figure5, fullstack, ablation, census, shardbench, solverbench, chainbench)")
 		scale     = flag.String("scale", "default", "experiment scale: default or quick")
 		parallel  = flag.Int("parallel", 0, "worker pool size for contract generation and scenario runs (0 = one per CPU, 1 = serial)")
 		nocache   = flag.Bool("nocache", false, "disable the contract cache (regenerate every contract from scratch)")
@@ -202,6 +203,15 @@ func main() {
 		}
 		section("Figures 5–7 — port-allocator choice (A vs B, low vs high churn)")
 		fmt.Print(experiments.RenderFigure5(scenarios))
+	}
+
+	if want("shardbench") {
+		rows, err := experiments.ShardBench(sc)
+		if err != nil {
+			fatal(err)
+		}
+		section("Shard scaling — predicted per-shard bounds vs simulated sharded deployment")
+		fmt.Print(experiments.RenderShardBench(rows))
 	}
 
 	// solverbench is opt-in only (not part of -exp all): it times ~10

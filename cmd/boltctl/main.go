@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"gobolt/internal/core"
+	"gobolt/internal/nfir"
 	"gobolt/internal/perf"
 	"gobolt/internal/store"
 )
@@ -185,12 +187,41 @@ func cmdInspect(s *store.Store, prefix string, m perf.Metric, out io.Writer) err
 		frontend = "builtin"
 	}
 	fmt.Fprintf(out, "frontend:  %s\n", frontend)
+	fmt.Fprintf(out, "version:   %d\n", a.Version)
 	fmt.Fprintf(out, "paths:     %d\n", len(a.Contract.Paths))
 	fmt.Fprintf(out, "raw paths: %d (composable: %t)\n", len(a.Paths), a.Paths != nil)
 	fmt.Fprintf(out, "bytes:     %d\n", len(payload))
+	printSharing(a.Contract, out)
 	fmt.Fprintln(out)
 	fmt.Fprint(out, a.Contract.Render(m))
 	return nil
+}
+
+// printSharing summarises the sharability verdicts a version-2 artifact
+// carries: each state call's class and the analysis's reason. Version-1
+// artifacts have no verdicts and print nothing.
+func printSharing(ct *core.Contract, out io.Writer) {
+	verdicts := map[string]nfir.Sharing{}
+	for _, p := range ct.Paths {
+		for _, ev := range p.Trace {
+			if ev.Sharing.Class != nfir.SharingUnknown {
+				verdicts[ev.DS+"."+ev.Method] = ev.Sharing
+			}
+		}
+	}
+	if len(verdicts) == 0 {
+		return
+	}
+	calls := make([]string, 0, len(verdicts))
+	for call := range verdicts {
+		calls = append(calls, call)
+	}
+	sort.Strings(calls)
+	fmt.Fprintf(out, "sharing:\n")
+	for _, call := range calls {
+		sh := verdicts[call]
+		fmt.Fprintf(out, "  %-22s %-9s %s\n", call, sh.Class, sh.Reason)
+	}
 }
 
 func cmdDiff(s1, s2 *store.Store, p1, p2 string, m perf.Metric, out io.Writer) error {

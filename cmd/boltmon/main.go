@@ -26,7 +26,11 @@
 // contract bolt or boltbench already generated is loaded, not rebuilt;
 // with -key the contract MUST come from the store (wrong or missing keys
 // error — no silent regeneration). -shards N fans classification out to
-// N flow-hashed monitor shards over batched ingest (-batch).
+// N flow-hashed monitor shards over batched ingest (-batch);
+// -shard-aware additionally prices the N-shard deployment into the
+// checks: cycle bounds include the contract's contention term at N
+// shards, and a -clockhz/-pps-derived budget becomes the per-shard
+// budget N·clockhz/pps (each of N cores need only sustain pps/N).
 package main
 
 import (
@@ -68,6 +72,9 @@ func main() {
 		storeDir  = flag.String("store", "", "back contract generation with the on-disk store at this directory (shared with bolt/boltbench/boltctl)")
 		shards    = flag.Int("shards", 0, "flow-hashed monitor shards (0 or 1 = serial pooled path)")
 		batch     = flag.Int("batch", 0, "packets per shard ingest batch in sharded mode (0 = default)")
+		shAware   = flag.Bool("shard-aware", false, "price the -shards deployment into the checks: shard-aware cycle bounds, per-shard budget")
+		clockHz   = flag.Float64("clockhz", 0, "core clock for a derived cycle budget (with -pps; overrides -budget calibration)")
+		pps       = flag.Float64("pps", 0, "aggregate target packets/sec for a derived cycle budget (with -clockhz)")
 		keyArg    = flag.String("key", "", "monitor with this stored contract (key or unambiguous prefix, requires -store and -nf); never regenerates")
 	)
 	flag.Parse()
@@ -143,7 +150,11 @@ func main() {
 	}
 	mcfg := monitor.Config{
 		Metric: m, Budget: *budget, Trigger: *trigger, Clear: *clearN,
-		Shards: *shards, Batch: *batch,
+		Shards: *shards, Batch: *batch, ShardAware: *shAware,
+		ClockHz: *clockHz, TargetPPS: *pps,
+	}
+	if *shAware && *shards <= 1 {
+		fatal(fmt.Errorf("-shard-aware needs -shards N with N > 1 (there is no contention to price in)"))
 	}
 
 	var alerted bool
@@ -235,7 +246,10 @@ func watch(ctx context.Context, sc experiments.Scale, mcfg monitor.Config, nfNam
 	if err != nil {
 		return false, err
 	}
-	if mcfg.Budget == 0 {
+	// A -clockhz/-pps pair derives the budget inside monitor.New
+	// (per-shard under -shard-aware); only budget-less, derivation-less
+	// configs calibrate from benign traffic.
+	if mcfg.Budget == 0 && (mcfg.ClockHz <= 0 || mcfg.TargetPPS <= 0) {
 		calInst, calCt, err := build()
 		if err != nil {
 			return false, err

@@ -260,7 +260,11 @@ func (g *Generator) cacheKey(prog *nfir.Program, models map[string]nfir.Model) (
 
 	var b strings.Builder
 	s := g.solver()
-	fmt.Fprintf(&b, "config level=%d padIC=%d padMA=%d maxPaths=%d skipReplay=%t solverNodes=%d solverSamples=%d feasNodes=%d feasSamples=%d noInc=%t\n",
+	// schema=2: PR 9 added the sharability annotations (CallEvent.Args/
+	// Sharing, PathContract.SharedMA); bumping the tag fences off cached
+	// paths generated before the analysis existed, so every cache hit
+	// carries shard verdicts.
+	fmt.Fprintf(&b, "config schema=2 level=%d padIC=%d padMA=%d maxPaths=%d skipReplay=%t solverNodes=%d solverSamples=%d feasNodes=%d feasSamples=%d noInc=%t\n",
 		g.Level, g.CallPadIC, g.CallPadMA, g.MaxPaths, g.SkipReplay, s.MaxNodes, s.Samples,
 		g.FeasibilityMaxNodes, g.FeasibilitySamples, g.NoIncremental)
 	for _, n := range names {

@@ -238,6 +238,14 @@ func coalescePaths(pcs []*PathContract, raws []*nfir.Path, shared []bool) ([]*Pa
 			}
 			rep.Cost[m] = coalesced
 		}
+		// Shared-MA merges like any other metric: the envelope of the
+		// members' shared-access polynomials over the merged PCV ranges.
+		sharedMA := first.EffectiveSharedMA()
+		for _, q := range grp.members[1:] {
+			sharedMA = expr.MaxAssuming(sharedMA, q.EffectiveSharedMA(), rep.PCVRanges)
+		}
+		rep.SharedMA = sharedMA
+		rep.ShardAnalysed = true
 		outPcs[grp.out] = &rep
 		if outRaws != nil {
 			repRaw := *outRaws[grp.out]

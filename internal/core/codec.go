@@ -43,8 +43,17 @@ import (
 	"gobolt/internal/symb"
 )
 
-// ArtifactVersion is the codec version this build reads and writes.
-const ArtifactVersion = 1
+// ArtifactVersion is the codec version this build writes by default.
+// Version 2 (PR 9) added the shard dimension: per-path shared-MA
+// polynomials and per-call sharability verdicts with the recorded key
+// arguments. The build still reads (and can write, see
+// EncodeArtifactAt) version 1; a version-1 artifact decodes to a
+// contract whose paths report ShardAnalysed=false and are evaluated
+// with the conservative all-accesses-shared fallback.
+const ArtifactVersion = 2
+
+// minArtifactVersion is the oldest version DecodeArtifact accepts.
+const minArtifactVersion = 1
 
 // artifactFormat tags encoded artifacts; it never changes (the version
 // number does).
@@ -59,13 +68,21 @@ type Artifact struct {
 	Key      string
 	Contract *Contract
 	Paths    []*nfir.Path
+	// Version is the codec version the artifact is (or was) encoded at.
+	// DecodeArtifact records the input's declared version here, and
+	// EncodeArtifact honours it, so decode→re-encode round-trips an old
+	// artifact at its own version instead of silently upgrading the
+	// bytes. Zero means "current" (ArtifactVersion).
+	Version int
 }
 
 // --- wire types -----------------------------------------------------
 //
-// The art* structs are the exact JSON shape of a version-1 artifact.
+// The art* structs are the exact JSON shape of an encoded artifact.
 // Field order is the canonical encoding order; do not reorder without
-// bumping ArtifactVersion.
+// bumping ArtifactVersion. Fields marked "v2" are omitted when encoding
+// at version 1 (omitempty plus explicit stripping), which keeps the
+// version-1 projection byte-identical to what pre-shard builds wrote.
 
 type artFile struct {
 	Format   string        `json:"format"`
@@ -91,6 +108,12 @@ type artPath struct {
 	Trace       []artCallEvent      `json:"trace,omitempty"`
 	Cost        map[string]artPoly  `json:"cost,omitempty"`
 	PCVRanges   map[string]artRange `json:"pcv_ranges,omitempty"`
+	// SharedMA (v2) is the path's shared-access polynomial; an analysed
+	// path with nothing shared omits it (the zero polynomial).
+	SharedMA artPoly `json:"shared_ma,omitempty"`
+	// ShardAnalysed (v2) records whether the sharability analysis ran;
+	// false (omitted) for paths that originated in version-1 artifacts.
+	ShardAnalysed bool `json:"shard_analysed,omitempty"`
 	// Witness distinguishes nil (solver returned Unknown; the path is
 	// retained conservatively) from an empty binding, so it is encoded
 	// without omitempty: null vs {}.
@@ -117,6 +140,12 @@ type artCallEvent struct {
 	Method     string     `json:"method"`
 	Outcome    artOutcome `json:"outcome"`
 	ResultSyms []string   `json:"result_syms,omitempty"`
+	// Args (v2) are the call's symbolic arguments, kept so cached paths
+	// can be re-analysed and inspected without re-exploration.
+	Args []*artExpr `json:"args,omitempty"`
+	// Sharing/SharingReason (v2) are the sharability verdict.
+	Sharing       string `json:"sharing,omitempty"`
+	SharingReason string `json:"sharing_reason,omitempty"`
 }
 
 type artOutcome struct {
@@ -171,10 +200,29 @@ type artExpr struct {
 
 // --- encoding -------------------------------------------------------
 
-// EncodeArtifact serializes an artifact to its canonical version-1
-// bytes. The output is deterministic: encoding the same artifact twice
+// EncodeArtifact serializes an artifact to its canonical bytes at the
+// artifact's own version (a.Version; the current ArtifactVersion when
+// zero). The output is deterministic: encoding the same artifact twice
 // yields identical bytes, and DecodeArtifact inverts it exactly.
 func EncodeArtifact(a *Artifact) ([]byte, error) {
+	version := ArtifactVersion
+	if a != nil && a.Version != 0 {
+		version = a.Version
+	}
+	return EncodeArtifactAt(a, version)
+}
+
+// EncodeArtifactAt serializes at a specific codec version. Version 1 is
+// the shard-oblivious projection: shard fields (SharedMA, sharability
+// verdicts, call arguments) are stripped, producing bytes identical to
+// what a pre-shard build would write for the same contract — the
+// "strictly additive" guarantee TestShardFieldsAdditive pins against a
+// golden pre-PR-9 artifact.
+func EncodeArtifactAt(a *Artifact, version int) ([]byte, error) {
+	if version < minArtifactVersion || version > ArtifactVersion {
+		return nil, fmt.Errorf("core: cannot encode artifact version %d (this build writes %d..%d)",
+			version, minArtifactVersion, ArtifactVersion)
+	}
 	if a == nil || a.Contract == nil {
 		return nil, fmt.Errorf("core: cannot encode a nil contract")
 	}
@@ -182,14 +230,14 @@ func EncodeArtifact(a *Artifact) ([]byte, error) {
 		return nil, fmt.Errorf("core: artifact raw paths (%d) do not align with contract paths (%d)",
 			len(a.Paths), len(a.Contract.Paths))
 	}
-	f := &artFile{Format: artifactFormat, Version: ArtifactVersion, Key: a.Key}
-	ac, err := encContract(a.Contract)
+	f := &artFile{Format: artifactFormat, Version: version, Key: a.Key}
+	ac, err := encContract(a.Contract, version)
 	if err != nil {
 		return nil, err
 	}
 	f.Contract = ac
 	for i, rp := range a.Paths {
-		arp, err := encRawPath(rp)
+		arp, err := encRawPath(rp, version)
 		if err != nil {
 			return nil, fmt.Errorf("core: raw path %d: %w", i, err)
 		}
@@ -198,13 +246,13 @@ func EncodeArtifact(a *Artifact) ([]byte, error) {
 	return json.Marshal(f)
 }
 
-func encContract(ct *Contract) (*artContract, error) {
+func encContract(ct *Contract, version int) (*artContract, error) {
 	if ct.NF == "" {
 		return nil, fmt.Errorf("core: contract has no NF name")
 	}
 	ac := &artContract{NF: ct.NF, Level: ct.Level, Provenance: ct.Provenance, Paths: make([]*artPath, 0, len(ct.Paths))}
 	for i, p := range ct.Paths {
-		ap, err := encPath(p)
+		ap, err := encPath(p, version)
 		if err != nil {
 			return nil, fmt.Errorf("core: path %d: %w", i, err)
 		}
@@ -213,12 +261,12 @@ func encContract(ct *Contract) (*artContract, error) {
 	return ac, nil
 }
 
-func encPath(p *PathContract) (*artPath, error) {
+func encPath(p *PathContract, version int) (*artPath, error) {
 	cons, err := encExprs(p.Constraints)
 	if err != nil {
 		return nil, err
 	}
-	trace, err := encEvents(p.Trace)
+	trace, err := encEvents(p.Trace, version)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +274,7 @@ func encPath(p *PathContract) (*artPath, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &artPath{
+	ap := &artPath{
 		ID:          p.ID,
 		Action:      p.Action.String(),
 		Constraints: cons,
@@ -236,15 +284,22 @@ func encPath(p *PathContract) (*artPath, error) {
 		Cost:        cost,
 		PCVRanges:   encRanges(p.PCVRanges),
 		Witness:     p.Witness,
-	}, nil
+	}
+	if version >= 2 {
+		if !p.SharedMA.IsZero() {
+			ap.SharedMA = encPoly(p.SharedMA)
+		}
+		ap.ShardAnalysed = p.ShardAnalysed
+	}
+	return ap, nil
 }
 
-func encRawPath(rp *nfir.Path) (*artRawPath, error) {
+func encRawPath(rp *nfir.Path, version int) (*artRawPath, error) {
 	cons, err := encExprs(rp.Constraints)
 	if err != nil {
 		return nil, err
 	}
-	events, err := encEvents(rp.Events)
+	events, err := encEvents(rp.Events, version)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +368,7 @@ func encPktWrites(w map[uint64]nfir.PktWrite) ([]artPktWrite, error) {
 	return out, nil
 }
 
-func encEvents(evs []nfir.CallEvent) ([]artCallEvent, error) {
+func encEvents(evs []nfir.CallEvent, version int) ([]artCallEvent, error) {
 	if len(evs) == 0 {
 		return nil, nil
 	}
@@ -335,7 +390,7 @@ func encEvents(evs []nfir.CallEvent) ([]artCallEvent, error) {
 		for _, pcv := range ev.Outcome.PCVs {
 			pcvs = append(pcvs, artPCV{Name: pcv.Name, Range: artRange{Lo: pcv.Range.Lo, Hi: pcv.Range.Hi}})
 		}
-		out = append(out, artCallEvent{
+		ae := artCallEvent{
 			DS:     ev.DS,
 			Method: ev.Method,
 			Outcome: artOutcome{
@@ -347,7 +402,15 @@ func encEvents(evs []nfir.CallEvent) ([]artCallEvent, error) {
 				PCVs:        pcvs,
 			},
 			ResultSyms: ev.ResultSyms,
-		})
+		}
+		if version >= 2 {
+			if ae.Args, err = encExprs(ev.Args); err != nil {
+				return nil, err
+			}
+			ae.Sharing = ev.Sharing.Class.String()
+			ae.SharingReason = ev.Sharing.Reason
+		}
+		out = append(out, ae)
 	}
 	return out, nil
 }
@@ -465,12 +528,14 @@ func encExpr(e symb.Expr) (*artExpr, error) {
 
 // --- decoding -------------------------------------------------------
 
-// DecodeArtifact parses and validates canonical version-1 artifact
-// bytes. It rejects unknown formats and versions, unknown fields,
-// malformed operator/action/metric/monomial names, misaligned raw
-// paths, and any input that is not byte-for-byte the canonical encoding
-// of its own content — so EncodeArtifact(DecodeArtifact(b)) == b for
-// every accepted b.
+// DecodeArtifact parses and validates canonical artifact bytes of any
+// supported version (1 or 2). It rejects unknown formats and versions,
+// unknown fields, malformed operator/action/metric/monomial names,
+// misaligned raw paths, and any input that is not byte-for-byte the
+// canonical encoding of its own content *at its declared version* — so
+// EncodeArtifactAt(DecodeArtifact(b), version(b)) == b for every
+// accepted b. In particular a version-1 artifact that smuggles shard
+// fields fails the gate (re-encoding at version 1 strips them).
 func DecodeArtifact(data []byte) (*Artifact, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -484,17 +549,18 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 	if f.Format != artifactFormat {
 		return nil, fmt.Errorf("core: not a contract artifact (format %q, want %q)", f.Format, artifactFormat)
 	}
-	if f.Version != ArtifactVersion {
-		return nil, fmt.Errorf("core: unsupported artifact version %d (this build reads version %d)", f.Version, ArtifactVersion)
+	if f.Version < minArtifactVersion || f.Version > ArtifactVersion {
+		return nil, fmt.Errorf("core: unsupported artifact version %d (this build reads versions %d..%d)",
+			f.Version, minArtifactVersion, ArtifactVersion)
 	}
 	if f.Contract == nil {
 		return nil, fmt.Errorf("core: artifact has no contract")
 	}
-	ct, err := decContract(f.Contract)
+	ct, err := decContract(f.Contract, f.Version)
 	if err != nil {
 		return nil, err
 	}
-	a := &Artifact{Key: f.Key, Contract: ct}
+	a := &Artifact{Key: f.Key, Contract: ct, Version: f.Version}
 	if f.Paths != nil {
 		if len(f.Paths) != len(ct.Paths) {
 			return nil, fmt.Errorf("core: artifact raw paths (%d) do not align with contract paths (%d)",
@@ -502,7 +568,7 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 		}
 		a.Paths = make([]*nfir.Path, 0, len(f.Paths))
 		for i, arp := range f.Paths {
-			rp, err := decRawPath(arp)
+			rp, err := decRawPath(arp, f.Version)
 			if err != nil {
 				return nil, fmt.Errorf("core: raw path %d: %w", i, err)
 			}
@@ -510,10 +576,12 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 		}
 	}
 	// Canonicality gate: the input must be exactly what this decoder's
-	// inverse produces. This catches duplicate keys, reordered fields,
-	// whitespace, and every non-canonical spelling structural decoding
-	// tolerates — and makes decode∘encode the identity by construction.
-	re, err := EncodeArtifact(a)
+	// inverse produces at the input's own version. This catches
+	// duplicate keys, reordered fields, whitespace, every non-canonical
+	// spelling structural decoding tolerates, and version-1 inputs
+	// carrying fields their version does not define — and makes
+	// decode∘encode the identity by construction.
+	re, err := EncodeArtifactAt(a, f.Version)
 	if err != nil {
 		return nil, fmt.Errorf("core: re-encoding decoded artifact: %w", err)
 	}
@@ -523,7 +591,7 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 	return a, nil
 }
 
-func decContract(ac *artContract) (*Contract, error) {
+func decContract(ac *artContract, version int) (*Contract, error) {
 	if ac.NF == "" {
 		return nil, fmt.Errorf("core: artifact contract has no NF name")
 	}
@@ -532,7 +600,7 @@ func decContract(ac *artContract) (*Contract, error) {
 		ct.Paths = make([]*PathContract, 0, len(ac.Paths))
 	}
 	for i, ap := range ac.Paths {
-		p, err := decPath(ap)
+		p, err := decPath(ap, version)
 		if err != nil {
 			return nil, fmt.Errorf("core: path %d: %w", i, err)
 		}
@@ -541,7 +609,7 @@ func decContract(ac *artContract) (*Contract, error) {
 	return ct, nil
 }
 
-func decPath(ap *artPath) (*PathContract, error) {
+func decPath(ap *artPath, version int) (*PathContract, error) {
 	action, ok := nfir.ParseActionKind(ap.Action)
 	if !ok {
 		return nil, fmt.Errorf("unknown action %q", ap.Action)
@@ -558,7 +626,7 @@ func decPath(ap *artPath) (*PathContract, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PathContract{
+	p := &PathContract{
 		ID:          ap.ID,
 		Action:      action,
 		Constraints: cons,
@@ -568,10 +636,18 @@ func decPath(ap *artPath) (*PathContract, error) {
 		Cost:        cost,
 		PCVRanges:   decRanges(ap.PCVRanges),
 		Witness:     ap.Witness,
-	}, nil
+	}
+	if version >= 2 {
+		if p.SharedMA, err = decPoly(ap.SharedMA); err != nil {
+			return nil, err
+		}
+		p.ShardAnalysed = ap.ShardAnalysed
+	}
+	return p, nil
 }
 
-func decRawPath(arp *artRawPath) (*nfir.Path, error) {
+func decRawPath(arp *artRawPath, version int) (*nfir.Path, error) {
+	_ = version // raw-path v2 additions live inside the shared call events
 	action, ok := nfir.ParseActionKind(arp.Action)
 	if !ok {
 		return nil, fmt.Errorf("unknown action %q", arp.Action)
@@ -666,6 +742,17 @@ func decEvents(aes []artCallEvent) ([]nfir.CallEvent, error) {
 			}
 			pcvs = append(pcvs, nfir.PCV{Name: pcv.Name, Range: expr.Range{Lo: pcv.Range.Lo, Hi: pcv.Range.Hi}})
 		}
+		args, err := decExprs(ae.Args)
+		if err != nil {
+			return nil, err
+		}
+		class, ok := nfir.ParseSharingClass(ae.Sharing)
+		if !ok {
+			return nil, fmt.Errorf("call event %d has an unknown sharing class %q", i, ae.Sharing)
+		}
+		if class == nfir.SharingUnknown && ae.SharingReason != "" {
+			return nil, fmt.Errorf("call event %d has a sharing reason without a sharing class", i)
+		}
 		out = append(out, nfir.CallEvent{
 			DS:     ae.DS,
 			Method: ae.Method,
@@ -678,6 +765,8 @@ func decEvents(aes []artCallEvent) ([]nfir.CallEvent, error) {
 				PCVs:        pcvs,
 			},
 			ResultSyms: ae.ResultSyms,
+			Args:       args,
+			Sharing:    nfir.Sharing{Class: class, Reason: ae.SharingReason},
 		})
 	}
 	return out, nil

@@ -45,6 +45,12 @@ func richArtifact() *Artifact {
 			PCVs: []nfir.PCV{{Name: "c", Range: expr.Range{Lo: 0, Hi: 6}}},
 		},
 		ResultSyms: []string{"ft.r0"},
+		Args: []symb.Expr{
+			symb.Sym{Name: "pkt_26_4"},
+			symb.Bin{Op: symb.Or, L: symb.Sym{Name: "pkt_30_4"}, R: symb.Const{V: 0}},
+			symb.Sym{Name: "now"},
+		},
+		Sharing: nfir.Sharing{Class: nfir.SharingLocal, Reason: "key pins the flow-hash fields"},
 	}
 	ct := &Contract{
 		NF:    "test-nf",
@@ -62,8 +68,10 @@ func richArtifact() *Artifact {
 					perf.MemAccesses:  expr.FromTerms(map[expr.Mono]uint64{"": 30, "c": 3}),
 					perf.Cycles:       expr.FromTerms(map[expr.Mono]uint64{"": 4100, "c*m": 11}),
 				},
-				PCVRanges: map[string]expr.Range{"c": {Lo: 0, Hi: 6}, "m": {Lo: 1, Hi: 64}},
-				Witness:   map[string]uint64{"pkt.dst": 0x0A000001, "pkt.proto": 6},
+				PCVRanges:     map[string]expr.Range{"c": {Lo: 0, Hi: 6}, "m": {Lo: 1, Hi: 64}},
+				SharedMA:      expr.FromTerms(map[expr.Mono]uint64{"": 3, "c": 1}),
+				ShardAnalysed: true,
+				Witness:       map[string]uint64{"pkt.dst": 0x0A000001, "pkt.proto": 6},
 			},
 			{
 				ID:      1,
@@ -102,7 +110,7 @@ func richArtifact() *Artifact {
 			Action: nfir.ActionDrop,
 		},
 	}
-	return &Artifact{Key: strings.Repeat("ab", 32), Contract: ct, Paths: paths}
+	return &Artifact{Key: strings.Repeat("ab", 32), Contract: ct, Paths: paths, Version: ArtifactVersion}
 }
 
 func TestCodecRoundTripRich(t *testing.T) {
@@ -133,7 +141,7 @@ func TestCodecRoundTripRich(t *testing.T) {
 }
 
 func TestCodecGolden(t *testing.T) {
-	golden := filepath.Join("testdata", "artifact_v1.golden.json")
+	golden := filepath.Join("testdata", "artifact_v2.golden.json")
 	data, err := EncodeArtifact(richArtifact())
 	if err != nil {
 		t.Fatalf("encode: %v", err)
@@ -155,6 +163,72 @@ func TestCodecGolden(t *testing.T) {
 	}
 	if _, err := DecodeArtifact(want); err != nil {
 		t.Fatalf("golden artifact no longer decodes: %v", err)
+	}
+}
+
+// TestShardFieldsAdditive pins that the shard dimension (v2) is
+// strictly additive over the version-1 wire format:
+//
+//   - encoding today's richArtifact — shard annotations and all — at
+//     version 1 reproduces byte-for-byte the golden bytes a pre-shard
+//     build wrote for the same artifact;
+//   - those version-1 bytes still decode, losslessly, with the shard
+//     fields at their zero values;
+//   - a decoded version-1 artifact re-encodes at version 1 (the codec
+//     never silently upgrades stored bytes);
+//   - upgrading is explicit (EncodeArtifactAt at version 2) and changes
+//     nothing but the declared version for shard-less content.
+func TestShardFieldsAdditive(t *testing.T) {
+	golden := filepath.Join("testdata", "artifact_v1.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading pre-shard golden file: %v", err)
+	}
+
+	data, err := EncodeArtifactAt(richArtifact(), 1)
+	if err != nil {
+		t.Fatalf("encode at version 1: %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("version-1 projection drifted from the pre-shard golden bytes")
+	}
+
+	a, err := DecodeArtifact(want)
+	if err != nil {
+		t.Fatalf("version-1 golden no longer decodes: %v", err)
+	}
+	if a.Version != 1 {
+		t.Fatalf("decoded version = %d, want 1", a.Version)
+	}
+	for i, p := range a.Contract.Paths {
+		if p.ShardAnalysed || !p.SharedMA.IsZero() {
+			t.Fatalf("path %d of a version-1 artifact carries shard analysis", i)
+		}
+	}
+	for i, ev := range a.Contract.Paths[0].Trace {
+		if ev.Args != nil || ev.Sharing != (nfir.Sharing{}) {
+			t.Fatalf("trace event %d of a version-1 artifact carries call args or a sharing verdict", i)
+		}
+	}
+
+	re, err := EncodeArtifact(a)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatalf("decoded version-1 artifact re-encoded at a different version")
+	}
+
+	up, err := EncodeArtifactAt(a, 2)
+	if err != nil {
+		t.Fatalf("explicit upgrade: %v", err)
+	}
+	wantUp := bytes.Replace(want, []byte(`"version":1`), []byte(`"version":2`), 1)
+	if !bytes.Equal(up, wantUp) {
+		t.Fatalf("upgrading shard-less version-1 content changed more than the version number")
+	}
+	if _, err := DecodeArtifact(up); err != nil {
+		t.Fatalf("upgraded artifact does not decode: %v", err)
 	}
 }
 
@@ -212,18 +286,24 @@ func TestCodecDecodeRejects(t *testing.T) {
 		"truncated":         valid[:len(valid)/2],
 		"trailing data":     append(append([]byte{}, valid...), []byte(" {}")...),
 		"wrong format":      mutate(`"format":"gobolt-contract"`, `"format":"gobolt-contrakt"`),
-		"future version":    mutate(`"version":1`, `"version":2`),
+		"future version":    mutate(`"version":2`, `"version":3`),
 		"unknown field":     mutate(`"nf":"test-nf"`, `"nf":"test-nf","zzz":1`),
 		"unknown action":    mutate(`"action":"drop"`, `"action":"teleport"`),
 		"unknown operator":  mutate(`"op":"=="`, `"op":"==="`),
 		"unknown metric":    mutate(`"ic":`, `"IC":`),
 		"bad monomial":      mutate(`"c^2":2`, `"c^0":2`),
 		"zero coefficient":  mutate(`"c^2":2`, `"c^2":0`),
-		"whitespace":        mutate(`"version":1`, `"version": 1`),
-		"reordered fields":  mutate(`"format":"gobolt-contract","version":1`, `"version":1,"format":"gobolt-contract"`),
+		"whitespace":        mutate(`"version":2`, `"version": 2`),
+		"reordered fields":  mutate(`"format":"gobolt-contract","version":2`, `"version":2,"format":"gobolt-contract"`),
 		"malformed const":   mutate(`{"k":"c","v":167772161}`, `{"k":"c","v":167772161,"n":"x"}`),
 		"empty symbol name": mutate(`{"k":"s","n":"nat.port"}`, `{"k":"s","n":""}`),
-		"witness omitted":   mutate(`,"witness":null`, ``),
+		"unknown sharing":   mutate(`"sharing":"local"`, `"sharing":"lokal"`),
+		"orphaned reason":   mutate(`"sharing":"local","sharing_reason":"key pins the flow-hash fields"`, `"sharing_reason":"key pins the flow-hash fields"`),
+		// Version 1 does not define the shard fields; an artifact that
+		// declares version 1 but smuggles them in must fail the
+		// canonicality gate (re-encoding at version 1 strips them).
+		"downgraded version smuggles shard fields": mutate(`"version":2`, `"version":1`),
+		"witness omitted": mutate(`,"witness":null`, ``),
 	}
 	for name, data := range cases {
 		if _, err := DecodeArtifact(data); err == nil {
@@ -284,6 +364,16 @@ func FuzzContractCodec(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(minimal)
+	// The version-1 projection of the same artifact: a supported older
+	// version that must round-trip at its own version, not upgrade.
+	v1, err := EncodeArtifactAt(richArtifact(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1)
+	// A version-1 envelope smuggling version-2 fields (canonicality gate
+	// must reject it).
+	f.Add(bytes.Replace(valid, []byte(`"version":2`), []byte(`"version":1`), 1))
 	f.Add([]byte(`{"format":"gobolt-contract","version":1,"contract":{"nf":"m","level":"","paths":[]}}`))
 	f.Add([]byte(`{"format":"gobolt-contract","version":9,"contract":null}`))
 	f.Add(valid[:len(valid)/3])

@@ -310,14 +310,22 @@ func joinPair(ctx context.Context, pa *PathContract, rawA *nfir.Path, pb *PathCo
 	for _, m := range perf.Metrics {
 		cost[m] = pa.Cost[m].Add(pb.Cost[m].RenameVars(func(v string) string { return bns + v }))
 	}
+	// Shared-MA composes exactly like cost: both stages run on the same
+	// shard (the chain is dispatched once), so their shared accesses add.
+	// EffectiveSharedMA keeps the composition conservative when either
+	// side predates the sharability analysis.
+	sharedMA := pa.EffectiveSharedMA().Add(
+		pb.EffectiveSharedMA().RenameVars(func(v string) string { return bns + v }))
 
 	return &PathContract{
-		Action:      pb.Action,
-		Constraints: constraints,
-		Domains:     domains,
-		Events:      joinEvents(pa.Events, pb.Events),
-		Cost:        cost,
-		PCVRanges:   ranges,
+		Action:        pb.Action,
+		Constraints:   constraints,
+		Domains:       domains,
+		Events:        joinEvents(pa.Events, pb.Events),
+		Cost:          cost,
+		PCVRanges:     ranges,
+		SharedMA:      sharedMA,
+		ShardAnalysed: true,
 	}, true
 }
 

@@ -45,6 +45,17 @@ type PathContract struct {
 	Cost map[perf.Metric]expr.Poly
 	// PCVRanges bound the PCVs appearing in Cost.
 	PCVRanges map[string]expr.Range
+	// SharedMA is the sub-polynomial of Cost[MemAccesses] attributable to
+	// stateful calls classified shared-rw (or unknown) by the sharability
+	// analysis — the accesses that touch mutable cross-flow state and pay
+	// the coherence penalty when the NF runs sharded. See shard.go.
+	SharedMA expr.Poly
+	// ShardAnalysed records whether SharedMA was actually computed: true
+	// for freshly generated and composed paths, false for paths decoded
+	// from version-1 artifacts (which predate the analysis). Unanalysed
+	// paths fall back to a conservative shared-MA estimate; see
+	// EffectiveSharedMA.
+	ShardAnalysed bool
 	// Witness is a concrete input exercising the path (nil when the
 	// solver returned Unknown; such paths are retained conservatively).
 	Witness map[string]uint64

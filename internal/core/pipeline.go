@@ -58,7 +58,7 @@ func (g *Generator) GenerateWithPathsContext(ctx context.Context, prog *nfir.Pro
 
 	pcs := make([]*PathContract, len(paths))
 	err = par.ForEach(ctx, g.workers(), len(paths), func(i int) error {
-		pc, err := g.analysePath(ctx, prog, paths[i])
+		pc, err := g.analysePath(ctx, prog, models, paths[i])
 		if err != nil {
 			return fmt.Errorf("core: %s path %d: %w", prog.Name, paths[i].ID, err)
 		}
@@ -92,9 +92,12 @@ func (g *Generator) explorePaths(ctx context.Context, prog *nfir.Program, models
 	return paths, nil
 }
 
-// analysePath runs the three per-path stages in order: AnalysePath
-// (cost assembly), Solve, and Replay.
-func (g *Generator) analysePath(ctx context.Context, prog *nfir.Program, pa *nfir.Path) (*PathContract, error) {
+// analysePath runs the per-path stages in order: sharability
+// classification, AnalysePath (cost assembly), Solve, and Replay.
+// Each path's Events slice is private to the path (exploration clones
+// it per branch), so annotating in parallel workers is race-free.
+func (g *Generator) analysePath(ctx context.Context, prog *nfir.Program, models map[string]nfir.Model, pa *nfir.Path) (*PathContract, error) {
+	g.annotateSharing(pa, models)
 	pc := g.assembleCost(pa)
 	if err := g.solvePath(ctx, prog, pa, pc); err != nil {
 		return nil, err
@@ -118,6 +121,7 @@ func (g *Generator) assembleCost(pa *nfir.Path) *PathContract {
 	}
 	padCycles := uint64(float64(g.CallPadIC)*hwmodel.WorstALU) +
 		uint64(float64(g.CallPadMA)*hwmodel.CyclesPerMemDRAM)
+	sharedMA := expr.Const(0)
 	for _, ev := range pa.Events {
 		for m, p := range ev.Outcome.Cost {
 			cost[m] = cost[m].Add(p)
@@ -125,6 +129,12 @@ func (g *Generator) assembleCost(pa *nfir.Path) *PathContract {
 		cost[perf.Instructions] = cost[perf.Instructions].Add(expr.Const(g.CallPadIC))
 		cost[perf.MemAccesses] = cost[perf.MemAccesses].Add(expr.Const(g.CallPadMA))
 		cost[perf.Cycles] = cost[perf.Cycles].Add(expr.Const(padCycles))
+		// Calls that touch mutable cross-flow state contribute their whole
+		// MA polynomial (plus the call pad, whose access could land in the
+		// structure) to the path's shared-MA bound.
+		if ev.Sharing.Class == nfir.SharingSharedRW || ev.Sharing.Class == nfir.SharingUnknown {
+			sharedMA = sharedMA.Add(ev.Outcome.Cost[perf.MemAccesses]).Add(expr.Const(g.CallPadMA))
+		}
 	}
 	// Framework costs at full-stack level: RX on every path, TX or drop
 	// by terminal action (§3.5, "Including DPDK and NIC driver code").
@@ -141,13 +151,15 @@ func (g *Generator) assembleCost(pa *nfir.Path) *PathContract {
 		}
 	}
 	return &PathContract{
-		Action:      pa.Action,
-		Constraints: pa.Constraints,
-		Domains:     pa.Domains,
-		Events:      pa.EventSummary(),
-		Trace:       pa.Events,
-		Cost:        cost,
-		PCVRanges:   pcvs,
+		Action:        pa.Action,
+		Constraints:   pa.Constraints,
+		Domains:       pa.Domains,
+		Events:        pa.EventSummary(),
+		Trace:         pa.Events,
+		Cost:          cost,
+		PCVRanges:     pcvs,
+		SharedMA:      sharedMA,
+		ShardAnalysed: true,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sort"
 
+	"gobolt/internal/expr"
 	"gobolt/internal/nfir"
 	"gobolt/internal/perf"
 )
@@ -44,6 +45,58 @@ func (ct *Contract) Provision(clockHz float64, wireBytes int, filter func(*PathC
 		PacketsPerSecond: pps,
 		Gbps:             pps * bitsPerPkt / 1e9,
 	}
+}
+
+// CoresPlan answers the question operators actually ask — how many
+// cores does this NF need at a target rate? — by inverting the
+// shard-aware bound (see shard.go).
+type CoresPlan struct {
+	// Cores is the number of shards the plan provisions (the smallest
+	// that meets the target, or the capacity-maximising count when the
+	// target is unreachable).
+	Cores int
+	// CyclesPerPacket is the shard-aware per-packet bound at that count
+	// (base bound plus contention on shared state).
+	CyclesPerPacket uint64
+	// PacketsPerSecond is the aggregate guaranteed rate across all
+	// cores at that count.
+	PacketsPerSecond float64
+	// Achievable reports whether the target rate is met. Adding cores
+	// helps only while the base bound exceeds the per-contender
+	// contention charge; past that point shared-state coherence eats
+	// the added capacity, so some targets no core count reaches.
+	Achievable bool
+}
+
+// ProvisionCores finds the smallest shard count whose aggregate
+// guaranteed rate meets targetPPS for the packet class selected by
+// filter under the given PCV assumptions:
+//
+//	capacity(S) = S·clockHz / ShardBound(Cycles, S)
+//
+// Shard counts up to maxCores are considered (0 means the dispatcher's
+// maximum, expr.MaxContenders+1). If no count meets the target — the
+// contention term can make capacity *decrease* with S — the returned
+// plan is the capacity-maximising count with Achievable false.
+func (ct *Contract) ProvisionCores(clockHz, targetPPS float64, filter func(*PathContract) bool, pcvs map[string]uint64, maxCores int) CoresPlan {
+	if maxCores <= 0 {
+		maxCores = expr.MaxContenders + 1
+	}
+	var best CoresPlan
+	for s := 1; s <= maxCores; s++ {
+		cycles, _ := ct.ShardBound(perf.Cycles, s, filter, pcvs)
+		if cycles == 0 {
+			return CoresPlan{}
+		}
+		capacity := float64(s) * clockHz / float64(cycles)
+		if capacity > best.PacketsPerSecond {
+			best = CoresPlan{Cores: s, CyclesPerPacket: cycles, PacketsPerSecond: capacity}
+		}
+		if capacity >= targetPPS {
+			return CoresPlan{Cores: s, CyclesPerPacket: cycles, PacketsPerSecond: capacity, Achievable: true}
+		}
+	}
+	return best
 }
 
 // exportedContract is the JSON shape of a contract: the coalesced

@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/nf"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+)
+
+// TestRosterSharingVerdicts pins the sharability analysis on the real
+// roster NFs — the ground truth the shard-aware bounds (and shardbench's
+// simulated deployment) rest on:
+//
+//   - the NAT's internal lookup and the LB's flow table are keyed by
+//     packet 5-tuple fields that pin the flow-hash, so they are
+//     shard-local under flow-hash dispatch;
+//   - the NAT's reverse lookup (keyed by allocated external port), its
+//     port allocator, every expiry sweep, and the LB's heartbeat stamps
+//     are shared-rw;
+//   - the Maglev ring reads and the bridge's MAC reads are shared-ro;
+//   - the bridge's MAC table is keyed by Ethernet addresses, which do
+//     NOT pin the flow-hash fields (non-IP traffic hashes over the
+//     whole Ethernet header plus the ingress port), so its writes are
+//     conservatively shared-rw.
+func TestRosterSharingVerdicts(t *testing.T) {
+	want := map[string]map[string]nfir.SharingClass{
+		"nat": {
+			"flows.lookup_int": nfir.SharingLocal,
+			"flows.lookup_ext": nfir.SharingSharedRW,
+			"flows.add":        nfir.SharingSharedRW,
+			"flows.expire":     nfir.SharingSharedRW,
+		},
+		"lb": {
+			"flows.get":       nfir.SharingLocal,
+			"flows.put":       nfir.SharingLocal,
+			"flows.expire":    nfir.SharingSharedRW,
+			"ring.alive":      nfir.SharingSharedRO,
+			"ring.pick":       nfir.SharingSharedRO,
+			"ring.pick_alive": nfir.SharingSharedRO,
+			"ring.heartbeat":  nfir.SharingSharedRW,
+		},
+		"bridge": {
+			"mac.put":    nfir.SharingSharedRW,
+			"mac.peek":   nfir.SharingSharedRO,
+			"mac.expire": nfir.SharingSharedRW,
+		},
+		"lpm":      {"lpm.get": nfir.SharingSharedRO},
+		"firewall": {"rules.match": nfir.SharingSharedRO},
+	}
+
+	for name, verdicts := range want {
+		inst, err := nf.Build(name, nf.BuildParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.NewGenerator()
+		ct, _, err := g.GenerateWithPathsContext(context.Background(), inst.Prog, inst.Models)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := map[string]bool{}
+		for _, p := range ct.Paths {
+			if !p.ShardAnalysed {
+				t.Fatalf("%s: path %d not shard-analysed", name, p.ID)
+			}
+			for _, ev := range p.Trace {
+				call := ev.DS + "." + ev.Method
+				wantClass, ok := verdicts[call]
+				if !ok {
+					t.Errorf("%s: unexpected call %s (add it to the verdict table)", name, call)
+					continue
+				}
+				seen[call] = true
+				if ev.Sharing.Class != wantClass {
+					t.Errorf("%s: %s classified %v (%s), want %v",
+						name, call, ev.Sharing.Class, ev.Sharing.Reason, wantClass)
+				}
+				if ev.Sharing.Reason == "" {
+					t.Errorf("%s: %s verdict has no reason", name, call)
+				}
+			}
+			// The shared-MA polynomial is bounded by the path's total
+			// memory accesses at every PCV corner.
+			hi := make(map[string]uint64)
+			for v, r := range p.PCVRanges {
+				hi[v] = r.Hi
+			}
+			for _, v := range p.SharedMA.Vars() {
+				if _, ok := hi[v]; !ok {
+					hi[v] = 0
+				}
+			}
+			for _, v := range p.Cost[perf.MemAccesses].Vars() {
+				if _, ok := hi[v]; !ok {
+					hi[v] = 0
+				}
+			}
+			if s, m := p.SharedMA.Eval(hi), p.Cost[perf.MemAccesses].Eval(hi); s > m {
+				t.Errorf("%s: path %d shared MA %d exceeds total MA %d", name, p.ID, s, m)
+			}
+		}
+		for call := range verdicts {
+			if !seen[call] {
+				// Not all methods appear on generated paths (pick vs
+				// pick_alive depends on the program); missing ones are
+				// fine, wrong ones are not.
+				t.Logf("%s: %s not exercised by any path", name, call)
+			}
+		}
+	}
+}

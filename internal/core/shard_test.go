@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"gobolt/internal/expr"
+	"gobolt/internal/hwmodel"
+	"gobolt/internal/nfir"
+	"gobolt/internal/perf"
+	"gobolt/internal/symb"
+)
+
+func fieldSym(off uint64, size int) symb.Expr {
+	return symb.Sym{Name: nfir.FieldSymName(off, size)}
+}
+
+func TestArgCover(t *testing.T) {
+	srcIP := fieldSym(26, 4)
+	dstIP := fieldSym(30, 4)
+	proto := fieldSym(23, 1)
+
+	cases := []struct {
+		name  string
+		e     symb.Expr
+		ok    bool
+		bytes []uint64
+	}{
+		{"packet field", srcIP, true, []uint64{26, 27, 28, 29}},
+		{"constant", symb.Const{V: 7}, true, nil},
+		{"shifted field", symb.Bin{Op: symb.Shl, L: proto, R: symb.Const{V: 16}}, true, []uint64{23}},
+		{"disjoint or", symb.Bin{Op: symb.Or,
+			L: symb.Bin{Op: symb.Shl, L: proto, R: symb.Const{V: 32}},
+			R: dstIP}, true, []uint64{23, 30, 31, 32, 33}},
+		{"disjoint add", symb.Bin{Op: symb.Add,
+			L: symb.Bin{Op: symb.Shl, L: proto, R: symb.Const{V: 32}},
+			R: dstIP}, true, []uint64{23, 30, 31, 32, 33}},
+		// Overlapping parts or carries could alias distinct flows onto
+		// one key value; they must not count as invertible.
+		{"overlapping or", symb.Bin{Op: symb.Or, L: srcIP, R: dstIP}, false, nil},
+		{"overlapping add", symb.Bin{Op: symb.Add, L: srcIP, R: srcIP}, false, nil},
+		{"bits shifted out", symb.Bin{Op: symb.Shl, L: srcIP, R: symb.Const{V: 40}}, false, nil},
+		{"model result", symb.Sym{Name: "nat.r0"}, false, nil},
+		{"masked field", symb.Bin{Op: symb.And, L: srcIP, R: symb.Const{V: 0xFF}}, false, nil},
+	}
+	for _, tc := range cases {
+		cov, _, ok := argCover(tc.e)
+		if ok != tc.ok {
+			t.Errorf("%s: invertible = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(cov.bytes) != len(tc.bytes) {
+			t.Errorf("%s: covered bytes %v, want %v", tc.name, cov.bytes, tc.bytes)
+			continue
+		}
+		for _, b := range tc.bytes {
+			if !cov.bytes[b] {
+				t.Errorf("%s: byte %d not covered", tc.name, b)
+			}
+		}
+	}
+}
+
+func TestKeyPins(t *testing.T) {
+	// A NAT-style 3-word key: src IP, dst IP, protocol.
+	args := []symb.Expr{fieldSym(26, 4), fieldSym(30, 4), fieldSym(23, 1), symb.Sym{Name: "now"}}
+	ipv4 := ipv4HashFields()
+	if !keyPins(args, []int{0, 1, 2}, ipv4) {
+		t.Errorf("full IPv4 5-tuple-style key does not pin the IPv4 hash fields")
+	}
+	if keyPins(args, []int{0, 1}, ipv4) {
+		t.Errorf("key missing the protocol byte must not pin the IPv4 hash fields")
+	}
+	if keyPins(args, []int{0, 1, 2}, fallbackHashFields()) {
+		t.Errorf("IPv4 fields must not pin the Ethernet fallback hash fields")
+	}
+	if keyPins(args, []int{0, 1, 2}, mergeHashFields(ipv4HashFields(), fallbackHashFields())) {
+		t.Errorf("IPv4 fields must not pin the merged hash fields")
+	}
+	// Out-of-range key indices contribute nothing rather than panicking
+	// (a sharability model can describe more arguments than a call site
+	// passes).
+	if keyPins(args, []int{0, 1, 9}, ipv4) {
+		t.Errorf("out-of-range key argument counted as cover")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pins := func(v bool) func() bool { return func() bool { return v } }
+	cases := []struct {
+		name string
+		sa   nfir.StateAccess
+		pins bool
+		want nfir.SharingClass
+	}{
+		{"keyed and pinned", nfir.StateAccess{Keyed: true}, true, nfir.SharingLocal},
+		{"keyed not pinned", nfir.StateAccess{Keyed: true}, false, nfir.SharingSharedRW},
+		{"keyed read-only not pinned", nfir.StateAccess{Keyed: true, ReadOnly: true}, false, nfir.SharingSharedRO},
+		{"read-only", nfir.StateAccess{ReadOnly: true}, false, nfir.SharingSharedRO},
+		{"unkeyed mutator", nfir.StateAccess{}, false, nfir.SharingSharedRW},
+		// Shared overrides everything, even a pinning key (the NAT's add
+		// writes a keyed entry but also consults the port allocator).
+		{"explicitly shared", nfir.StateAccess{Keyed: true, Shared: true}, true, nfir.SharingSharedRW},
+	}
+	for _, tc := range cases {
+		got := classify(tc.sa, pins(tc.pins))
+		if got.Class != tc.want {
+			t.Errorf("%s: classified %v, want %v", tc.name, got.Class, tc.want)
+		}
+		if got.Reason == "" {
+			t.Errorf("%s: verdict has no reason", tc.name)
+		}
+	}
+}
+
+// shardTestPath builds a path contract with the given base cycles bound
+// and shared-MA polynomial.
+func shardTestPath(base uint64, shared expr.Poly) *PathContract {
+	return &PathContract{
+		Action: nfir.ActionForward,
+		Cost: map[perf.Metric]expr.Poly{
+			perf.Instructions: expr.Const(base / 2),
+			perf.MemAccesses:  expr.Const(base / 4),
+			perf.Cycles:       expr.Const(base),
+		},
+		SharedMA:      shared,
+		ShardAnalysed: true,
+	}
+}
+
+func TestShardBoundAt(t *testing.T) {
+	p := shardTestPath(1000, expr.Const(3))
+	if got := p.ShardBoundAt(perf.Cycles, 1, nil); got != 1000 {
+		t.Fatalf("S=1 bound = %d, want the plain bound 1000", got)
+	}
+	// Each extra shard charges WorstXfer per shared access.
+	for _, s := range []int{2, 4, 8} {
+		want := 1000 + uint64(hwmodel.WorstXfer)*uint64(s-1)*3
+		if got := p.ShardBoundAt(perf.Cycles, s, nil); got != want {
+			t.Fatalf("S=%d bound = %d, want %d", s, got, want)
+		}
+	}
+	// Sharding never adds instructions or accesses.
+	for _, m := range []perf.Metric{perf.Instructions, perf.MemAccesses} {
+		if p.ShardBoundAt(m, 8, nil) != p.BoundAt(m, nil) {
+			t.Fatalf("metric %v grew with shards", m)
+		}
+	}
+	// A fully local path scales flat.
+	local := shardTestPath(1000, expr.Zero())
+	if got := local.ShardBoundAt(perf.Cycles, 64, nil); got != 1000 {
+		t.Fatalf("local path bound = %d at 64 shards, want 1000", got)
+	}
+	// An unanalysed path (decoded from a version-1 artifact) falls back
+	// to charging every access.
+	v1 := shardTestPath(1000, expr.Zero())
+	v1.ShardAnalysed = false
+	want := 1000 + uint64(hwmodel.WorstXfer)*1*250 // MA = base/4
+	if got := v1.ShardBoundAt(perf.Cycles, 2, nil); got != want {
+		t.Fatalf("unanalysed path bound = %d, want conservative %d", got, want)
+	}
+}
+
+func TestProvisionCores(t *testing.T) {
+	const hz = 3.2e9
+	ct := &Contract{NF: "t", Paths: []*PathContract{shardTestPath(1000, expr.Const(1))}}
+
+	// One core serves hz/1000 = 3.2 Mpps; a reachable target provisions
+	// the minimum sufficient core count.
+	plan := ct.ProvisionCores(hz, 3.0e6, nil, nil, 0)
+	if !plan.Achievable || plan.Cores != 1 {
+		t.Fatalf("3.0 Mpps plan = %+v, want 1 core", plan)
+	}
+	// Two cores serve 2·hz/1100 ≈ 5.8 Mpps (the second core adds the
+	// contention charge on the one shared access).
+	plan = ct.ProvisionCores(hz, 5.5e6, nil, nil, 0)
+	if !plan.Achievable || plan.Cores != 2 {
+		t.Fatalf("5.5 Mpps plan = %+v, want 2 cores", plan)
+	}
+	if plan.CyclesPerPacket != 1100 {
+		t.Fatalf("2-core bound = %d cycles, want 1100", plan.CyclesPerPacket)
+	}
+
+	// Contention-bound NF: with base 1000 and 20 shared accesses, each
+	// extra core costs more capacity than it adds past the peak; an
+	// absurd target is reported unachievable with the best real plan.
+	bound := &Contract{NF: "t", Paths: []*PathContract{shardTestPath(1000, expr.Const(20))}}
+	plan = bound.ProvisionCores(hz, 1e12, nil, nil, 64)
+	if plan.Achievable {
+		t.Fatalf("1 Tpps reported achievable: %+v", plan)
+	}
+	if plan.Cores < 1 || plan.Cores > 64 {
+		t.Fatalf("best-effort plan outside the scan range: %+v", plan)
+	}
+	best := float64(plan.Cores) * hz / float64(plan.CyclesPerPacket)
+	for s := 1; s <= 64; s++ {
+		cycles, _ := bound.ShardBound(perf.Cycles, s, nil, nil)
+		if cap := float64(s) * hz / float64(cycles); cap > best+1e-6 {
+			t.Fatalf("plan %+v is not capacity-maximising: %d cores reach %.0f pps", plan, s, cap)
+		}
+	}
+
+	// Degenerate contracts provision nothing.
+	if plan := (&Contract{NF: "z"}).ProvisionCores(hz, 1e6, nil, nil, 0); plan.Achievable || plan.Cores != 0 {
+		t.Fatalf("empty contract provisioned %+v", plan)
+	}
+}
+
+// FuzzShardBound pins the strictly-additive shard dimension at the
+// evaluation layer: at S=1 (or for any metric other than cycles) the
+// shard-aware bound is EXACTLY the pre-shard bound for every path shape,
+// and the contention term grows linearly in the contender count.
+func FuzzShardBound(f *testing.F) {
+	f.Add(uint64(4100), uint64(30), uint64(3), uint64(6), 4, true)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), 1, false)
+	f.Add(uint64(1), uint64(1<<20), uint64(1<<18), uint64(255), 1024, true)
+	f.Fuzz(func(t *testing.T, base, ma, sharedCoef, pcvHi uint64, shards int, analysed bool) {
+		// Bound the inputs so polynomial evaluation cannot overflow and
+		// the shard count stays in the dispatcher's range.
+		base &= 1<<24 - 1
+		ma &= 1<<20 - 1
+		sharedCoef &= 1<<16 - 1
+		pcvHi &= 1<<8 - 1
+		shards = int(uint(shards)%uint(expr.MaxContenders+1)) + 1
+
+		p := &PathContract{
+			Action: nfir.ActionForward,
+			Cost: map[perf.Metric]expr.Poly{
+				perf.Instructions: expr.Const(2 * base),
+				perf.MemAccesses:  expr.Const(ma).Add(expr.Var("c")),
+				perf.Cycles:       expr.Const(base).Add(expr.Term(7, "c")),
+			},
+			PCVRanges:     map[string]expr.Range{"c": {Lo: 0, Hi: pcvHi}},
+			SharedMA:      expr.Const(sharedCoef).Mul(expr.Var("c")),
+			ShardAnalysed: analysed,
+		}
+
+		for _, m := range perf.Metrics {
+			if got, want := p.ShardBoundAt(m, 1, nil), p.BoundAt(m, nil); got != want {
+				t.Fatalf("metric %v: S=1 shard bound %d != bound %d", m, got, want)
+			}
+			if m == perf.Cycles {
+				continue
+			}
+			if got, want := p.ShardBoundAt(m, shards, nil), p.BoundAt(m, nil); got != want {
+				t.Fatalf("metric %v: S=%d shard bound %d != bound %d", m, shards, got, want)
+			}
+		}
+
+		// The cycles bound never shrinks with shards, and the increment
+		// is exactly WorstXfer·(S−1)·sharedMA(bound PCVs).
+		base1 := p.BoundAt(perf.Cycles, nil)
+		sharedAt := p.EffectiveSharedMA().Eval(map[string]uint64{"c": pcvHi})
+		got := p.ShardBoundAt(perf.Cycles, shards, nil)
+		want := base1 + uint64(hwmodel.WorstXfer)*uint64(shards-1)*sharedAt
+		if got != want {
+			t.Fatalf("S=%d cycles bound %d, want %d (base %d + contention on %d shared accesses)",
+				shards, got, want, base1, sharedAt)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package dslib
+
+import "gobolt/internal/nfir"
+
+// Sharability descriptions for the library's symbolic models
+// (nfir.SharabilityModel): how each method addresses its structure's
+// state, feeding the shard dimension of generated contracts (see
+// internal/core/shard.go). The descriptions mirror the concrete
+// implementations:
+//
+//   - keyed single-entry operations (flow-table get/put/peek, NAT
+//     lookups) partition by key, so they are shard-local whenever the
+//     key pins the dispatcher's flow-hash fields;
+//   - expiry sweeps walk entries of every flow and mutate them;
+//   - the NAT's add consults the shared external-port allocator on top
+//     of the keyed entry it writes;
+//   - the Maglev ring's lookup side is read-only (the table replicates
+//     per core, as in the Maglev paper), while heartbeat stamps are
+//     mutable cross-flow state;
+//   - the routing structures and rulesets only read.
+
+func keyArgs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// StateAccess implements nfir.SharabilityModel for the flow table.
+func (m ftModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	kw := m.t.cfg.KeyWords
+	switch method {
+	case "get", "put":
+		// get(key..., now) / put(key..., value, now): keyed mutators
+		// (get refreshes the entry's timestamp).
+		return nfir.StateAccess{Keyed: true, KeyArgs: keyArgs(kw)}, true
+	case "peek":
+		// peek(key...): keyed, does not touch timestamps.
+		return nfir.StateAccess{Keyed: true, KeyArgs: keyArgs(kw), ReadOnly: true}, true
+	case "expire":
+		return nfir.StateAccess{Reason: "expiry sweep over cross-flow state"}, true
+	}
+	return nfir.StateAccess{}, false
+}
+
+// StateAccess implements nfir.SharabilityModel for the NAT map.
+func (m natModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	switch method {
+	case "lookup_int":
+		// lookup_int(k1, k2, proto, now)
+		return nfir.StateAccess{Keyed: true, KeyArgs: []int{0, 1, 2}}, true
+	case "lookup_ext":
+		// lookup_ext(extPort, now): keyed by the allocated external
+		// port, which carries no relation to the packet's hash fields.
+		return nfir.StateAccess{Keyed: true, KeyArgs: []int{0},
+			Reason: "keyed by the allocated external port, not the flow-hash fields"}, true
+	case "add":
+		return nfir.StateAccess{Keyed: true, KeyArgs: []int{0, 1, 2}, Shared: true,
+			Reason: "allocates from the shared external-port pool"}, true
+	case "expire":
+		return nfir.StateAccess{Reason: "expiry sweep over cross-flow state"}, true
+	}
+	return nfir.StateAccess{}, false
+}
+
+// StateAccess implements nfir.SharabilityModel for the Maglev ring.
+func (m maglevModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	switch method {
+	case "pick", "pick_alive", "alive":
+		return nfir.StateAccess{ReadOnly: true,
+			Reason: "the lookup ring replicates per core"}, true
+	case "heartbeat":
+		return nfir.StateAccess{
+			Reason: "backend liveness stamps are mutable cross-flow state"}, true
+	}
+	return nfir.StateAccess{}, false
+}
+
+// StateAccess implements nfir.SharabilityModel for the directory trie.
+func (dirModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	if method != "get" {
+		return nfir.StateAccess{}, false
+	}
+	return nfir.StateAccess{ReadOnly: true, Reason: "the routing table replicates per core"}, true
+}
+
+// StateAccess implements nfir.SharabilityModel for the Patricia trie.
+func (patModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	if method != "get" {
+		return nfir.StateAccess{}, false
+	}
+	return nfir.StateAccess{ReadOnly: true, Reason: "the routing table replicates per core"}, true
+}
+
+// StateAccess implements nfir.SharabilityModel for the rule set.
+func (m rulesModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	if method != "match" {
+		return nfir.StateAccess{}, false
+	}
+	return nfir.StateAccess{ReadOnly: true, Reason: "the ruleset replicates per core"}, true
+}
+
+// StateAccess implements nfir.SharabilityModel for the optimised
+// processor, which keeps no per-flow state at all.
+func (optModel) StateAccess(method string) (nfir.StateAccess, bool) {
+	if method != "process" {
+		return nfir.StateAccess{}, false
+	}
+	return nfir.StateAccess{ReadOnly: true, Reason: "stateless per-packet processing"}, true
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestShardBenchQuick is the tier-1 gate on the shard dimension: the
+// full sweep at quick scale must hold the per-packet soundness
+// invariant (ShardBench errors on any violation), classify every
+// measured packet to a contract path, keep contention-free NFs flat in
+// the shard count, and stay within the calibrated fidelity tolerance on
+// the core validation set.
+func TestShardBenchQuick(t *testing.T) {
+	rows, err := ShardBench(QuickScale())
+	if err != nil {
+		t.Fatal(err) // includes any per-packet SOUNDNESS VIOLATION
+	}
+	if want := len(shardBenchNFs) * len(ShardCounts); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+
+	base := map[string]ShardRow{} // S=1 row per NF
+	for _, r := range rows {
+		if r.Shards == 1 {
+			base[r.NF] = r
+		}
+	}
+	// Calibrated fidelity ceilings (quick scale, observed ~9-28x at S=1
+	// and ~37-60x at S=8 on this set — the conservative-vs-detailed gap
+	// of Table 3 plus the pessimistic WorstXfer contention charge).
+	tight := map[string]float64{
+		"nat": 75, "lb": 75, "lpm": 75, "firewall": 75,
+		"bvm-ratelimit": 90, "bvm-acl": 90, "bvm-decap": 75,
+	}
+	for _, r := range rows {
+		if r.Packets == 0 {
+			t.Errorf("%s S=%d: measured no packets", r.NF, r.Shards)
+			continue
+		}
+		if r.Unclassified != 0 {
+			t.Errorf("%s S=%d: %d packets unclassified", r.NF, r.Shards, r.Unclassified)
+		}
+		if r.PredictedCycles < r.MeasuredCycles {
+			t.Errorf("%s S=%d: worst prediction %d below worst measurement %d",
+				r.NF, r.Shards, r.PredictedCycles, r.MeasuredCycles)
+		}
+		b := base[r.NF]
+		if r.SharedCalls == 0 && r.PredictedCycles != b.PredictedCycles {
+			t.Errorf("%s S=%d: contention-free NF's bound moved: %d vs %d at S=1",
+				r.NF, r.Shards, r.PredictedCycles, b.PredictedCycles)
+		}
+		if r.PredictedCycles < b.PredictedCycles {
+			t.Errorf("%s S=%d: bound %d shrank below the S=1 bound %d",
+				r.NF, r.Shards, r.PredictedCycles, b.PredictedCycles)
+		}
+		if ceil, ok := tight[r.NF]; ok && r.Ratio() > ceil {
+			t.Errorf("%s S=%d: prediction %.1fx measured, calibrated ceiling %.0fx",
+				r.NF, r.Shards, r.Ratio(), ceil)
+		}
+	}
+	// The sweep must actually exercise contention somewhere: flow-rich
+	// traffic through the NAT's shared port allocator ping-pongs lines.
+	var anyXfer bool
+	for _, r := range rows {
+		if r.Shards > 1 && r.Transfers > 0 {
+			anyXfer = true
+		}
+		if r.Shards == 1 && r.Transfers != 0 {
+			t.Errorf("%s S=1 charged %d transfers; a single shard has no contenders", r.NF, r.Transfers)
+		}
+	}
+	if !anyXfer {
+		t.Error("no NF charged a single coherence transfer at S>1; the shared brackets are not wired")
+	}
+}

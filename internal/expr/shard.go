@@ -1,0 +1,21 @@
+package expr
+
+// ShardPCV is the reserved PCV name for the shard dimension of a
+// contract. Its value is the number of *contending* shards — S−1 when
+// the NF runs sharded S ways — so that every polynomial of the form
+//
+//	cycles ≤ base + γ·ShardPCV·sharedMA
+//
+// collapses exactly to the single-core bound at S=1 (the shard
+// dimension is strictly additive: binding ShardPCV to zero recovers
+// today's contracts bit-for-bit). The name is reserved: data-structure
+// contracts must not introduce a PCV with this name, and chain
+// composition never renames it (shard-aware evaluation binds every
+// occurrence to the same shard count — all stages of a chain run on the
+// same cores).
+const ShardPCV = "contenders"
+
+// MaxContenders bounds ShardPCV's range: one less than the monitor's
+// maximum shard count (monitor.FlowKey distributes over at most 1024
+// shards; a test in internal/monitor pins the two constants together).
+const MaxContenders = 1023

@@ -1,0 +1,148 @@
+package hwmodel
+
+import (
+	"math"
+
+	"gobolt/internal/perf"
+)
+
+// Cross-core coherence constants for the shard dimension of contracts.
+//
+// When an NF is sharded across S cores, accesses to mutable shared state
+// (expiry sweeps, port allocators, heartbeat stamps) can find their cache
+// line in a remote core's private cache and pay a core-to-core transfer.
+const (
+	// XferCycles is the detailed-model cost of one cache-line transfer
+	// between cores (a coherence miss served from a remote private
+	// cache): slower than an L3 hit, faster than DRAM.
+	XferCycles = 60.0
+
+	// WorstXfer is the conservative prediction-side charge: each memory
+	// access a path makes to shared mutable state is charged
+	// WorstXfer·(S−1) extra cycles at S shards. The per-contender form is
+	// deliberately pessimistic — it dominates the detailed simulation,
+	// where a line ping-pongs at most once per access (≤ XferCycles)
+	// regardless of S, the same way WorstALU/LatDRAM dominate the
+	// detailed compute and memory costs. shardbench (internal/
+	// experiments) validates the ordering empirically.
+	WorstXfer = 100.0
+)
+
+// lineState is one cache line's entry in the ShardSim coherence
+// directory.
+type lineState struct {
+	owner   int32
+	written bool
+}
+
+// ShardSim is the measurement-side model of an NF sharded S ways: one
+// warm Detailed core model per shard, plus a line-granular coherence
+// directory over the shared address space. It implements
+// perf.TraceSink; the caller routes each packet to its shard (SetShard,
+// normally monitor.FlowKey mod S) and brackets concrete data-structure
+// calls that the contract classified shared-rw with
+// SetShared(true)/SetShared(false).
+//
+// The simulated deployment follows the sharability analysis, the way
+// NFork physically partitions state the analysis proves shard-local:
+// outside a shared bracket — stateless code, shard-local keyed state,
+// read-only replicas — addresses are virtualised per shard (each core
+// owns its partition; the interpreter reuses one address space, so the
+// simulator separates them by a per-shard stride). Inside a shared
+// bracket, accesses hit real addresses through the coherence directory:
+// a line that has ever been written charges XferCycles each time a
+// different shard touches it, so mutable shared state ping-pongs
+// exactly as on hardware. shardbench compares the resulting per-packet
+// cycles against the contract's WorstXfer·(S−1)·SharedMA bound.
+type ShardSim struct {
+	cores      []*Detailed
+	cur        int
+	shared     bool
+	lines      map[uint64]lineState
+	xferByCore []float64
+	transfers  uint64
+}
+
+// shardStride separates the virtualised stateless address spaces; it is
+// far above the interpreter's packet-buffer region and the Go heap
+// addresses dslib structures report.
+const shardStride = uint64(1) << 44
+
+// NewShardSim builds a simulator with `shards` warm cores.
+func NewShardSim(shards int) *ShardSim {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardSim{
+		cores:      make([]*Detailed, shards),
+		lines:      make(map[uint64]lineState),
+		xferByCore: make([]float64, shards),
+	}
+	for i := range s.cores {
+		s.cores[i] = NewDetailed()
+	}
+	return s
+}
+
+// Shards returns the configured shard count.
+func (s *ShardSim) Shards() int { return len(s.cores) }
+
+// SetShard routes subsequent accesses to shard i's core.
+func (s *ShardSim) SetShard(i int) { s.cur = i }
+
+// SetShared brackets calls into shared mutable state: inside a bracket
+// addresses are real and tracked by the coherence directory; outside,
+// they are virtualised into the current shard's private partition.
+func (s *ShardSim) SetShared(on bool) { s.shared = on }
+
+// Op implements perf.TraceSink.
+func (s *ShardSim) Op(ev perf.Access) {
+	core := s.cores[s.cur]
+	if ev.Class != perf.OpLoad && ev.Class != perf.OpStore {
+		core.Op(ev)
+		return
+	}
+	if !s.shared {
+		ev.Addr += uint64(s.cur) * shardStride
+		core.Op(ev)
+		return
+	}
+	n := 1
+	if SpansLines(ev.Addr, ev.Size) {
+		n = 2
+	}
+	me := int32(s.cur)
+	for i := 0; i < n; i++ {
+		line := lineOf(ev.Addr + uint64(i)*(1<<LineBits))
+		st, seen := s.lines[line]
+		if seen && st.written && st.owner != me {
+			s.xferByCore[s.cur] += XferCycles
+			s.transfers++
+		}
+		st.owner = me
+		st.written = st.written || ev.Class == perf.OpStore
+		s.lines[line] = st
+	}
+	core.Op(ev)
+}
+
+// Cycles returns shard i's accumulated cycles including its coherence
+// transfer charges, rounded up like Detailed.Cycles.
+func (s *ShardSim) Cycles(i int) uint64 {
+	return uint64(math.Ceil(s.cores[i].cycles + s.xferByCore[i]))
+}
+
+// Transfers returns the total number of cross-shard line transfers
+// charged so far.
+func (s *ShardSim) Transfers() uint64 { return s.transfers }
+
+// ResetCycles clears every shard's cycle accumulator and transfer
+// charges but keeps cache and directory state warm (measurements exclude
+// warmup the way Detailed.ResetCycles does).
+func (s *ShardSim) ResetCycles() {
+	for i, c := range s.cores {
+		c.ResetCycles()
+		s.xferByCore[i] = 0
+	}
+	s.transfers = 0
+}

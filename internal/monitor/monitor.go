@@ -148,6 +148,16 @@ type Config struct {
 	// replays the original per-packet allocating path — the ablation
 	// lever monitorbench uses. Serial only.
 	NoPool bool
+	// ShardAware prices the deployment's parallelism into the checks:
+	// with S = Shards > 1, the cycle bound each packet is held to
+	// becomes the contract's shard-aware bound (base plus the
+	// contention term at S shards, expr.ShardPCV bound to S−1), and a
+	// ClockHz/TargetPPS-derived budget becomes the per-shard budget
+	// S·ClockHz/TargetPPS — S cores each need only sustain TargetPPS/S,
+	// so every shard gets S× the per-packet cycle allowance. Default
+	// false: bounds and budgets stay the serial ones and the sharded
+	// monitor's output is byte-identical to the serial monitor's.
+	ShardAware bool
 
 	// OnAlert, when set, sees every alert as it fires (the pluggable
 	// pager hook); alerts are also retained on the monitor. In sharded
@@ -176,6 +186,9 @@ type Monitor struct {
 	// — far too slow for the per-packet hot path.
 	bounds  map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly
 	classOf map[*core.PathContract]string // Class() concatenates per call
+	// shardIdx is expr.ShardPCV's slot in pcvNames when the monitor is
+	// shard-aware (every engine pins it to Shards−1), -1 otherwise.
+	shardIdx int
 
 	engines []*engine
 	// packets counts ingested packets across the monitor's lifetime and
@@ -190,11 +203,6 @@ type Monitor struct {
 
 // New compiles the contract's classifier and returns a monitor.
 func New(ct *core.Contract, cfg Config) (*Monitor, error) {
-	if cfg.Budget == 0 && cfg.ClockHz > 0 && cfg.TargetPPS > 0 {
-		cfg.Metric = perf.Cycles
-		cfg.Budget = uint64(cfg.ClockHz / cfg.TargetPPS)
-		cfg.Detailed = true
-	}
 	if cfg.Trigger <= 0 {
 		cfg.Trigger = 3
 	}
@@ -222,24 +230,50 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 	if cfg.NoPool && cfg.Shards > 1 {
 		return nil, fmt.Errorf("monitor: NoPool is a serial-only ablation (got %d shards)", cfg.Shards)
 	}
-	m := &Monitor{ct: ct, cfg: cfg}
+	shardAware := cfg.ShardAware && cfg.Shards > 1
+	if cfg.Budget == 0 && cfg.ClockHz > 0 && cfg.TargetPPS > 0 {
+		cfg.Metric = perf.Cycles
+		budget := cfg.ClockHz / cfg.TargetPPS
+		if shardAware {
+			// S cores each sustain TargetPPS/S, so the per-shard
+			// per-packet allowance is S× the single-core one.
+			budget *= float64(cfg.Shards)
+		}
+		cfg.Budget = uint64(budget)
+		cfg.Detailed = true
+	}
+	m := &Monitor{ct: ct, cfg: cfg, shardIdx: -1}
 	pcvSet := make(map[string]bool)
 	for _, p := range ct.Paths {
 		for v := range p.PCVRanges {
 			pcvSet[v] = true
 		}
 	}
+	if shardAware {
+		pcvSet[expr.ShardPCV] = true
+	}
 	for v := range pcvSet {
 		m.pcvNames = append(m.pcvNames, v)
 	}
 	sort.Strings(m.pcvNames)
+	if shardAware {
+		for i, v := range m.pcvNames {
+			if v == expr.ShardPCV {
+				m.shardIdx = i
+			}
+		}
+	}
 	m.bounds = make(map[*core.PathContract]*[perf.NumMetrics]*expr.CompiledPoly, len(ct.Paths))
 	m.classOf = make(map[*core.PathContract]string, len(ct.Paths))
 	for _, p := range ct.Paths {
 		m.classOf[p] = p.Class()
 		var cb [perf.NumMetrics]*expr.CompiledPoly
 		for _, metric := range perf.Metrics {
-			if cp, err := p.Cost[metric].Compile(m.pcvNames); err == nil {
+			poly := p.Cost[metric]
+			if shardAware && metric == perf.Cycles {
+				poly = p.ShardCost(metric)
+			}
+			if cp, err := poly.Compile(m.pcvNames); err == nil {
 				cb[metric] = cp
 			}
 			// else: the cost mentions a variable outside the contract's

@@ -143,6 +143,10 @@ func (e *engine) observe(idx int, obs *core.PacketObservation, ic, ma, cycles ui
 	for i, v := range m.pcvNames {
 		e.vals[i] = pcvs[v]
 	}
+	if m.shardIdx >= 0 {
+		// Shard-aware checks price in the deployment's contenders.
+		e.vals[m.shardIdx] = uint64(m.cfg.Shards - 1)
+	}
 
 	// Violation detection on every measured metric.
 	checks := [perf.NumMetrics]struct {
@@ -244,6 +248,9 @@ func (e *engine) fire(a Alert) {
 func (e *engine) boundAt(p *core.PathContract, metric perf.Metric) uint64 {
 	if cp := e.m.bounds[p][metric]; cp != nil {
 		return cp.Eval(e.vals)
+	}
+	if e.m.shardIdx >= 0 {
+		return p.ShardBoundAt(metric, e.m.cfg.Shards, e.pcvMap())
 	}
 	return p.BoundAt(metric, e.pcvMap())
 }

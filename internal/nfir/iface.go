@@ -130,4 +130,12 @@ type CallEvent struct {
 	// ResultSyms are the names of the fresh symbols in Outcome.Results,
 	// in result order, where results are symbols ("" otherwise).
 	ResultSyms []string
+	// Args are the symbolic argument expressions the call was made with,
+	// recorded so the sharability analysis can decide whether a keyed
+	// call's key pins the flow-hash fields of the path.
+	Args []symb.Expr
+	// Sharing is the sharability verdict for this call, filled in by the
+	// generator's analysis stage (zero / SharingUnknown on paths decoded
+	// from version-1 artifacts).
+	Sharing Sharing
 }

@@ -357,6 +357,7 @@ func (en *Engine) run(st *symState, stmts []Stmt, k contFn, maxPaths int) error 
 			}
 			branch.events = append(branch.events, CallEvent{
 				DS: x.DS, Method: x.Method, Outcome: out, ResultSyms: resultSyms,
+				Args: args,
 			})
 			for _, pcv := range out.PCVs {
 				r, seen := branch.pcvs[pcv.Name]
