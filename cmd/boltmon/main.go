@@ -26,7 +26,10 @@
 // contract bolt or boltbench already generated is loaded, not rebuilt;
 // with -key the contract MUST come from the store (wrong or missing keys
 // error — no silent regeneration). -shards N fans classification out to
-// N flow-hashed monitor shards over batched ingest (-batch);
+// N flow-hashed monitor shards over batched ingest (-batch) through
+// per-shard SPSC rings (-queue sets the depth in batches; -noring swaps
+// in the channel + sync.Pool ablation, which never changes the report);
+// -cpuprofile/-memprofile write pprof profiles of whichever mode ran.
 // -shard-aware additionally prices the N-shard deployment into the
 // checks: cycle bounds include the contract's contention term at N
 // shards, and a -clockhz/-pps-derived budget becomes the per-shard
@@ -39,6 +42,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"gobolt/internal/bvm"
 	"gobolt/internal/core"
@@ -72,12 +78,21 @@ func main() {
 		storeDir  = flag.String("store", "", "back contract generation with the on-disk store at this directory (shared with bolt/boltbench/boltctl)")
 		shards    = flag.Int("shards", 0, "flow-hashed monitor shards (0 or 1 = serial pooled path)")
 		batch     = flag.Int("batch", 0, "packets per shard ingest batch in sharded mode (0 = default)")
+		queue     = flag.Int("queue", 0, "per-shard ingest queue depth in batches (0 = default 4; ring rounds to a power of two)")
+		noRing    = flag.Bool("noring", false, "sharded ingest over channels + sync.Pool instead of the SPSC ring (measured ablation; reports are identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		shAware   = flag.Bool("shard-aware", false, "price the -shards deployment into the checks: shard-aware cycle bounds, per-shard budget")
 		clockHz   = flag.Float64("clockhz", 0, "core clock for a derived cycle budget (with -pps; overrides -budget calibration)")
 		pps       = flag.Float64("pps", 0, "aggregate target packets/sec for a derived cycle budget (with -clockhz)")
 		keyArg    = flag.String("key", "", "monitor with this stored contract (key or unambiguous prefix, requires -store and -nf); never regenerates")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -92,6 +107,8 @@ func main() {
 	}
 	sc.MonitorShards = *shards
 	sc.MonitorBatch = *batch
+	sc.MonitorQueue = *queue
+	sc.MonitorNoRing = *noRing
 	var st *store.Store
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
@@ -150,8 +167,8 @@ func main() {
 	}
 	mcfg := monitor.Config{
 		Metric: m, Budget: *budget, Trigger: *trigger, Clear: *clearN,
-		Shards: *shards, Batch: *batch, ShardAware: *shAware,
-		ClockHz: *clockHz, TargetPPS: *pps,
+		Shards: *shards, Batch: *batch, Queue: *queue, NoRing: *noRing,
+		ShardAware: *shAware, ClockHz: *clockHz, TargetPPS: *pps,
 	}
 	if *shAware && *shards <= 1 {
 		fatal(fmt.Errorf("-shard-aware needs -shards N with N > 1 (there is no contention to price in)"))
@@ -374,7 +391,59 @@ func interpRun(ctx context.Context, unit *bvm.Unit, inst *nf.Instance, mon *moni
 	return nil
 }
 
+// profileStop finalises any active profiles exactly once; fatal() runs
+// it too, so -cpuprofile/-memprofile survive error exits.
+var (
+	profileStop func()
+	profileOnce sync.Once
+)
+
+// startProfiles begins CPU profiling and/or arranges a heap profile at
+// exit. Either path may be empty.
+func startProfiles(cpuPath, memPath string) error {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	profileStop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "boltmon: wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "boltmon:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "boltmon:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "boltmon: wrote heap profile to %s\n", memPath)
+		}
+	}
+	return nil
+}
+
+func stopProfiles() {
+	if profileStop != nil {
+		profileOnce.Do(profileStop)
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "boltmon:", err)
 	os.Exit(1)
 }

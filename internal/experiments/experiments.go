@@ -52,6 +52,12 @@ type Scale struct {
 	// the monitor defaults (serial, batch 64).
 	MonitorShards int
 	MonitorBatch  int
+	// MonitorQueue is the per-shard ingest queue depth in batches
+	// (boltmon -queue; zero means the default of 4). MonitorNoRing swaps
+	// the SPSC-ring ingest hop for the channel + sync.Pool ablation
+	// (boltmon -noring); it never changes what the monitor reports.
+	MonitorQueue  int
+	MonitorNoRing bool
 }
 
 // Generator returns the production generator configured for this scale:

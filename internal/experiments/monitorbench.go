@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"gobolt/internal/core"
 	"gobolt/internal/distill"
 	"gobolt/internal/monitor"
 	"gobolt/internal/nf"
+	"gobolt/internal/ring"
 	"gobolt/internal/traffic"
 )
 
@@ -92,7 +95,11 @@ func (r *AttackDetectionResult) Detected() bool {
 //  3. Control: an equal-rate benign burst (fresh seed) must not page.
 func AttackDetection(sc Scale) (*AttackDetectionResult, error) {
 	warmN := warmupFor(sc, classFlows(sc))
-	mcfg := monitor.Config{Trigger: 3, Clear: 8, Shards: sc.MonitorShards, Batch: sc.MonitorBatch}
+	mcfg := monitor.Config{
+		Trigger: 3, Clear: 8,
+		Shards: sc.MonitorShards, Batch: sc.MonitorBatch,
+		Queue: sc.MonitorQueue, NoRing: sc.MonitorNoRing,
+	}
 	ctx := context.Background()
 
 	// Phase 1: calibration.
@@ -241,16 +248,35 @@ type MonitorBenchRow struct {
 	// observation and call-record allocations per packet), "pooled" (the
 	// serial arena-pooled fast path), or "sharded" (flow-hashed batched
 	// ingest into Shards engines).
-	Mode       string  `json:"mode"`
-	Shards     int     `json:"shards,omitempty"`
-	Batch      int     `json:"batch,omitempty"`
+	Mode   string `json:"mode"`
+	Shards int    `json:"shards,omitempty"`
+	Batch  int    `json:"batch,omitempty"`
+	// Ingest is the sharded hop's transport: "ring" (the SPSC
+	// queue+freelist pair, the default) or "chan" (the Config.NoRing
+	// channel + sync.Pool ablation). Empty on serial rows.
+	Ingest string `json:"ingest,omitempty"`
+	// Queue is the per-shard ingest queue depth in batches (sharded rows
+	// only; the ring transport rounds it up to a power of two).
+	Queue      int     `json:"queue,omitempty"`
 	NsPkt      float64 `json:"ns_per_pkt"`
 	PPS        float64 `json:"pkts_per_sec"`
 	OverheadPc float64 `json:"overhead_pct"`
 }
 
+// HopBenchRow is one transport's raw handoff cost: a single
+// producer/consumer pair cycling pointer-sized batches through a
+// depth-4 queue with buffer recycling, no monitor work attached.
+type HopBenchRow struct {
+	Ingest string `json:"ingest"`
+	// NsHop is wall time per producer→consumer handoff.
+	NsHop float64 `json:"ns_per_handoff"`
+	// AllocsHop is heap allocations per handoff; the ring transport must
+	// report 0 — its freelist recycles without sync.Pool or GC churn.
+	AllocsHop float64 `json:"allocs_per_handoff"`
+}
+
 // MonitorBenchResult quantifies the monitor's per-packet overhead across
-// the pooling/sharding/batching ablation, against the bare replay.
+// the pooling/sharding/batching/ingest ablation, against the bare replay.
 type MonitorBenchResult struct {
 	Workload  string            `json:"workload"`
 	Packets   int               `json:"packets"`
@@ -258,13 +284,19 @@ type MonitorBenchResult struct {
 	BareNsPkt float64           `json:"bare_ns_per_pkt"`
 	BarePPS   float64           `json:"bare_pkts_per_sec"`
 	Rows      []MonitorBenchRow `json:"rows"`
+	// Hop isolates the ingest transports' handoff cost from the monitor
+	// work they carry.
+	Hop []HopBenchRow `json:"hop,omitempty"`
 }
 
 // Overhead returns the named row's overhead percentage (the headline
-// number is mode "pooled"); ok is false when the row was not measured.
-func (r MonitorBenchResult) Overhead(mode string, shards, batch int) (float64, bool) {
+// number is mode "pooled"; sharded rows are keyed by ingest transport
+// and queue depth too — pass "" / 0 for serial modes); ok is false when
+// the row was not measured.
+func (r MonitorBenchResult) Overhead(mode string, shards, batch int, ingest string, queue int) (float64, bool) {
 	for _, row := range r.Rows {
-		if row.Mode == mode && row.Shards == shards && row.Batch == batch {
+		if row.Mode == mode && row.Shards == shards && row.Batch == batch &&
+			row.Ingest == ingest && row.Queue == queue {
 			return row.OverheadPc, true
 		}
 	}
@@ -353,21 +385,46 @@ func MonitorBench(sc Scale, runs int) (MonitorBenchResult, error) {
 	res.BareNsPkt = float64(bareD.Nanoseconds()) / float64(n)
 	res.BarePPS = float64(n) / bareD.Seconds()
 
+	sharded := func(shards, batch, queue int, noring bool) struct {
+		row MonitorBenchRow
+		cfg monitor.Config
+	} {
+		ingest := "ring"
+		if noring {
+			ingest = "chan"
+		}
+		return struct {
+			row MonitorBenchRow
+			cfg monitor.Config
+		}{
+			MonitorBenchRow{Mode: "sharded", Shards: shards, Batch: batch, Ingest: ingest, Queue: queue},
+			monitor.Config{Shards: shards, Batch: batch, Queue: queue, NoRing: noring},
+		}
+	}
 	modes := []struct {
 		row MonitorBenchRow
 		cfg monitor.Config
 	}{
 		{MonitorBenchRow{Mode: "unpooled"}, monitor.Config{NoPool: true}},
 		{MonitorBenchRow{Mode: "pooled"}, monitor.Config{}},
-		{MonitorBenchRow{Mode: "sharded", Shards: 1, Batch: 64}, monitor.Config{Shards: 1, Batch: 64}},
-		{MonitorBenchRow{Mode: "sharded", Shards: 2, Batch: 64}, monitor.Config{Shards: 2, Batch: 64}},
-		{MonitorBenchRow{Mode: "sharded", Shards: 4, Batch: 64}, monitor.Config{Shards: 4, Batch: 64}},
-		{MonitorBenchRow{Mode: "sharded", Shards: 2, Batch: 1}, monitor.Config{Shards: 2, Batch: 1}},
+		// The ring-vs-channel ablation at each shard count...
+		sharded(1, 64, 4, false),
+		sharded(1, 64, 4, true),
+		sharded(2, 64, 4, false),
+		sharded(2, 64, 4, true),
+		sharded(4, 64, 4, false),
+		sharded(4, 64, 4, true),
+		// ...the batched-vs-unbatched ablation...
+		sharded(2, 1, 4, false),
+		// ...and the queue-depth sweep around the default of 4.
+		sharded(2, 64, 2, false),
+		sharded(2, 64, 8, false),
 	}
 	for _, m := range modes {
 		d, err := best(monitored(m.cfg))
 		if err != nil {
-			return res, fmt.Errorf("mode %s/s%d/b%d: %w", m.row.Mode, m.row.Shards, m.row.Batch, err)
+			return res, fmt.Errorf("mode %s/s%d/b%d/%s/q%d: %w",
+				m.row.Mode, m.row.Shards, m.row.Batch, m.row.Ingest, m.row.Queue, err)
 		}
 		row := m.row
 		row.NsPkt = float64(d.Nanoseconds()) / float64(n)
@@ -375,7 +432,115 @@ func MonitorBench(sc Scale, runs int) (MonitorBenchResult, error) {
 		row.OverheadPc = 100 * (row.NsPkt - res.BareNsPkt) / res.BareNsPkt
 		res.Rows = append(res.Rows, row)
 	}
+	res.Hop = HopBench(runs)
 	return res, nil
+}
+
+// hopBatch stands in for the monitor's batch buffer in the handoff
+// microbenchmark: pointer-sized handoff, a cache line of payload.
+type hopBatch struct {
+	seq uint64
+	pad [7]uint64
+}
+
+// hopIters is one HopBench measurement pass; large enough that the
+// per-handoff quotient is stable, small enough to keep -bench runs fast.
+const hopIters = 200_000
+
+// HopBench isolates the sharded ingest hop: how long one
+// producer→consumer handoff takes on each transport, and how many heap
+// allocations it costs, with the monitor work stripped away. The ring
+// row must report 0 allocs — its paired freelist recycles buffers
+// without sync.Pool. Best-of-runs wall time, single measurement pass
+// for the alloc count.
+func HopBench(runs int) []HopBenchRow {
+	if runs <= 0 {
+		runs = 3
+	}
+	measure := func(f func(iters int)) (nsHop, allocsHop float64) {
+		f(hopIters / 10) // warmup: steady-state pools/freelists
+		var best time.Duration
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			f(hopIters)
+			if d := time.Since(start); i == 0 || d < best {
+				best = d
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		f(hopIters)
+		runtime.ReadMemStats(&after)
+		// Integer division, the same accounting testing.B prints: setup
+		// noise (the ring itself, the consumer goroutine) must not smear a
+		// fractional alloc across a 0-alloc steady state.
+		return float64(best.Nanoseconds()) / float64(hopIters),
+			float64((after.Mallocs - before.Mallocs) / uint64(hopIters))
+	}
+
+	ringHop := func(iters int) {
+		queue, err := ring.New[*hopBatch](4)
+		if err != nil {
+			panic(err)
+		}
+		free, err := ring.New[*hopBatch](8)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < free.Cap(); i++ {
+			free.TryPush(&hopBatch{})
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				b, ok := queue.Pop()
+				if !ok {
+					return
+				}
+				free.TryPush(b)
+			}
+		}()
+		for i := 0; i < iters; i++ {
+			b, ok := free.TryPop()
+			if !ok {
+				b = &hopBatch{}
+			}
+			b.seq = uint64(i)
+			queue.Push(b)
+		}
+		queue.Close()
+		<-done
+	}
+	chanHop := func(iters int) {
+		queue := make(chan *hopBatch, 4)
+		var pool sync.Pool
+		pool.New = func() any { return &hopBatch{} }
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for b := range queue {
+				pool.Put(b)
+			}
+		}()
+		for i := 0; i < iters; i++ {
+			b := pool.Get().(*hopBatch)
+			b.seq = uint64(i)
+			queue <- b
+		}
+		close(queue)
+		<-done
+	}
+
+	rows := make([]HopBenchRow, 0, 2)
+	for _, tr := range []struct {
+		name string
+		f    func(int)
+	}{{"ring", ringHop}, {"chan", chanHop}} {
+		ns, allocs := measure(tr.f)
+		rows = append(rows, HopBenchRow{Ingest: tr.name, NsHop: ns, AllocsHop: allocs})
+	}
+	return rows
 }
 
 // RenderMonitorBench prints the overhead ablation.
@@ -387,11 +552,17 @@ func RenderMonitorBench(r MonitorBenchResult) string {
 	for _, row := range r.Rows {
 		name := "monitored " + row.Mode
 		if row.Mode == "sharded" {
-			name = fmt.Sprintf("monitored shards=%d batch=%d", row.Shards, row.Batch)
+			name = fmt.Sprintf("monitored s=%d b=%d %s q=%d", row.Shards, row.Batch, row.Ingest, row.Queue)
 		}
 		fmt.Fprintf(&b, "%-28s %12.0f %14.0f %9.1f%%\n", name, row.NsPkt, row.PPS, row.OverheadPc)
 	}
 	fmt.Fprintf(&b, "(%d packets, best of %d runs)\n", r.Packets, r.Runs)
+	if len(r.Hop) > 0 {
+		fmt.Fprintf(&b, "\ningest hop (producer→consumer handoff, no monitor work):\n")
+		for _, h := range r.Hop {
+			fmt.Fprintf(&b, "  %-6s %8.1f ns/handoff %6.0f allocs/handoff\n", h.Ingest, h.NsHop, h.AllocsHop)
+		}
+	}
 	return b.String()
 }
 

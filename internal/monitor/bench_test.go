@@ -24,6 +24,9 @@ func BenchmarkMonitoredReplaySharded2(b *testing.B) {
 func BenchmarkMonitoredReplaySharded4(b *testing.B) {
 	benchMonitored(b, monitor.Config{Shards: 4, Batch: 64})
 }
+func BenchmarkMonitoredReplaySharded2Chan(b *testing.B) {
+	benchMonitored(b, monitor.Config{Shards: 2, Batch: 64, NoRing: true})
+}
 
 func benchMonitored(b *testing.B, cfg monitor.Config) {
 	sc := experiments.QuickScale()

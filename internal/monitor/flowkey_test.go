@@ -1,0 +1,155 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"gobolt/internal/monitor"
+	"gobolt/internal/traffic"
+)
+
+// FlowKey's contract (shard.go): frames that parse as IPv4 — EtherType
+// 0x0800 AND at least 34 bytes, the fixed-position IPv4 flow fields —
+// hash (protocol, src, dst) only; everything else falls back to the
+// first min(len, 14) bytes plus the arrival port. These tests pin the
+// edges of that split: truncated frames, non-IPv4 EtherTypes, and the
+// 34-byte IPv4 boundary.
+
+// ipv4Frame builds a minimal Ethernet+IPv4 byte image with the flow
+// fields at their fixed offsets (EtherType 12:14, protocol 23, src
+// 26:30, dst 30:34), long enough to carry trailing L4 bytes.
+func ipv4Frame(proto byte, src, dst [4]byte, extra int) []byte {
+	f := make([]byte, 34+extra)
+	f[12], f[13] = 0x08, 0x00
+	f[14] = 0x45 // version 4, IHL 5
+	f[23] = proto
+	copy(f[26:30], src[:])
+	copy(f[30:34], dst[:])
+	for i := 34; i < len(f); i++ {
+		f[i] = byte(i * 7)
+	}
+	return f
+}
+
+func TestFlowKeyTruncatedFrames(t *testing.T) {
+	// Shorter than any header: must not panic, must still be usable.
+	for _, n := range []int{0, 1, 5, 13} {
+		pkt := make([]byte, n)
+		for i := range pkt {
+			pkt[i] = byte(i + 1)
+		}
+		k0 := monitor.FlowKey(pkt, 0)
+		if k1 := monitor.FlowKey(pkt, 1); k0 == k1 {
+			t.Errorf("len %d: fallback key ignores the arrival port (both %d)", n, k0)
+		}
+		if again := monitor.FlowKey(pkt, 0); again != k0 {
+			t.Errorf("len %d: key not deterministic", n)
+		}
+	}
+	// The empty frame and a 1-byte frame must differ (the port mix alone
+	// cannot collapse them for every port; pin one concrete pair).
+	if monitor.FlowKey(nil, 3) == monitor.FlowKey([]byte{0x55}, 3) {
+		t.Error("empty and 1-byte frames collide on the same port")
+	}
+	// A 13-byte frame sees only its 13 bytes; a 14-byte extension with a
+	// differing 14th byte must (for this concrete pair) hash differently.
+	prefix := make([]byte, 13)
+	ext := append(append([]byte{}, prefix...), 0x99)
+	if monitor.FlowKey(prefix, 0) == monitor.FlowKey(ext, 0) {
+		t.Error("13- and 14-byte frames with differing tails collide")
+	}
+}
+
+func TestFlowKeyNonIPv4EtherTypes(t *testing.T) {
+	base := ipv4Frame(17, [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 8)
+	for _, et := range [][2]byte{
+		{0x08, 0x06}, // ARP
+		{0x81, 0x00}, // VLAN
+		{0x86, 0xDD}, // IPv6
+		{0x00, 0x2E}, // length-typed 802.3
+	} {
+		f := append([]byte{}, base...)
+		f[12], f[13] = et[0], et[1]
+		// Non-IPv4 frames take the fallback: the arrival port matters...
+		if monitor.FlowKey(f, 0) == monitor.FlowKey(f, 9) {
+			t.Errorf("EtherType %02x%02x: key ignores the arrival port — took the IPv4 path", et[0], et[1])
+		}
+		// ...and the L3 addresses beyond byte 14 do not.
+		g := append([]byte{}, f...)
+		g[30] = 0xAA // dst first octet
+		if monitor.FlowKey(f, 0) != monitor.FlowKey(g, 0) {
+			t.Errorf("EtherType %02x%02x: key read IPv4 addresses from a non-IPv4 frame", et[0], et[1])
+		}
+	}
+	// The generator's ARP frame (the roster's invalid class) must be
+	// deterministic and port-sensitive too.
+	arp := traffic.NonIPv4(0, 0)
+	arp2 := traffic.NonIPv4(99, 2) // same bytes, different time and port
+	if monitor.FlowKey(arp.Data, arp.InPort) == monitor.FlowKey(arp2.Data, arp2.InPort) {
+		t.Error("NonIPv4 frames on different ports share a key")
+	}
+}
+
+// TestFlowKeyIPv4Boundary pins the 34-byte threshold: at 33 bytes an
+// EtherType-0x0800 frame cannot carry the full flow fields and must
+// fall back; at exactly 34 it must take the IPv4 path.
+func TestFlowKeyIPv4Boundary(t *testing.T) {
+	full := ipv4Frame(6, [4]byte{192, 168, 0, 1}, [4]byte{192, 168, 0, 2}, 0)
+	if len(full) != 34 {
+		t.Fatalf("test frame is %d bytes, want exactly 34", len(full))
+	}
+	// 34 bytes: IPv4 path — port-insensitive.
+	if monitor.FlowKey(full, 0) != monitor.FlowKey(full, 5) {
+		t.Error("exact-34-byte IPv4 frame fell back to the port-mixed hash")
+	}
+	// 33 bytes: truncated mid-dst — fallback, port-sensitive.
+	trunc := full[:33]
+	if monitor.FlowKey(trunc, 0) == monitor.FlowKey(trunc, 5) {
+		t.Error("33-byte IPv4 frame took the fixed-offset path past its end")
+	}
+}
+
+// TestFlowKeyIPv4Identity pins what the IPv4 key is made of: protocol,
+// src, dst — and nothing else. MACs, L4 ports, payload, arrival port,
+// and IPv4 options must all be invisible; each flow field must matter.
+func TestFlowKeyIPv4Identity(t *testing.T) {
+	src, dst := [4]byte{10, 1, 2, 3}, [4]byte{192, 168, 1, 1}
+	base := ipv4Frame(17, src, dst, 12)
+	key := monitor.FlowKey(base, 0)
+
+	mutate := func(f func(p []byte)) uint64 {
+		p := append([]byte{}, base...)
+		f(p)
+		return monitor.FlowKey(p, 0)
+	}
+	if mutate(func(p []byte) { p[0], p[7] = 0xFE, 0xFE }) != key {
+		t.Error("MAC bytes leak into the IPv4 flow key")
+	}
+	if mutate(func(p []byte) { p[34], p[35] = 0xBE, 0xEF }) != key {
+		t.Error("L4 bytes leak into the IPv4 flow key")
+	}
+	if monitor.FlowKey(base, 7) != key {
+		t.Error("arrival port leaks into the IPv4 flow key")
+	}
+	if mutate(func(p []byte) { p[23] = 6 }) == key {
+		t.Error("protocol does not contribute to the IPv4 flow key")
+	}
+	if mutate(func(p []byte) { p[29] = 9 }) == key {
+		t.Error("src address does not contribute to the IPv4 flow key")
+	}
+	if mutate(func(p []byte) { p[33] = 9 }) == key {
+		t.Error("dst address does not contribute to the IPv4 flow key")
+	}
+
+	// Options boundary: the flow fields sit at fixed offsets inside the
+	// 20-byte mandatory header, so an options-bearing header (IHL > 5)
+	// keeps the same flow identity — the generator's option packets pin
+	// it end-to-end (same addresses, differing IHL and length).
+	none := traffic.WithOptions(0, 0, 0)
+	two := traffic.WithOptions(2, 0, 0)
+	if len(none.Data) == len(two.Data) {
+		t.Fatal("option generator produced equal-length frames; boundary not exercised")
+	}
+	if monitor.FlowKey(none.Data, 0) != monitor.FlowKey(two.Data, 0) {
+		t.Error("IPv4 options change the flow key; one L3 conversation would straddle shards")
+	}
+}

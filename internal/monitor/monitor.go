@@ -138,6 +138,26 @@ type Config struct {
 	// 1 hands every packet off individually). Batch size never changes
 	// the merged output, only the amortization of the handoff.
 	Batch int
+	// Queue is each shard's ingest queue depth in batches (default 4).
+	// The ring backend rounds it up to a power of two. Like Batch it is
+	// invisible in the merged output; it trades producer stalls against
+	// buffered memory.
+	Queue int
+	// FlushStall bounds the adaptive flush: a partially-filled batch is
+	// handed off once FlushStall further packets have been ingested
+	// monitor-wide without it filling (default 4×Batch; the round-robin
+	// stall probe adds at most Shards packets of slack). This bounds a
+	// trickling class's worst-case detection delay — measured in ingest
+	// progress — instead of letting a sub-Batch group sit until Close.
+	// Never changes the merged output, only when alerts fire relative to
+	// ingest.
+	FlushStall int
+	// NoRing carries the sharded hop over buffered channels with
+	// sync.Pool batch recycling — the PR-7 ingest path, kept as the
+	// measured ablation for the lock-free SPSC ring + freelist pair
+	// that is now the default. Absent from report semantics: routing,
+	// per-shard order, and the merged output are identical either way.
+	NoRing bool
 	// FlowHash overrides the RSS-style flow hash assigning packets to
 	// shards (default FlowKey). Packets with equal hashes share a shard;
 	// the merge-layer identity guarantee is conditional on the hash
@@ -194,6 +214,9 @@ type Monitor struct {
 	// packets counts ingested packets across the monitor's lifetime and
 	// assigns each its global index before sharding.
 	packets int
+	// partialFlushes counts batches the adaptive flush handed off
+	// below Config.Batch, accumulated across Runs.
+	partialFlushes int
 
 	log core.CallLog // pooled per-packet call recorder scratch
 	obs core.PacketObservation
@@ -223,6 +246,15 @@ func New(ct *core.Contract, cfg Config) (*Monitor, error) {
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = defaultBatch
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = defaultQueue
+	}
+	if cfg.Queue > maxQueue {
+		return nil, fmt.Errorf("monitor: queue depth %d exceeds the %d-batch cap", cfg.Queue, maxQueue)
+	}
+	if cfg.FlushStall <= 0 {
+		cfg.FlushStall = 4 * cfg.Batch
 	}
 	if cfg.FlowHash == nil {
 		cfg.FlowHash = FlowKey
@@ -441,6 +473,12 @@ func (m *Monitor) Unclassified() int {
 
 // Packets counts observed packets.
 func (m *Monitor) Packets() int { return m.packets }
+
+// PartialFlushes counts ingest batches the adaptive flush handed off
+// before they filled (sharded Runs only) — the observable that a
+// trickling class's detection delay was bounded by Config.FlushStall
+// rather than by Batch.
+func (m *Monitor) PartialFlushes() int { return m.partialFlushes }
 
 // MaxPredicted reports the largest predicted bound observed on the
 // budgeted metric — Calibrate uses it to turn a benign run into a

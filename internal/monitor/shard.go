@@ -7,6 +7,7 @@ import (
 	"gobolt/internal/distill"
 	"gobolt/internal/nfir"
 	"gobolt/internal/perf"
+	"gobolt/internal/ring"
 	"gobolt/internal/traffic"
 )
 
@@ -30,9 +31,12 @@ import (
 const (
 	maxShards    = 1024
 	defaultBatch = 64
-	// queueBatches bounds each shard channel: enough to keep a shard busy
-	// while the replay fills the next batch, small enough to bound memory.
-	queueBatches = 4
+	// defaultQueue bounds each shard's ingest queue, in batches: enough
+	// to keep a shard busy while the replay fills the next batch, small
+	// enough to bound memory. Config.Queue overrides it.
+	defaultQueue = 4
+	// maxQueue caps Config.Queue; the queue is a hop, not a buffer.
+	maxQueue = 1 << 16
 )
 
 // FlowKey is the default RSS-style flow hash (FNV-1a). IPv4 packets
@@ -72,7 +76,7 @@ type classState struct {
 	maxObserved uint64
 	maxPred     uint64
 	minHeadroom int64
-	ring        *ring
+	win         *window
 	sketch      *quantileSketch
 	hys         hysteresis
 }
@@ -175,7 +179,7 @@ func (e *engine) observe(idx int, obs *core.PacketObservation, ic, ma, cycles ui
 				Kind: AlertViolation, PacketIndex: idx, Time: obs.Time,
 				Class: m.classOf[path], PathID: path.ID, Metric: c.metric,
 				Observed: c.observed, Predicted: pred,
-				PCVs: e.pcvMap(), Window: st.ring.Snapshot(),
+				PCVs: e.pcvMap(), Window: st.win.Snapshot(),
 			})
 		}
 	}
@@ -186,7 +190,7 @@ func (e *engine) observe(idx int, obs *core.PacketObservation, ic, ma, cycles ui
 	// measurable collapse.
 	observed := metricValue(ic, ma, cycles, m.cfg.Metric)
 	predicted := e.boundAt(path, m.cfg.Metric)
-	st.ring.Add(observed)
+	st.win.Add(observed)
 	st.sketch.Add(float64(observed))
 	if observed > st.maxObserved {
 		st.maxObserved = observed
@@ -208,7 +212,7 @@ func (e *engine) observe(idx int, obs *core.PacketObservation, ic, ma, cycles ui
 				Kind: AlertOverload, PacketIndex: idx, Time: obs.Time,
 				Class: m.classOf[path], PathID: path.ID, Metric: m.cfg.Metric,
 				Observed: observed, Predicted: predicted, Budget: m.cfg.Budget,
-				PCVs: e.pcvMap(), Window: st.ring.Snapshot(),
+				PCVs: e.pcvMap(), Window: st.win.Snapshot(),
 			})
 		}
 		if cleared {
@@ -226,7 +230,7 @@ func (e *engine) classState(class string) *classState {
 	if !ok {
 		st = &classState{
 			class:  class,
-			ring:   newRing(e.m.cfg.RingSize),
+			win:    newWindow(e.m.cfg.RingSize),
 			sketch: newQuantileSketch(e.m.cfg.Quantile),
 			hys:    hysteresis{Trigger: e.m.cfg.Trigger, Clear: e.m.cfg.Clear},
 		}
@@ -292,38 +296,102 @@ func (b *batch) reset() {
 	b.logs.Reset()
 }
 
-// ingester is the batched fan-out state for one sharded Run: one
-// buffered channel and worker goroutine per shard, plus the
-// under-construction batch per shard.
+// ingester is the batched fan-out state for one sharded Run: a queue
+// and worker goroutine per shard, the under-construction batch per
+// shard, and the adaptive-flush bookkeeping. Two interchangeable
+// backends carry the hop — identical routing, per-shard order, and
+// merged output either way (TestRingChannelReportIdentity):
+//
+//   - the default is a lock-free SPSC ring per shard paired with an
+//     SPSC freelist ring recycling batch buffers consumer→producer, so
+//     the steady-state hop crosses no mutex, no sync.Pool, and feeds
+//     the GC nothing (DESIGN.md §5j);
+//   - Config.NoRing keeps the PR-7 buffered-channel + sync.Pool path
+//     as the measured ablation.
 type ingester struct {
-	m     *Monitor
+	m    *Monitor
+	pend []*batch
+	// start[sh] is the global index of pend[sh]'s first packet, -1 when
+	// no batch is pending; probe is the adaptive flush's round-robin
+	// cursor over shards.
+	start   []int
+	probe   int
+	partial int // batches handed off by the adaptive flush
+
+	// ring backend: queues carry filled batches replay→shard, frees
+	// recycle emptied buffers shard→replay.
+	queues []*ring.SPSC[*batch]
+	frees  []*ring.SPSC[*batch]
+
+	// channel backend (Config.NoRing).
 	chans []chan *batch
-	pend  []*batch
 	pool  sync.Pool
-	wg    sync.WaitGroup
+
+	wg sync.WaitGroup
 }
 
 func (m *Monitor) startIngest() {
+	n := len(m.engines)
 	ing := &ingester{
 		m:     m,
-		chans: make([]chan *batch, len(m.engines)),
-		pend:  make([]*batch, len(m.engines)),
+		pend:  make([]*batch, n),
+		start: make([]int, n),
 	}
-	ing.pool.New = func() any { return &batch{} }
+	for i := range ing.start {
+		ing.start[i] = -1
+	}
+	if m.cfg.NoRing {
+		ing.chans = make([]chan *batch, n)
+		ing.pool.New = func() any { return &batch{} }
+		for i, e := range m.engines {
+			ch := make(chan *batch, m.cfg.Queue)
+			ing.chans[i] = ch
+			ing.wg.Add(1)
+			go func(e *engine, ch chan *batch) {
+				defer ing.wg.Done()
+				for b := range ch {
+					for j := range b.obs {
+						e.observeP(&b.obs[j])
+					}
+					b.reset()
+					ing.pool.Put(b)
+				}
+			}(e, ch)
+		}
+		m.ing = ing
+		return
+	}
+	ing.queues = make([]*ring.SPSC[*batch], n)
+	ing.frees = make([]*ring.SPSC[*batch], n)
 	for i, e := range m.engines {
-		ch := make(chan *batch, queueBatches)
-		ing.chans[i] = ch
+		q, err := ring.New[*batch](m.cfg.Queue)
+		if err != nil {
+			panic(err) // New validated Queue <= maxQueue <= ring.MaxCap
+		}
+		// The freelist holds every buffer the shard can have in flight:
+		// the queue's worth, the pending one, and the one being drained.
+		f, err := ring.New[*batch](q.Cap() + 2)
+		if err != nil {
+			panic(err)
+		}
+		ing.queues[i], ing.frees[i] = q, f
 		ing.wg.Add(1)
-		go func(e *engine, ch chan *batch) {
+		go func(e *engine, q, f *ring.SPSC[*batch]) {
 			defer ing.wg.Done()
-			for b := range ch {
+			for {
+				b, ok := q.Pop()
+				if !ok {
+					return
+				}
 				for j := range b.obs {
 					e.observeP(&b.obs[j])
 				}
 				b.reset()
-				ing.pool.Put(b)
+				// A full freelist (impossible by capacity, but cheap to
+				// tolerate) drops the buffer to the GC.
+				f.TryPush(b)
 			}
-		}(e, ch)
+		}(e, q, f)
 	}
 	m.ing = ing
 }
@@ -338,8 +406,38 @@ func (e *engine) observeP(po *pObs) {
 	e.observe(po.idx, &e.obs, po.ic, po.ma, po.cyc, po.pcvs)
 }
 
+// acquire returns an empty batch for a shard: recycled off the shard's
+// freelist ring (or the shared pool on the channel backend), freshly
+// allocated only when nothing has come back yet.
+func (ing *ingester) acquire(sh int) *batch {
+	if ing.chans != nil {
+		return ing.pool.Get().(*batch)
+	}
+	if b, ok := ing.frees[sh].TryPop(); ok {
+		return b
+	}
+	return &batch{}
+}
+
+// handoff publishes a shard's pending batch to its worker. Push blocks
+// (spin, then park) when the shard is Queue batches behind — the same
+// backpressure the buffered channel applies.
+func (ing *ingester) handoff(sh int) {
+	b := ing.pend[sh]
+	ing.pend[sh] = nil
+	ing.start[sh] = -1
+	if ing.chans != nil {
+		ing.chans[sh] <- b
+		return
+	}
+	ing.queues[sh].Push(b)
+}
+
 // enqueue adds one measured packet to its shard's pending batch,
-// flushing the batch to the shard channel when full. Runs on the replay
+// handing the batch off when full — or, via the adaptive flush, once it
+// has stalled partially filled for FlushStall packets, so a trickling
+// class's worst-case detection delay is bounded by ingest progress
+// rather than by Batch (see Config.FlushStall). Runs on the replay
 // goroutine.
 func (ing *ingester) enqueue(pkt traffic.Packet, rec *distill.Record, calls []core.CallRecord) {
 	m := ing.m
@@ -348,8 +446,9 @@ func (ing *ingester) enqueue(pkt traffic.Packet, rec *distill.Record, calls []co
 	sh := m.shardOf(pkt.Data, pkt.InPort)
 	b := ing.pend[sh]
 	if b == nil {
-		b = ing.pool.Get().(*batch)
+		b = ing.acquire(sh)
 		ing.pend[sh] = b
+		ing.start[sh] = idx
 	}
 	b.obs = append(b.obs, pObs{
 		idx: idx, pkt: pkt.Data, inPort: pkt.InPort, time: pkt.Time,
@@ -358,12 +457,24 @@ func (ing *ingester) enqueue(pkt traffic.Packet, rec *distill.Record, calls []co
 		calls: b.logs.Append(calls),
 	})
 	if len(b.obs) >= m.cfg.Batch {
-		ing.chans[sh] <- b
-		ing.pend[sh] = nil
+		ing.handoff(sh)
+	}
+	// Adaptive flush: probe one shard per ingested packet, round-robin,
+	// and hand off any batch that has waited FlushStall packets without
+	// filling. The probe is O(1) per packet and visits every shard
+	// within Shards packets, so a stalled partial batch is in flight
+	// within FlushStall+Shards packets of its first observation.
+	ing.probe++
+	if ing.probe >= len(ing.pend) {
+		ing.probe = 0
+	}
+	if p := ing.probe; ing.pend[p] != nil && idx-ing.start[p] >= m.cfg.FlushStall {
+		ing.partial++
+		ing.handoff(p)
 	}
 }
 
-// finishIngest flushes partial batches, closes the shard channels, and
+// finishIngest flushes partial batches, closes the shard queues, and
 // waits for every shard to drain. Idempotent; after it returns the
 // merged accessors reflect every ingested packet.
 func (m *Monitor) finishIngest() {
@@ -373,14 +484,21 @@ func (m *Monitor) finishIngest() {
 	}
 	for sh, b := range ing.pend {
 		if b != nil && len(b.obs) > 0 {
-			ing.chans[sh] <- b
+			ing.handoff(sh)
 		}
 		ing.pend[sh] = nil
 	}
-	for _, ch := range ing.chans {
-		close(ch)
+	if ing.chans != nil {
+		for _, ch := range ing.chans {
+			close(ch)
+		}
+	} else {
+		for _, q := range ing.queues {
+			q.Close()
+		}
 	}
 	ing.wg.Wait()
+	m.partialFlushes += ing.partial
 	m.ing = nil
 }
 

@@ -328,10 +328,10 @@ func TestCalibrateMetricAgreement(t *testing.T) {
 // (every class's packets landed on one shard), the entire report must be
 // byte-identical.
 func FuzzShardMerge(f *testing.F) {
-	f.Add(int64(1), uint8(2), uint8(3), uint8(12), true)
-	f.Add(int64(7), uint8(4), uint8(1), uint8(30), false)
-	f.Add(int64(42), uint8(8), uint8(5), uint8(8), true)
-	f.Add(int64(99), uint8(3), uint8(2), uint8(20), false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(12), true, false, uint8(0))
+	f.Add(int64(7), uint8(4), uint8(1), uint8(30), false, true, uint8(1))
+	f.Add(int64(42), uint8(8), uint8(5), uint8(8), true, false, uint8(3))
+	f.Add(int64(99), uint8(3), uint8(2), uint8(20), false, true, uint8(64))
 
 	sc := experiments.QuickScale()
 	inst0, err := nf.Build("nat", nf.BuildParams{Capacity: sc.TableCapacity})
@@ -344,7 +344,7 @@ func FuzzShardMerge(f *testing.F) {
 	}
 	ctx := context.Background()
 
-	f.Fuzz(func(t *testing.T, seed int64, shardsIn, streamsIn, perStreamIn uint8, budgeted bool) {
+	f.Fuzz(func(t *testing.T, seed int64, shardsIn, streamsIn, perStreamIn uint8, budgeted, noring bool, queueIn uint8) {
 		shards := int(shardsIn)%8 + 1
 		nStreams := int(streamsIn)%6 + 1
 		perStream := int(perStreamIn)%28 + 4
@@ -375,7 +375,13 @@ func FuzzShardMerge(f *testing.F) {
 			}
 			classes := make(map[int]string)
 			idx := 0
-			cfg := monitor.Config{Shards: shardCount, Budget: budget, Batch: 8}
+			// The ingest backend and queue depth are transport knobs; the
+			// serial baseline never sees them, so any divergence they cause
+			// fails the merge oracle below.
+			cfg := monitor.Config{
+				Shards: shardCount, Budget: budget, Batch: 8,
+				NoRing: noring, Queue: int(queueIn)%9 + 1,
+			}
 			if shardCount <= 1 {
 				cfg.OnClassify = func(_ *core.PacketObservation, path *core.PathContract) {
 					if path != nil {

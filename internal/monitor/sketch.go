@@ -114,22 +114,22 @@ func (s *quantileSketch) Quantile() float64 {
 // Count reports how many observations were fed.
 func (s *quantileSketch) Count() int { return s.n }
 
-// ring is a fixed-size buffer of the most recent samples, so a fired
+// window is a fixed-size buffer of the most recent samples, so a fired
 // alert can carry the immediate history that led up to it.
-type ring struct {
+type window struct {
 	buf  []uint64
 	next int
 	full bool
 }
 
-func newRing(size int) *ring {
+func newWindow(size int) *window {
 	if size <= 0 {
 		size = 1
 	}
-	return &ring{buf: make([]uint64, size)}
+	return &window{buf: make([]uint64, size)}
 }
 
-func (r *ring) Add(v uint64) {
+func (r *window) Add(v uint64) {
 	r.buf[r.next] = v
 	r.next++
 	if r.next == len(r.buf) {
@@ -138,7 +138,7 @@ func (r *ring) Add(v uint64) {
 }
 
 // Snapshot returns the buffered samples oldest-first.
-func (r *ring) Snapshot() []uint64 {
+func (r *window) Snapshot() []uint64 {
 	if !r.full {
 		return append([]uint64(nil), r.buf[:r.next]...)
 	}

@@ -56,7 +56,7 @@ func TestQuantileSketchMonotoneStream(t *testing.T) {
 }
 
 func TestRingWraparound(t *testing.T) {
-	r := newRing(4)
+	r := newWindow(4)
 	if got := r.Snapshot(); len(got) != 0 {
 		t.Fatalf("empty ring snapshot: %v", got)
 	}
@@ -82,7 +82,7 @@ func TestRingWraparound(t *testing.T) {
 }
 
 func TestRingZeroSize(t *testing.T) {
-	r := newRing(0) // clamped to one slot
+	r := newWindow(0) // clamped to one slot
 	r.Add(7)
 	if got := r.Snapshot(); len(got) != 1 || got[0] != 7 {
 		t.Fatalf("snapshot: %v, want [7]", got)

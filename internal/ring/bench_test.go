@@ -1,0 +1,83 @@
+package ring_test
+
+import (
+	"sync"
+	"testing"
+
+	"gobolt/internal/ring"
+)
+
+// The handoff microbenchmark: one producer, one consumer, a pointer
+// per op, buffers recycled the way the sharded monitor recycles
+// batches. BenchmarkHandoffRing is the SPSC queue+freelist pair;
+// BenchmarkHandoffChan is the channel + sync.Pool hop it replaced.
+// The ring must report 0 allocs/op — the freelist recycles without
+// sync.Pool or GC involvement.
+
+type hopBuf struct {
+	seq uint64
+	pad [7]uint64
+}
+
+func BenchmarkHandoffRing(b *testing.B) {
+	queue, err := ring.New[*hopBuf](4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	free, err := ring.New[*hopBuf](8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < free.Cap(); i++ {
+		free.TryPush(&hopBuf{})
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			buf, ok := queue.Pop()
+			if !ok {
+				return
+			}
+			free.TryPush(buf)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, ok := free.TryPop()
+		if !ok {
+			buf = &hopBuf{}
+		}
+		buf.seq = uint64(i)
+		queue.Push(buf)
+	}
+	queue.Close()
+	wg.Wait()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/handoff")
+}
+
+func BenchmarkHandoffChan(b *testing.B) {
+	queue := make(chan *hopBuf, 4)
+	var pool sync.Pool
+	pool.New = func() any { return &hopBuf{} }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for buf := range queue {
+			pool.Put(buf)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := pool.Get().(*hopBuf)
+		buf.seq = uint64(i)
+		queue <- buf
+	}
+	close(queue)
+	wg.Wait()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/handoff")
+}

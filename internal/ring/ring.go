@@ -1,0 +1,234 @@
+// Package ring provides a bounded lock-free single-producer
+// single-consumer queue — the shard-ingest hop of the sharded monitor
+// (DESIGN.md §5j). One goroutine may push, one may pop; under that
+// discipline every operation is wait-free when the queue is neither
+// full nor empty, and the boundary cases spin briefly before parking so
+// an idle consumer (or a producer against a stalled consumer) does not
+// burn a core.
+//
+// The memory-ordering argument is the classic SPSC one, expressed in
+// Go's memory model: slots are plain memory; `tail` is written only by
+// the producer and `head` only by the consumer, both via sync/atomic
+// (sequentially consistent, hence at least release/acquire). A
+// producer writes slots[t&mask] and THEN stores tail=t+1; a consumer
+// that loads tail and observes t+1 therefore observes the slot write
+// too. Symmetrically the consumer clears the slot and THEN stores
+// head=h+1, so a producer observing the new head may reuse the slot.
+// Head and tail live on separate cache lines (padded below) and each
+// side keeps a local snapshot of the other's cursor, so the fast path
+// touches the shared line only when the snapshot says full/empty.
+package ring
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	cacheLine = 64
+	// MaxCap bounds a ring's capacity; rings are queue hops, not buffers.
+	MaxCap = 1 << 20
+	// spinPasses bounds the busy-wait at the full/empty boundary before
+	// the waiter parks. Every few passes it yields the processor, which
+	// on a single-P runtime hands the core straight to the peer — the
+	// common resolution — while still bounding the burn before a real
+	// park when the peer is genuinely stalled.
+	spinPasses = 64
+)
+
+// SPSC is a bounded lock-free single-producer single-consumer ring.
+// Exactly one goroutine may call the producer side (TryPush, Push,
+// Close) and exactly one the consumer side (TryPop, Pop); the two may
+// be — and usually are — different goroutines. The zero value is not
+// usable; construct with New.
+type SPSC[T any] struct {
+	mask  uint64
+	slots []T
+
+	_         [cacheLine]byte
+	head      atomic.Uint64 // next slot to pop; written by the consumer only
+	tailCache uint64        // consumer's snapshot of tail
+	_         [cacheLine]byte
+	tail      atomic.Uint64 // next slot to push; written by the producer only
+	headCache uint64        // producer's snapshot of head
+	_         [cacheLine]byte
+
+	closed     atomic.Bool
+	consParked atomic.Bool
+	prodParked atomic.Bool
+	consWake   chan struct{}
+	prodWake   chan struct{}
+}
+
+// New returns an SPSC ring holding at least capacity elements, rounded
+// up to the next power of two (mask indexing needs it; the extra slots
+// only deepen the queue).
+func New[T any](capacity int) (*SPSC[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ring: capacity %d must be positive", capacity)
+	}
+	if capacity > MaxCap {
+		return nil, fmt.Errorf("ring: capacity %d exceeds the %d cap", capacity, MaxCap)
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &SPSC[T]{
+		mask:     uint64(c - 1),
+		slots:    make([]T, c),
+		consWake: make(chan struct{}, 1),
+		prodWake: make(chan struct{}, 1),
+	}, nil
+}
+
+// Cap is the ring's slot count (the rounded-up capacity).
+func (r *SPSC[T]) Cap() int { return len(r.slots) }
+
+// Len is the number of queued elements at some instant during the
+// call; exact only from the producer or consumer goroutine.
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// TryPush enqueues v without blocking. It fails (returns false) when
+// the ring is full or closed. Producer side.
+func (r *SPSC[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.headCache >= uint64(len(r.slots)) {
+		r.headCache = r.head.Load()
+		if t-r.headCache >= uint64(len(r.slots)) {
+			return false
+		}
+	}
+	r.slots[t&r.mask] = v
+	r.tail.Store(t + 1) // publishes the slot write (release)
+	if r.consParked.Load() {
+		select {
+		case r.consWake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Push enqueues v, spinning then parking while the ring is full. It
+// returns false only when the ring is (or becomes) closed. Producer
+// side.
+func (r *SPSC[T]) Push(v T) bool {
+	for {
+		if r.TryPush(v) {
+			return true
+		}
+		if r.closed.Load() {
+			return false
+		}
+		r.waitNotFull()
+	}
+}
+
+// TryPop dequeues without blocking; ok is false when the ring is
+// empty. Consumer side.
+func (r *SPSC[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tailCache {
+		r.tailCache = r.tail.Load()
+		if h == r.tailCache {
+			return v, false
+		}
+	}
+	var zero T
+	v = r.slots[h&r.mask]
+	r.slots[h&r.mask] = zero
+	r.head.Store(h + 1) // releases the slot back to the producer
+	if r.prodParked.Load() {
+		select {
+		case r.prodWake <- struct{}{}:
+		default:
+		}
+	}
+	return v, true
+}
+
+// Pop dequeues, spinning then parking while the ring is empty. ok is
+// false only once the ring is closed AND fully drained — every element
+// pushed before Close is still delivered. Consumer side.
+func (r *SPSC[T]) Pop() (v T, ok bool) {
+	for {
+		if v, ok = r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Close happens after the producer's final Push; re-reading
+			// tail (inside TryPop) after observing closed therefore sees
+			// every pushed element.
+			return r.TryPop()
+		}
+		r.waitNotEmpty()
+	}
+}
+
+// Close marks the ring closed and wakes both sides. Pending elements
+// remain poppable; further pushes fail. Producer side (or any
+// goroutine once the producer has stopped pushing).
+func (r *SPSC[T]) Close() {
+	r.closed.Store(true)
+	select {
+	case r.consWake <- struct{}{}:
+	default:
+	}
+	select {
+	case r.prodWake <- struct{}{}:
+	default:
+	}
+}
+
+// Closed reports whether Close has been called.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// waitNotEmpty spins briefly, then parks until a push or Close. The
+// park is lost-wakeup-free by the flag/recheck protocol: the consumer
+// stores consParked=true, re-checks the condition, and only then
+// blocks; a producer that makes the condition true afterwards must —
+// by sequential consistency of the atomics — observe consParked=true
+// and send the (buffered, never-dropped) wake token.
+func (r *SPSC[T]) waitNotEmpty() {
+	h := r.head.Load()
+	for i := 0; i < spinPasses; i++ {
+		if r.tail.Load() != h || r.closed.Load() {
+			return
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	r.consParked.Store(true)
+	if r.tail.Load() != h || r.closed.Load() {
+		r.consParked.Store(false)
+		return
+	}
+	<-r.consWake
+	r.consParked.Store(false)
+}
+
+// waitNotFull is waitNotEmpty's producer-side mirror.
+func (r *SPSC[T]) waitNotFull() {
+	t := r.tail.Load()
+	for i := 0; i < spinPasses; i++ {
+		if r.head.Load()+uint64(len(r.slots)) != t || r.closed.Load() {
+			return
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	r.prodParked.Store(true)
+	if r.head.Load()+uint64(len(r.slots)) != t || r.closed.Load() {
+		r.prodParked.Store(false)
+		return
+	}
+	<-r.prodWake
+	r.prodParked.Store(false)
+}

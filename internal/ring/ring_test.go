@@ -1,0 +1,328 @@
+package ring_test
+
+import (
+	"sync"
+	"testing"
+
+	"gobolt/internal/ring"
+)
+
+func mustNew(t *testing.T, cap int) *ring.SPSC[int] {
+	t.Helper()
+	r, err := ring.New[int](cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {7, 8}, {8, 8}, {9, 16}, {1000, 1024},
+	} {
+		if got := mustNew(t, tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ring.New[int](0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := ring.New[int](-3); err == nil {
+		t.Error("New(-3) should fail")
+	}
+	if _, err := ring.New[int](ring.MaxCap + 1); err == nil {
+		t.Error("New(MaxCap+1) should fail")
+	}
+}
+
+// TestFIFOWraparound pushes and pops many more elements than the
+// capacity through a tiny ring, single-threaded, so the cursors wrap
+// the slot array hundreds of times; order and content must survive.
+func TestFIFOWraparound(t *testing.T) {
+	r := mustNew(t, 4)
+	next := 0
+	for pushed := 0; pushed < 1000; {
+		// Fill to capacity, then drain half — exercises every occupancy.
+		for r.Len() < r.Cap() && pushed < 1000 {
+			if !r.TryPush(pushed) {
+				t.Fatalf("TryPush(%d) failed below capacity (len %d)", pushed, r.Len())
+			}
+			pushed++
+		}
+		for r.Len() > r.Cap()/2 {
+			v, ok := r.TryPop()
+			if !ok {
+				t.Fatalf("TryPop failed with %d queued", r.Len())
+			}
+			if v != next {
+				t.Fatalf("popped %d, want %d", v, next)
+			}
+			next++
+		}
+	}
+	for {
+		v, ok := r.TryPop()
+		if !ok {
+			break
+		}
+		if v != next {
+			t.Fatalf("drain popped %d, want %d", v, next)
+		}
+		next++
+	}
+	if next != 1000 {
+		t.Fatalf("popped %d elements, want 1000", next)
+	}
+}
+
+// TestFullEmptyBoundary pins the boundary semantics: TryPush fails
+// exactly at capacity, TryPop exactly at empty, and both recover after
+// the other side moves.
+func TestFullEmptyBoundary(t *testing.T) {
+	r := mustNew(t, 4)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on an empty ring succeeded")
+	}
+	for i := 0; i < r.Cap(); i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("TryPush on a full ring succeeded")
+	}
+	if v, ok := r.TryPop(); !ok || v != 0 {
+		t.Fatalf("TryPop after full = (%d, %v), want (0, true)", v, ok)
+	}
+	if !r.TryPush(99) {
+		t.Fatal("TryPush failed right after a pop freed a slot")
+	}
+	if r.Len() != r.Cap() {
+		t.Fatalf("Len %d, want %d", r.Len(), r.Cap())
+	}
+}
+
+// TestCloseDrain: elements pushed before Close remain poppable; Pop
+// reports done only once drained; pushes after Close fail.
+func TestCloseDrain(t *testing.T) {
+	r := mustNew(t, 8)
+	for i := 0; i < 5; i++ {
+		r.TryPush(i)
+	}
+	r.Close()
+	if r.TryPush(5) {
+		t.Fatal("TryPush after Close succeeded")
+	}
+	if r.Push(5) {
+		t.Fatal("Push after Close succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on a closed, drained ring succeeded")
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+}
+
+// TestCloseWhileFull closes the ring under a producer blocked in Push
+// against a full ring: the push must unblock reporting failure, and
+// the consumer must still drain every slot that made it in.
+func TestCloseWhileFull(t *testing.T) {
+	r := mustNew(t, 2)
+	for i := 0; i < r.Cap(); i++ {
+		r.TryPush(i)
+	}
+	pushed := make(chan bool)
+	go func() { pushed <- r.Push(100) }() // blocks: ring is full
+	r.Close()
+	if ok := <-pushed; ok {
+		t.Fatal("Push into a full ring succeeded despite Close")
+	}
+	for i := 0; i < r.Cap(); i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("drain %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("closed ring yielded an element beyond the drain")
+	}
+}
+
+// TestConcurrentTransfer streams a large sequence through a tiny ring
+// with blocking Push/Pop on separate goroutines — the real usage shape,
+// exercising wraparound, both park paths, and (under -race) the
+// slot-handover ordering.
+func TestConcurrentTransfer(t *testing.T) {
+	const n = 200_000
+	r := mustNew(t, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []int
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed on an open ring", i)
+		}
+	}
+	r.Close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d elements, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d = %d, out of order", i, v)
+		}
+	}
+}
+
+// payload is the freelist test's canary: a batch-like value whose
+// contents must stay internally consistent through recycling.
+type payload struct {
+	seq  uint64
+	body [6]uint64
+}
+
+// TestFreelistReuseAfterPublish runs the monitor's paired-ring recycle
+// protocol: the producer draws buffers from a freelist ring (allocating
+// only when it is empty), stamps and publishes them on the queue ring;
+// the consumer validates and recycles them. A slot reused before the
+// consumer finished, or a publish that outruns the slot write, shows up
+// as a torn payload; the freelist must also bound allocations to
+// queue-depth + in-flight, proving buffers genuinely recycle.
+func TestFreelistReuseAfterPublish(t *testing.T) {
+	const n = 100_000
+	queue, err := ring.New[*payload](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := ring.New[*payload](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var consumed int
+	go func() {
+		defer wg.Done()
+		for {
+			p, ok := queue.Pop()
+			if !ok {
+				return
+			}
+			for i, v := range p.body {
+				if v != p.seq+uint64(i) {
+					t.Errorf("seq %d: torn payload at %d: got %d", p.seq, i, v)
+					return
+				}
+			}
+			consumed++
+			p.seq = 0 // dirty the buffer so stale reuse is visible
+			free.TryPush(p)
+		}
+	}()
+	allocs := 0
+	for i := uint64(0); i < n; i++ {
+		p, ok := free.TryPop()
+		if !ok {
+			p = &payload{}
+			allocs++
+		}
+		p.seq = i
+		for j := range p.body {
+			p.body[j] = i + uint64(j)
+		}
+		if !queue.Push(p) {
+			t.Fatal("queue closed early")
+		}
+	}
+	queue.Close()
+	wg.Wait()
+	if consumed != n {
+		t.Fatalf("consumed %d of %d payloads", consumed, n)
+	}
+	// Queue cap (4) in flight + freelist cap (8) parked + 1 in each
+	// hand: anything near n means recycling never happened.
+	if max := queue.Cap() + free.Cap() + 2; allocs > max {
+		t.Errorf("%d allocations for %d handoffs; freelist recycling is broken (want <= %d)", allocs, n, max)
+	}
+}
+
+// FuzzSPSC drives a fuzzer-chosen op sequence against a slice-backed
+// model queue, single-threaded (the SPSC contract allows one goroutine
+// to play both roles): TryPush/TryPop results and contents must match
+// the model exactly, across wraparound, boundaries, and Close.
+func FuzzSPSC(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 0, 1, 0, 1, 1, 2})
+	f.Add(uint8(1), []byte{0, 1, 0, 1, 0, 1, 0, 1})
+	f.Add(uint8(5), []byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, capIn uint8, ops []byte) {
+		capacity := int(capIn)%16 + 1
+		r, err := ring.New[int](capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []int
+		closed := false
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				ok := r.TryPush(next)
+				wantOK := !closed && len(model) < r.Cap()
+				if ok != wantOK {
+					t.Fatalf("TryPush(%d) = %v, want %v (len %d, cap %d, closed %v)",
+						next, ok, wantOK, len(model), r.Cap(), closed)
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := r.TryPop()
+				if wantOK := len(model) > 0; ok != wantOK {
+					t.Fatalf("TryPop = %v, want %v (model len %d)", ok, wantOK, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("TryPop = %d, want %d", v, model[0])
+					}
+					model = model[1:]
+				}
+			case 2: // close (idempotent)
+				r.Close()
+				closed = true
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", r.Len(), len(model))
+			}
+		}
+		// Drain: everything still in the model must come out in order.
+		r.Close()
+		for _, want := range model {
+			v, ok := r.Pop()
+			if !ok || v != want {
+				t.Fatalf("drain Pop = (%d, %v), want (%d, true)", v, ok, want)
+			}
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatal("Pop past the drain succeeded")
+		}
+	})
+}
